@@ -1,0 +1,52 @@
+//! Microbenchmark: the visualization filters and the rasterizer — the
+//! "computation" side of every Voyager pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use godiva_mesh::box_tet_mesh;
+use godiva_viz::{isosurface, plane_slice, surface, Camera, ColorMap, Framebuffer, Plane};
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let mesh = box_tet_mesh(12, 12, 12, 1.0, 1.0, 1.0); // 10 368 tets
+    let field: Vec<f64> = mesh
+        .points
+        .iter()
+        .map(|p| ((p[0] - 0.5).powi(2) + (p[1] - 0.5).powi(2) + (p[2] - 0.5).powi(2)).sqrt())
+        .collect();
+    let mut group = c.benchmark_group("filters_10k_tets");
+    group.bench_function("surface", |b| {
+        b.iter(|| black_box(surface(&mesh, &field).unwrap().tri_count()));
+    });
+    group.bench_function("isosurface", |b| {
+        b.iter(|| black_box(isosurface(&mesh, &field, 0.35).unwrap().tri_count()));
+    });
+    group.bench_function("plane_slice", |b| {
+        let plane = Plane::through([0.5, 0.5, 0.5], [1.0, 0.3, 0.2]);
+        b.iter(|| black_box(plane_slice(&mesh, &field, plane).unwrap().tri_count()));
+    });
+    group.finish();
+}
+
+fn bench_rasterize(c: &mut Criterion) {
+    let mesh = box_tet_mesh(12, 12, 12, 1.0, 1.0, 1.0);
+    let field: Vec<f64> = mesh.points.iter().map(|p| p[0] + p[1]).collect();
+    let soup = surface(&mesh, &field).unwrap();
+    let camera = Camera::framing([0.0; 3], [1.0; 3]);
+    let cmap = ColorMap::fit(&field, Default::default());
+    c.bench_function("rasterize_surface_192x144", |b| {
+        let mut fb = Framebuffer::new(192, 144);
+        b.iter(|| {
+            fb.clear();
+            black_box(godiva_viz::raster::rasterize(
+                &mut fb, &camera, &cmap, &soup,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_filters, bench_rasterize
+}
+criterion_main!(benches);

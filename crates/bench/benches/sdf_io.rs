@@ -1,0 +1,95 @@
+//! Microbenchmark: SDF container read/write throughput vs plain binary
+//! (in memory — no simulated disk — so this isolates the format's CPU
+//! cost: serialization, directory handling, checksums, shuffle codec).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use godiva_platform::MemFs;
+use godiva_sdf::{plain, Encoding, SdfFile, SdfWriter};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ELEMS: usize = 64 * 1024; // 512 KiB of f64
+
+fn bench_write(c: &mut Criterion) {
+    let data: Vec<f64> = (0..ELEMS).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("write_512KiB");
+    group.throughput(Throughput::Bytes((ELEMS * 8) as u64));
+    group.bench_function("sdf_raw", |b| {
+        let fs = MemFs::new();
+        b.iter(|| {
+            let mut w = SdfWriter::create(&fs, "f.sdf");
+            w.put_1d("x", &data, vec![]).unwrap();
+            black_box(w.finish().unwrap())
+        });
+    });
+    group.bench_function("sdf_shuffle", |b| {
+        let fs = MemFs::new();
+        b.iter(|| {
+            let mut w = SdfWriter::create(&fs, "f.sdf").with_encoding(Encoding::Shuffle);
+            w.put_1d("x", &data, vec![]).unwrap();
+            black_box(w.finish().unwrap())
+        });
+    });
+    group.bench_function("plain_binary", |b| {
+        let fs = MemFs::new();
+        b.iter(|| black_box(plain::write_array(&fs, "f.bin", &data).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let data: Vec<f64> = (0..ELEMS).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("read_512KiB");
+    group.throughput(Throughput::Bytes((ELEMS * 8) as u64));
+
+    for (label, encoding) in [
+        ("sdf_raw", Encoding::Raw),
+        ("sdf_shuffle", Encoding::Shuffle),
+    ] {
+        let fs = Arc::new(MemFs::new());
+        let mut w = SdfWriter::create(fs.as_ref(), "f.sdf").with_encoding(encoding);
+        w.put_1d("x", &data, vec![]).unwrap();
+        w.finish().unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let f = SdfFile::open(fs.clone(), "f.sdf").unwrap();
+                let v: Vec<f64> = f.read("x").unwrap();
+                black_box(v.len())
+            });
+        });
+    }
+
+    let fs = MemFs::new();
+    plain::write_array(&fs, "f.bin", &data).unwrap();
+    group.bench_function("plain_binary", |b| {
+        b.iter(|| {
+            let v: Vec<f64> = plain::read_array(&fs, "f.bin").unwrap();
+            black_box(v.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hyperslab(c: &mut Criterion) {
+    let data: Vec<f64> = (0..ELEMS).map(|i| i as f64).collect();
+    let fs = Arc::new(MemFs::new());
+    let mut w = SdfWriter::create(fs.as_ref(), "f.sdf");
+    w.put_1d("x", &data, vec![]).unwrap();
+    w.finish().unwrap();
+    let f = SdfFile::open(fs, "f.sdf").unwrap();
+    c.bench_function("sdf_hyperslab_4KiB_of_512KiB", |b| {
+        let mut off = 0u64;
+        b.iter(|| {
+            let v: Vec<f64> = f.read_slab("x", off % (ELEMS as u64 - 512), 512).unwrap();
+            off += 512;
+            black_box(v.len())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_write, bench_read, bench_hyperslab
+}
+criterion_main!(benches);

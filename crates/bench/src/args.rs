@@ -1,0 +1,105 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+/// Common experiment knobs.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Snapshots to process per run (paper: 32).
+    pub snapshots: usize,
+    /// Repetitions per configuration (paper: 5; error bars are 95 % CI).
+    pub repeats: usize,
+    /// Disk-time scale: 1.0 = paper-scale constants, smaller = faster
+    /// experiments with identical ratios.
+    pub scale: f64,
+    /// Use the full 120 481-node paper mesh instead of the scaled one.
+    pub full: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            snapshots: 16,
+            repeats: 3,
+            scale: 0.02,
+            full: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--snapshots" => out.snapshots = parse_or_exit(&value("--snapshots")),
+                "--repeats" => out.repeats = parse_or_exit(&value("--repeats")),
+                "--scale" => out.scale = parse_or_exit(&value("--scale")),
+                "--full" => out.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--snapshots N] [--repeats R] [--scale S] [--full]\n\
+                         defaults: --snapshots 16 --repeats 3 --scale 0.02"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if out.snapshots == 0 || out.repeats == 0 || out.scale < 0.0 {
+            eprintln!("snapshots and repeats must be positive; scale non-negative");
+            std::process::exit(2);
+        }
+        out
+    }
+
+    /// The GENx configuration for these arguments.
+    pub fn genx(&self) -> godiva_genx::GenxConfig {
+        let mut c = if self.full {
+            godiva_genx::GenxConfig::paper_full()
+        } else {
+            godiva_genx::GenxConfig::paper_scaled()
+        };
+        c.snapshots = self.snapshots;
+        c
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse '{s}'");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = HarnessArgs::default();
+        assert!(a.snapshots > 0 && a.repeats > 0 && a.scale > 0.0);
+        let c = a.genx();
+        assert_eq!(c.snapshots, a.snapshots);
+        assert_eq!(c.blocks, 120);
+    }
+
+    #[test]
+    fn full_flag_switches_mesh() {
+        let a = HarnessArgs {
+            full: true,
+            ..Default::default()
+        };
+        assert!(a.genx().node_count() > 100_000);
+    }
+}

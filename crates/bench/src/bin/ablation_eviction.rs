@@ -1,0 +1,99 @@
+//! Ablation: LRU vs FIFO eviction of finished units (§3.3).
+//!
+//! The paper's library "uses the LRU algorithm for cache replacement".
+//! This experiment replays an interactive browsing trace with a hot
+//! snapshot (the user keeps returning to a reference frame — the
+//! "switch back and forth" pattern of §1) under a small memory budget
+//! and compares hit rates and response times for the two policies.
+
+use godiva_bench::{ExperimentEnv, HarnessArgs, Table};
+use godiva_core::EvictionPolicy;
+use godiva_platform::Platform;
+use godiva_sdf::ReadOptions;
+use godiva_viz::{GodivaBackend, GodivaBackendOptions, SnapshotSource};
+use std::time::{Duration, Instant};
+
+/// Browsing trace: explore each snapshot, returning to frame 0 after
+/// every step.
+fn trace(snapshots: usize) -> Vec<usize> {
+    let mut t = vec![0];
+    for s in 1..snapshots {
+        t.push(s);
+        t.push(0);
+    }
+    t
+}
+
+fn run(
+    env: &ExperimentEnv,
+    policy: EvictionPolicy,
+    budget: u64,
+    visits: &[usize],
+) -> (f64, Duration, u64) {
+    let mut options = GodivaBackendOptions::interactive(vec!["stress_avg".to_string()], budget);
+    options.eviction = policy;
+    let mut be = GodivaBackend::new(
+        env.platform.storage(),
+        env.dataset.config.clone(),
+        ReadOptions::new(),
+        options,
+    );
+    let all: Vec<usize> = (0..env.dataset.config.snapshots).collect();
+    be.begin_run(&all).expect("begin");
+    let started = Instant::now();
+    for &s in visits {
+        be.load_pass(s, "stress_avg").expect("load");
+        be.end_snapshot(s).expect("end");
+    }
+    let elapsed = started.elapsed();
+    let stats = be.gbo_stats().expect("stats");
+    (stats.hit_rate(), elapsed, stats.evictions)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    let env = ExperimentEnv::prepare(Platform::engle(args.scale), &genx);
+    let visits = trace(args.snapshots);
+
+    // Calibrate one unit's footprint, then allow ~3 units.
+    let (_, _, _) = run(&env, EvictionPolicy::Lru, u64::MAX, &[0]);
+    let probe = {
+        let mut options =
+            GodivaBackendOptions::interactive(vec!["stress_avg".to_string()], u64::MAX);
+        options.eviction = EvictionPolicy::Lru;
+        let mut be = GodivaBackend::new(
+            env.platform.storage(),
+            env.dataset.config.clone(),
+            ReadOptions::new(),
+            options,
+        );
+        be.begin_run(&[0]).unwrap();
+        be.load_pass(0, "stress_avg").unwrap();
+        be.gbo_stats().unwrap().bytes_allocated
+    };
+    let budget = probe * 3;
+    println!(
+        "== Ablation: eviction policy (interactive revisit trace, Engle) ==\n\
+         {} visits over {} snapshots, hot frame 0; budget = 3 units (~{:.2} MB)\n",
+        visits.len(),
+        args.snapshots,
+        budget as f64 / (1024.0 * 1024.0)
+    );
+
+    let mut table = Table::new(&["policy", "hit rate", "evictions", "wall time (s)"]);
+    for (label, policy) in [
+        ("LRU (paper)", EvictionPolicy::Lru),
+        ("FIFO", EvictionPolicy::Fifo),
+    ] {
+        let (hit, elapsed, evictions) = run(&env, policy, budget, &visits);
+        table.row(&[
+            label.to_string(),
+            format!("{:.1}%", hit * 100.0),
+            evictions.to_string(),
+            format!("{:.3}", elapsed.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expectation: LRU keeps the hot frame resident; FIFO keeps evicting it.");
+}

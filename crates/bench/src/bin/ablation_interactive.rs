@@ -1,0 +1,92 @@
+//! Ablation: interactive-mode caching (§1, §3.2).
+//!
+//! *"users may frequently switch back and forth between snapshot images
+//! from two different time-steps to observe the changes. Efficient
+//! caching can help reduce response time in this case."* And: an
+//! interactive tool "perhaps will not delete units voluntarily, hoping
+//! that the user revisits some data" — it marks them *finished* instead.
+//!
+//! This experiment replays a back-and-forth browsing session and
+//! compares per-request response times with caching (finish_unit) vs
+//! without (delete_unit after every view).
+
+use godiva_bench::{ExperimentEnv, HarnessArgs, Table};
+use godiva_platform::{MeanCi, Platform};
+use godiva_sdf::ReadOptions;
+use godiva_viz::{GodivaBackend, GodivaBackendOptions, SnapshotSource};
+use std::time::{Duration, Instant};
+
+/// A back-and-forth exploration: 0,1,0,1,2,1,2,3,2,3,…
+fn trace(snapshots: usize) -> Vec<usize> {
+    let mut t = vec![0];
+    for s in 1..snapshots {
+        t.push(s);
+        t.push(s - 1);
+        t.push(s);
+    }
+    t
+}
+
+fn session(env: &ExperimentEnv, caching: bool, visits: &[usize]) -> (Vec<Duration>, f64) {
+    let options = if caching {
+        GodivaBackendOptions::interactive(vec!["stress_avg".to_string()], 1 << 30)
+    } else {
+        GodivaBackendOptions::batch(vec!["stress_avg".to_string()], false, 1 << 30)
+    };
+    let mut be = GodivaBackend::new(
+        env.platform.storage(),
+        env.dataset.config.clone(),
+        ReadOptions::new(),
+        options,
+    );
+    // Interactive tools cannot add units ahead of time (§3.2); units are
+    // read on demand via blocking reads.
+    let all: Vec<usize> = (0..env.dataset.config.snapshots).collect();
+    be.begin_run(&all).expect("begin");
+    let mut times = Vec::with_capacity(visits.len());
+    for &s in visits {
+        let t = Instant::now();
+        be.load_pass(s, "stress_avg").expect("load");
+        times.push(t.elapsed());
+        be.end_snapshot(s).expect("end");
+    }
+    let hit = be.gbo_stats().expect("stats").hit_rate();
+    (times, hit)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    let env = ExperimentEnv::prepare(Platform::engle(args.scale), &genx);
+    let visits = trace(args.snapshots.min(12));
+    println!(
+        "== Ablation: interactive caching (back-and-forth trace, Engle) ==\n\
+         {} requests over {} snapshots, scale {}\n",
+        visits.len(),
+        args.snapshots.min(12),
+        args.scale
+    );
+
+    let mut table = Table::new(&[
+        "configuration",
+        "mean response (ms)",
+        "p95-ish max (ms)",
+        "hit rate",
+    ]);
+    for (label, caching) in [
+        ("GODIVA caching (finishUnit)", true),
+        ("no caching (deleteUnit)", false),
+    ] {
+        let (times, hit) = session(&env, caching, &visits);
+        let stats = MeanCi::of(&times);
+        let max = times.iter().max().copied().unwrap_or_default();
+        table.row(&[
+            label.to_string(),
+            format!("{:.2}", stats.mean * 1000.0),
+            format!("{:.2}", max.as_secs_f64() * 1000.0),
+            format!("{:.1}%", hit * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expectation: caching turns every revisit into a sub-millisecond hit.");
+}

@@ -1,0 +1,79 @@
+//! Figure 3(a): Voyager running time on the Engle workstation
+//! (single CPU) — computation time + visible I/O time for the
+//! simple/medium/complex tests under the O, G and TG builds, plus the
+//! derived percentages §4.2 reports in its text.
+
+use godiva_bench::table::mean_ci;
+use godiva_bench::{paper, repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table};
+use godiva_platform::Platform;
+use godiva_viz::{Mode, TestSpec};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    println!(
+        "== Figure 3(a): Voyager running time on Engle (1 CPU) ==\n\
+         dataset: {} nodes / {} elements / {} blocks, {} snapshots, scale {}\n",
+        genx.node_count(),
+        genx.elem_count(),
+        genx.blocks,
+        args.snapshots,
+        args.scale
+    );
+    let env = ExperimentEnv::prepare(Platform::engle(args.scale), &genx);
+
+    let modes = [Mode::Original, Mode::GodivaSingle, Mode::GodivaMulti];
+    let mut table = Table::new(&[
+        "test",
+        "version",
+        "computation (s)",
+        "visible I/O (s)",
+        "total (s)",
+    ]);
+    // results[test_index][mode_index]
+    let mut results: Vec<Vec<RepeatedRuns>> = Vec::new();
+    for spec in TestSpec::all() {
+        let mut per_mode = Vec::new();
+        for mode in modes {
+            let rr = repeat(&env, args.repeats, || {
+                env.voyager_options(spec.clone(), mode)
+            });
+            table.row(&[
+                spec.name.clone(),
+                mode.label().to_string(),
+                mean_ci(rr.computation),
+                mean_ci(rr.visible_io),
+                mean_ci(rr.total),
+            ]);
+            per_mode.push(rr);
+        }
+        results.push(per_mode);
+    }
+    println!("{}", table.render());
+
+    println!("Derived quantities (paper value -> measured):");
+    let mut derived = Table::new(&[
+        "test",
+        "G vs O: I/O time reduced",
+        "TG vs G: I/O hidden",
+        "TG vs O: input cost reduced",
+    ]);
+    for (i, spec) in TestSpec::all().iter().enumerate() {
+        let p = paper::paper_test(&spec.name).expect("paper reference");
+        let [o, g, tg] = [&results[i][0], &results[i][1], &results[i][2]];
+        let io_reduced = godiva_bench::percent(o.visible_io.mean, g.visible_io.mean);
+        // §4.2: hidden = (total_G − total_TG) / total_io_G.
+        let hidden = 100.0 * (g.total.mean - tg.total.mean) / g.visible_io.mean.max(1e-9);
+        let overall = 100.0 * (o.total.mean - tg.total.mean) / o.visible_io.mean.max(1e-9);
+        derived.row(&[
+            spec.name.clone(),
+            format!(
+                "{:.1}% -> {:.1}%",
+                p.engle_g_io_time_reduction_pct, io_reduced
+            ),
+            format!("{:.1}% -> {:.1}%", p.engle_hidden_pct, hidden),
+            format!("{:.1}% -> {:.1}%", p.engle_overall_pct, overall),
+        ]);
+    }
+    println!("{}", derived.render());
+}

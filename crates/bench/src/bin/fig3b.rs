@@ -1,0 +1,108 @@
+//! Figure 3(b): Voyager running time on a dual-CPU Turing cluster node —
+//! O, G, TG1 (a competing compute-bound process occupies the second
+//! CPU) and TG2 (second CPU free for the I/O thread).
+
+use godiva_bench::table::mean_ci;
+use godiva_bench::{paper, repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table};
+use godiva_platform::{ExternalLoad, Platform};
+use godiva_viz::{Mode, TestSpec};
+use std::time::Duration;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    println!(
+        "== Figure 3(b): Voyager running time on a Turing node (2 CPUs) ==\n\
+         dataset: {} nodes / {} elements / {} blocks, {} snapshots, scale {}\n",
+        genx.node_count(),
+        genx.elem_count(),
+        genx.blocks,
+        args.snapshots,
+        args.scale
+    );
+    let env = ExperimentEnv::prepare(Platform::turing(args.scale), &genx);
+
+    // (label, mode, competing external load?)
+    let configs: [(&str, Mode, bool); 4] = [
+        ("O", Mode::Original, false),
+        ("G", Mode::GodivaSingle, false),
+        ("TG1", Mode::GodivaMulti, true),
+        ("TG2", Mode::GodivaMulti, false),
+    ];
+
+    let mut table = Table::new(&[
+        "test",
+        "version",
+        "computation (s)",
+        "visible I/O (s)",
+        "total (s)",
+    ]);
+    let mut results: Vec<Vec<RepeatedRuns>> = Vec::new();
+    for spec in TestSpec::all() {
+        let mut per_cfg = Vec::new();
+        for (label, mode, with_load) in configs {
+            // The competing process gets its round-robin fair share
+            // (3 runnable threads on 2 CPUs → ~2/3 of one core each).
+            let load = with_load.then(|| {
+                ExternalLoad::start_with_duty(
+                    env.platform.cpu().clone(),
+                    Duration::from_millis(2),
+                    Duration::from_millis(1),
+                )
+            });
+            let rr = repeat(&env, args.repeats, || {
+                env.voyager_options(spec.clone(), mode)
+            });
+            drop(load);
+            table.row(&[
+                spec.name.clone(),
+                label.to_string(),
+                mean_ci(rr.computation),
+                mean_ci(rr.visible_io),
+                mean_ci(rr.total),
+            ]);
+            per_cfg.push(rr);
+        }
+        results.push(per_cfg);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Derived quantities (paper -> measured; paper hidden range on Turing: {:.1}%..{:.1}%):",
+        paper::TURING_HIDDEN_RANGE_PCT.0,
+        paper::TURING_HIDDEN_RANGE_PCT.1
+    );
+    let mut derived = Table::new(&[
+        "test",
+        "G vs O: I/O time reduced",
+        "TG1: I/O hidden",
+        "TG2: I/O hidden",
+        "best TG vs O: input cost reduced",
+    ]);
+    for (i, spec) in TestSpec::all().iter().enumerate() {
+        let p = paper::paper_test(&spec.name).expect("paper reference");
+        let [o, g, tg1, tg2] = [
+            &results[i][0],
+            &results[i][1],
+            &results[i][2],
+            &results[i][3],
+        ];
+        let io_reduced = godiva_bench::percent(o.visible_io.mean, g.visible_io.mean);
+        let hidden = |tg: &RepeatedRuns| {
+            100.0 * (g.total.mean - tg.total.mean) / g.visible_io.mean.max(1e-9)
+        };
+        let best_total = tg1.total.mean.min(tg2.total.mean);
+        let overall = 100.0 * (o.total.mean - best_total) / o.visible_io.mean.max(1e-9);
+        derived.row(&[
+            spec.name.clone(),
+            format!(
+                "{:.1}% -> {:.1}%",
+                p.turing_g_io_time_reduction_pct, io_reduced
+            ),
+            format!("{:.1}%", hidden(tg1)),
+            format!("{:.1}%", hidden(tg2)),
+            format!("{:.1}% -> {:.1}%", p.turing_overall_max_pct, overall),
+        ]);
+    }
+    println!("{}", derived.render());
+}

@@ -1,0 +1,92 @@
+//! §1 background claim: scientific data libraries *"have at
+//! visualization time a higher input cost than do plain binary files"*
+//! (and §4.1: "we have observed relatively low data transfer rates in
+//! accessing files written using scientific data libraries such as
+//! HDF").
+//!
+//! This experiment reads the same arrays through the SDF container
+//! (directory walk + checksum + optional shuffle decode) and through
+//! plain binary files, on the simulated Engle disk, and reports
+//! effective input bandwidth.
+
+use godiva_bench::{HarnessArgs, Table};
+use godiva_platform::{CpuPool, Platform, Storage};
+use godiva_sdf::plain;
+use godiva_sdf::{Encoding, ReadOptions, SdfFile, SdfWriter};
+use std::sync::Arc;
+use std::time::Instant;
+
+const ARRAYS: usize = 24;
+const ELEMS: usize = 16_384; // 128 KiB per array
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let platform = Platform::engle(args.scale);
+    let storage = platform.storage();
+    let cpu = CpuPool::new(1, 1.25);
+
+    // One SDF file with all arrays (directory at the tail), plus one
+    // plain binary file per array — both idiomatic layouts.
+    let data: Vec<Vec<f64>> = (0..ARRAYS)
+        .map(|a| (0..ELEMS).map(|i| (a * ELEMS + i) as f64).collect())
+        .collect();
+    for (encoding, name) in [
+        (Encoding::Raw, "raw.sdf"),
+        (Encoding::Shuffle, "shuffle.sdf"),
+    ] {
+        let mut w = SdfWriter::create(storage.as_ref(), name).with_encoding(encoding);
+        for (a, values) in data.iter().enumerate() {
+            w.put_1d(&format!("array{a}"), values, vec![]).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    for (a, values) in data.iter().enumerate() {
+        plain::write_array(storage.as_ref(), &format!("plain_{a}.bin"), values).unwrap();
+    }
+
+    let total_mb = (ARRAYS * ELEMS * 8) as f64 / (1024.0 * 1024.0);
+    println!(
+        "== Input cost: SDF (HDF-like) vs plain binary ==\n\
+         {ARRAYS} arrays x {ELEMS} f64 = {total_mb:.1} MB, Engle disk, scale {}\n",
+        args.scale
+    );
+
+    let mut table = Table::new(&["format", "read time (s)", "bandwidth (MB/s, scaled)"]);
+    let mut bench = |label: &str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        for _ in 0..args.repeats {
+            f();
+        }
+        let secs = t.elapsed().as_secs_f64() / args.repeats as f64;
+        table.row(&[
+            label.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", total_mb / secs.max(1e-9)),
+        ]);
+    };
+
+    let opts = ReadOptions::new().with_cpu(cpu.clone(), 25);
+    let st: Arc<dyn Storage> = storage.clone();
+    bench("plain binary", &mut || {
+        for a in 0..ARRAYS {
+            let v: Vec<f64> = plain::read_array(st.as_ref(), &format!("plain_{a}.bin")).unwrap();
+            assert_eq!(v.len(), ELEMS);
+        }
+    });
+    bench("SDF raw (checksummed)", &mut || {
+        let f = SdfFile::open_with(st.clone(), "raw.sdf", opts.clone()).unwrap();
+        for a in 0..ARRAYS {
+            let v: Vec<f64> = f.read(&format!("array{a}")).unwrap();
+            assert_eq!(v.len(), ELEMS);
+        }
+    });
+    bench("SDF shuffle (checksummed+decoded)", &mut || {
+        let f = SdfFile::open_with(st.clone(), "shuffle.sdf", opts.clone()).unwrap();
+        for a in 0..ARRAYS {
+            let v: Vec<f64> = f.read(&format!("array{a}")).unwrap();
+            assert_eq!(v.len(), ELEMS);
+        }
+    });
+    println!("{}", table.render());
+    println!("expectation: plain binary > SDF raw > SDF shuffle in bandwidth.");
+}

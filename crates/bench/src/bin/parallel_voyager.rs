@@ -1,0 +1,109 @@
+//! §4.2 text: *"we expect the speedup brought by GODIVA in parallel mode
+//! to be similar to that obtained in our sequential mode tests … This is
+//! confirmed by the results from a series of parallel experiments on
+//! Turing using four Voyager processes."*
+//!
+//! Voyager partitions work by assigning different snapshots to different
+//! processes, with essentially no communication; each process uses one
+//! CPU per node and GODIVA's I/O thread can use the other. We reproduce
+//! that as four simulated Turing nodes, each running a Voyager process
+//! over a quarter of the snapshots.
+
+use godiva_bench::{measure, ExperimentEnv, HarnessArgs, Table};
+use godiva_platform::Platform;
+use godiva_viz::{Mode, TestSpec};
+use std::time::Duration;
+
+const PROCESSES: usize = 4;
+
+/// Run `mode` on `procs` nodes in parallel; returns the slowest node's
+/// wall time (the parallel job's completion time) and summed visible I/O.
+fn parallel_run(
+    args: &HarnessArgs,
+    spec: &TestSpec,
+    mode: Mode,
+    procs: usize,
+) -> (Duration, Duration) {
+    let genx = args.genx();
+    let handles: Vec<_> = (0..procs)
+        .map(|p| {
+            let genx = genx.clone();
+            let spec = spec.clone();
+            let args = args.clone();
+            std::thread::spawn(move || {
+                // Each process runs on its own node with a local staging
+                // copy of the dataset (Voyager's processes share almost
+                // nothing at runtime).
+                let env = ExperimentEnv::prepare(Platform::turing(args.scale), &genx);
+                let mut opts = env.voyager_options(spec, mode);
+                opts.snapshots = (0..args.snapshots).filter(|s| s % procs == p).collect();
+                let m = measure(&env, opts);
+                (m.report.total, m.report.visible_io)
+            })
+        })
+        .collect();
+    let mut worst = Duration::ZERO;
+    let mut io = Duration::ZERO;
+    for h in handles {
+        let (total, vio) = h.join().expect("process thread");
+        worst = worst.max(total);
+        io += vio;
+    }
+    (worst, io)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "== Parallel Voyager: {} processes on simulated Turing nodes ==\n\
+         ({} snapshots round-robin partitioned, scale {})\n",
+        PROCESSES, args.snapshots, args.scale
+    );
+
+    let mut table = Table::new(&[
+        "test",
+        "config",
+        "seq total (s)",
+        "par total (s)",
+        "par speedup",
+        "GODIVA benefit seq",
+        "GODIVA benefit par",
+    ]);
+    for spec in TestSpec::all() {
+        let (seq_o, _) = parallel_run(&args, &spec, Mode::Original, 1);
+        let (seq_tg, _) = parallel_run(&args, &spec, Mode::GodivaMulti, 1);
+        let (par_o, _) = parallel_run(&args, &spec, Mode::Original, PROCESSES);
+        let (par_tg, _) = parallel_run(&args, &spec, Mode::GodivaMulti, PROCESSES);
+        let benefit_seq = godiva_bench::percent(seq_o.as_secs_f64(), seq_tg.as_secs_f64());
+        let benefit_par = godiva_bench::percent(par_o.as_secs_f64(), par_tg.as_secs_f64());
+        table.row(&[
+            spec.name.clone(),
+            "O".into(),
+            format!("{:.3}", seq_o.as_secs_f64()),
+            format!("{:.3}", par_o.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                seq_o.as_secs_f64() / par_o.as_secs_f64().max(1e-9)
+            ),
+            String::new(),
+            String::new(),
+        ]);
+        table.row(&[
+            spec.name.clone(),
+            "TG".into(),
+            format!("{:.3}", seq_tg.as_secs_f64()),
+            format!("{:.3}", par_tg.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                seq_tg.as_secs_f64() / par_tg.as_secs_f64().max(1e-9)
+            ),
+            format!("{benefit_seq:.1}%"),
+            format!("{benefit_par:.1}%"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper's expectation: GODIVA's relative benefit in parallel mode is similar\n\
+         to the sequential benefit (compare the last two columns per test)."
+    );
+}

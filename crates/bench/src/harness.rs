@@ -1,0 +1,155 @@
+//! Shared experiment machinery: platform + dataset setup, instrumented
+//! Voyager runs, repetition with confidence intervals.
+
+use godiva_genx::{GenxConfig, GenxDataset};
+use godiva_platform::{MeanCi, Platform, StorageStats};
+use godiva_viz::{run_voyager, Mode, TestSpec, VoyagerOptions, VoyagerReport};
+use std::time::Duration;
+
+/// A platform with the GENx dataset pre-generated on its storage.
+pub struct ExperimentEnv {
+    /// The simulated machine.
+    pub platform: Platform,
+    /// The generated dataset inventory.
+    pub dataset: GenxDataset,
+}
+
+impl ExperimentEnv {
+    /// Generate `genx` onto `platform`'s storage (writes are free there —
+    /// the paper's snapshots pre-exist; only input is measured).
+    pub fn prepare(platform: Platform, genx: &GenxConfig) -> ExperimentEnv {
+        let dataset =
+            godiva_genx::generate(platform.storage().as_ref(), genx).expect("dataset generation");
+        ExperimentEnv { platform, dataset }
+    }
+
+    /// Default Voyager options for this environment.
+    pub fn voyager_options(&self, spec: TestSpec, mode: Mode) -> VoyagerOptions {
+        VoyagerOptions::new(
+            self.platform.storage(),
+            self.platform.cpu().clone(),
+            self.dataset.config.clone(),
+            spec,
+            mode,
+        )
+    }
+}
+
+/// One measured Voyager run: the report plus storage-level I/O deltas.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// The Voyager report (times, images, GODIVA stats).
+    pub report: VoyagerReport,
+    /// Bytes read from storage during the run.
+    pub bytes_read: u64,
+    /// Read operations issued.
+    pub reads: u64,
+    /// Seeks charged by the simulated disk.
+    pub seeks: u64,
+}
+
+/// Run Voyager once with storage statistics reset around it.
+pub fn measure(env: &ExperimentEnv, opts: VoyagerOptions) -> RunMeasurement {
+    let storage = env.platform.storage();
+    storage.reset_stats();
+    let report = run_voyager(opts).expect("voyager run");
+    let stats: StorageStats = storage.stats();
+    RunMeasurement {
+        report,
+        bytes_read: stats.bytes_read,
+        reads: stats.reads,
+        seeks: stats.seeks,
+    }
+}
+
+/// Repeated runs of one configuration with summary statistics.
+#[derive(Debug, Clone)]
+pub struct RepeatedRuns {
+    /// Individual measurements.
+    pub runs: Vec<RunMeasurement>,
+    /// Mean ± 95 % CI of total time (seconds).
+    pub total: MeanCi,
+    /// Mean ± 95 % CI of visible I/O time.
+    pub visible_io: MeanCi,
+    /// Mean ± 95 % CI of computation time.
+    pub computation: MeanCi,
+}
+
+/// Run one configuration `repeats` times (`make_opts` is called per run
+/// so each run gets a fresh backend).
+pub fn repeat(
+    env: &ExperimentEnv,
+    repeats: usize,
+    mut make_opts: impl FnMut() -> VoyagerOptions,
+) -> RepeatedRuns {
+    let runs: Vec<RunMeasurement> = (0..repeats).map(|_| measure(env, make_opts())).collect();
+    let totals: Vec<Duration> = runs.iter().map(|r| r.report.total).collect();
+    let ios: Vec<Duration> = runs.iter().map(|r| r.report.visible_io).collect();
+    let comps: Vec<Duration> = runs.iter().map(|r| r.report.computation).collect();
+    RepeatedRuns {
+        total: MeanCi::of(&totals),
+        visible_io: MeanCi::of(&ios),
+        computation: MeanCi::of(&comps),
+        runs,
+    }
+}
+
+/// `100 * (a - b) / a`, the paper's "percent reduced/hidden" formula
+/// shape (guards against a = 0).
+pub fn percent(a: f64, b: f64) -> f64 {
+    if a <= 0.0 {
+        0.0
+    } else {
+        100.0 * (a - b) / a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> ExperimentEnv {
+        let mut genx = GenxConfig::tiny();
+        genx.snapshots = 2;
+        ExperimentEnv::prepare(Platform::instant(2), &genx)
+    }
+
+    fn fast_spec() -> TestSpec {
+        let mut spec = TestSpec::simple();
+        spec.work_per_op = godiva_platform::Work::from_micros(100);
+        spec
+    }
+
+    #[test]
+    fn measure_counts_io() {
+        let env = tiny_env();
+        let mut opts = env.voyager_options(fast_spec(), Mode::Original);
+        opts.decode_work_per_kib = 0;
+        opts.snapshots = vec![0, 1];
+        let m = measure(&env, opts);
+        assert!(m.bytes_read > 0);
+        assert!(m.reads > 0);
+        assert_eq!(m.report.images, 2);
+    }
+
+    #[test]
+    fn repeat_summarizes() {
+        let env = tiny_env();
+        let rr = repeat(&env, 2, || {
+            let mut opts = env.voyager_options(fast_spec(), Mode::GodivaSingle);
+            opts.decode_work_per_kib = 0;
+            opts.snapshots = vec![0, 1];
+            opts
+        });
+        assert_eq!(rr.runs.len(), 2);
+        assert!(rr.total.mean > 0.0);
+        assert!(rr.total.mean >= rr.visible_io.mean);
+    }
+
+    #[test]
+    fn percent_formula() {
+        assert!((percent(200.0, 150.0) - 25.0).abs() < 1e-12);
+        assert_eq!(percent(0.0, 5.0), 0.0);
+        assert!(percent(100.0, 120.0) < 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # godiva-bench — experiment harness
+//!
+//! Regenerates every table and figure of the GODIVA paper's evaluation
+//! (§4.2) plus the ablations listed in DESIGN.md. Each experiment is a
+//! binary under `src/bin/`:
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig3a` | Figure 3(a): Voyager times on Engle (O/G/TG × 3 tests) |
+//! | `fig3b` | Figure 3(b): Voyager times on a Turing node (O/G/TG1/TG2) |
+//! | `io_volume` | §4.2 text: read-volume reduction by G vs O |
+//! | `parallel_voyager` | §4.2 text: 4-process parallel runs |
+//! | `ablation_granularity` | unit granularity (snapshot vs file) |
+//! | `ablation_memory` | memory-budget sweep (`setMemSpace`) |
+//! | `ablation_eviction` | LRU vs FIFO under a revisit-heavy trace |
+//! | `ablation_interactive` | interactive caching benefit |
+//! | `format_compare` | SDF vs plain binary input cost |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+//!
+//! All binaries accept `--snapshots N --repeats R --scale S --full`
+//! (see [`HarnessArgs`]); defaults finish in a couple of minutes total.
+
+pub mod args;
+pub mod harness;
+pub mod paper;
+pub mod table;
+
+pub use args::HarnessArgs;
+pub use harness::{measure, percent, repeat, ExperimentEnv, RepeatedRuns, RunMeasurement};
+pub use table::Table;

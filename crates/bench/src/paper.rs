@@ -1,0 +1,89 @@
+//! Reference numbers from §4.2 of the paper, printed next to measured
+//! values so every run is a paper-vs-measured comparison.
+
+/// Per-test reference values reported in the paper's text.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTest {
+    /// Test name.
+    pub name: &'static str,
+    /// Total input data per snapshot, MB.
+    pub input_mb_per_snapshot: f64,
+    /// Read-volume reduction by GODIVA's redundant-read elimination, %.
+    pub io_volume_reduction_pct: f64,
+    /// I/O *time* reduction of G vs O on Engle, %.
+    pub engle_g_io_time_reduction_pct: f64,
+    /// Fraction of I/O hidden by TG on Engle, %.
+    pub engle_hidden_pct: f64,
+    /// Overall input-cost reduction of TG vs O on Engle, %.
+    pub engle_overall_pct: f64,
+    /// I/O time reduction of G vs O on Turing, %.
+    pub turing_g_io_time_reduction_pct: f64,
+    /// Maximum overall input-cost reduction on Turing, %.
+    pub turing_overall_max_pct: f64,
+}
+
+/// The three visualization tests of §4.2.
+pub const PAPER_TESTS: [PaperTest; 3] = [
+    PaperTest {
+        name: "simple",
+        input_mb_per_snapshot: 19.2,
+        io_volume_reduction_pct: 14.0,
+        engle_g_io_time_reduction_pct: 17.6,
+        engle_hidden_pct: 24.7,
+        engle_overall_pct: 40.9,
+        turing_g_io_time_reduction_pct: 16.0,
+        turing_overall_max_pct: 93.2,
+    },
+    PaperTest {
+        name: "medium",
+        input_mb_per_snapshot: 30.1,
+        io_volume_reduction_pct: 24.0,
+        engle_g_io_time_reduction_pct: 37.2,
+        engle_hidden_pct: 33.1,
+        engle_overall_pct: 60.5,
+        turing_g_io_time_reduction_pct: 30.0,
+        turing_overall_max_pct: 90.3,
+    },
+    PaperTest {
+        name: "complex",
+        input_mb_per_snapshot: 16.6,
+        io_volume_reduction_pct: 16.0,
+        engle_g_io_time_reduction_pct: 20.1,
+        engle_hidden_pct: 37.8,
+        engle_overall_pct: 61.9,
+        turing_g_io_time_reduction_pct: 10.7,
+        turing_overall_max_pct: 94.7,
+    },
+];
+
+/// Range of I/O hidden by TG on Turing across TG1/TG2 and all tests, %.
+pub const TURING_HIDDEN_RANGE_PCT: (f64, f64) = (81.1, 90.8);
+
+/// Look up a test's reference values.
+pub fn paper_test(name: &str) -> Option<&'static PaperTest> {
+    PAPER_TESTS.iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(paper_test("medium").unwrap().io_volume_reduction_pct, 24.0);
+        assert!(paper_test("bogus").is_none());
+    }
+
+    #[test]
+    fn ordering_facts_from_paper() {
+        let [s, m, c] = PAPER_TESTS;
+        // medium has the biggest dataset and the biggest volume reduction.
+        assert!(m.input_mb_per_snapshot > s.input_mb_per_snapshot);
+        assert!(m.input_mb_per_snapshot > c.input_mb_per_snapshot);
+        assert!(m.io_volume_reduction_pct > s.io_volume_reduction_pct);
+        assert!(m.io_volume_reduction_pct > c.io_volume_reduction_pct);
+        // hidden fraction grows with computation share on Engle.
+        assert!(c.engle_hidden_pct > m.engle_hidden_pct);
+        assert!(m.engle_hidden_pct > s.engle_hidden_pct);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fixed-width table printing for experiment output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Convenience: append a row of `&str`.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Render with column widths fitted to content.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, s)| format!("{s:<width$}", width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with millisecond precision.
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Format a mean ± CI pair.
+pub fn mean_ci(m: godiva_platform::timer::MeanCi) -> String {
+    format!("{:.3} ±{:.3}", m.mean, m.ci95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row_str(&["a", "1"]);
+        t.row_str(&["longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name  22"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row_str(&["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.23456), "1.235");
+        let m = godiva_platform::timer::MeanCi {
+            mean: 2.0,
+            ci95: 0.5,
+        };
+        assert_eq!(mean_ci(m), "2.000 ±0.500");
+    }
+}

@@ -1,0 +1,1276 @@
+//! The GODIVA database — the paper's GBO (GODIVA Buffer Object).
+//!
+//! One [`Gbo`] owns:
+//!
+//! - the schema registry (field types, record types — §3.1),
+//! - the record store and its key index (an ordered map, as in the C++
+//!   implementation's RB-tree of key values — §3.3),
+//! - the unit table, FIFO prefetch queue and the background I/O thread
+//!   (§3.2–3.3),
+//! - the memory budget, LRU/FIFO eviction of finished units, unit-level
+//!   reference counts and deadlock detection (§3.3).
+//!
+//! The public API mirrors the paper's interface names in snake case:
+//! `define_field`, `define_record`, `insert_field`, `commit_record_type`,
+//! `new_record`, `alloc_field` (the paper's `allocFieldBuffer`),
+//! `commit_record`, `get_field_buffer`, `get_field_buffer_size`,
+//! `add_unit`, `read_unit`, `wait_unit`, `finish_unit`, `delete_unit`,
+//! and `set_mem_space`.
+
+use crate::buffer::{FieldBuffer, FieldData, FieldRef, Key};
+use crate::error::{GodivaError, Result};
+use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
+use crate::stats::GboStats;
+use crate::unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a record inside one database.
+pub type RecordId = u64;
+
+/// Construction-time configuration of a [`Gbo`].
+#[derive(Debug, Clone)]
+pub struct GboConfig {
+    /// Memory budget in bytes for all data buffers (the paper's
+    /// constructor parameter, there given in MB).
+    pub mem_limit: u64,
+    /// `true` = multi-thread GODIVA (background I/O thread, the paper's
+    /// **TG**); `false` = single-thread GODIVA (reads happen inside
+    /// `wait_unit`, the paper's **G**).
+    pub background_io: bool,
+    /// Eviction policy for finished units (paper: LRU).
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for GboConfig {
+    fn default() -> Self {
+        GboConfig {
+            mem_limit: 256 * 1024 * 1024,
+            background_io: true,
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+}
+
+/// Where an allocation request comes from; decides its blocking
+/// behaviour when the budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AllocCtx {
+    /// Application code outside any unit read. Never blocks: the paper
+    /// assumes active data fits in memory, so these proceed (counted as
+    /// over-budget if they exceed the limit).
+    Foreground,
+    /// The background I/O thread. Blocks until eviction or a
+    /// finish/delete frees memory.
+    Background,
+    /// An inline (blocking) read on the calling thread. Cannot block on
+    /// other threads, so budget exhaustion is an error.
+    Inline,
+}
+
+struct RecordEntry {
+    rt: Arc<RecordTypeDef>,
+    /// One slot per field of the record type, in definition order.
+    fields: Vec<Option<FieldRef>>,
+    committed: bool,
+    /// Key snapshot taken at commit (guards the index against later key
+    /// buffer modification — see DESIGN.md).
+    key: Option<Vec<Key>>,
+    unit: Option<String>,
+}
+
+struct UnitEntry {
+    reader: Option<ReadFn>,
+    state: UnitState,
+    records: Vec<RecordId>,
+    refcount: usize,
+    /// Bytes charged by this unit's records.
+    bytes: u64,
+    /// LRU clock value of the most recent access.
+    last_access: u64,
+    /// Monotonic sequence assigned when the unit finished loading (FIFO
+    /// eviction order).
+    loaded_seq: u64,
+}
+
+impl UnitEntry {
+    fn evictable(&self) -> bool {
+        self.state == UnitState::Finished && self.refcount == 0 && self.bytes > 0
+    }
+}
+
+struct State {
+    schema: Schema,
+    committed_types: HashMap<String, Arc<RecordTypeDef>>,
+    records: HashMap<RecordId, RecordEntry>,
+    index: HashMap<String, BTreeMap<Vec<Key>, RecordId>>,
+    units: HashMap<String, UnitEntry>,
+    queue: VecDeque<String>,
+    mem_used: u64,
+    mem_limit: u64,
+    clock: u64,
+    next_record: RecordId,
+    io_blocked_on_memory: bool,
+    shutdown: bool,
+    stats: GboStats,
+}
+
+impl State {
+    fn touch(&mut self, unit: &str) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(u) = self.units.get_mut(unit) {
+            u.last_access = clock;
+        }
+    }
+
+    fn has_evictable(&self) -> bool {
+        self.units.values().any(|u| u.evictable())
+    }
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signaled on unit state changes and on `io_blocked_on_memory`
+    /// transitions; `wait_unit` waits here.
+    unit_cv: Condvar,
+    /// Signaled when the I/O thread may have work or memory: queue push,
+    /// memory freed, budget raised, shutdown.
+    work_cv: Condvar,
+    background_io: bool,
+    eviction: EvictionPolicy,
+}
+
+/// The GODIVA database object. See the [module docs](self).
+pub struct Gbo {
+    inner: Arc<Inner>,
+    io_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Inner {
+    // ------------------------------------------------------------------
+    // memory accounting
+    // ------------------------------------------------------------------
+
+    /// Charge `bytes` to the budget on behalf of `unit` (if any),
+    /// blocking or failing according to `ctx`.
+    fn charge<'a>(
+        &'a self,
+        st: &mut MutexGuard<'a, State>,
+        bytes: u64,
+        ctx: AllocCtx,
+        unit: Option<&str>,
+    ) -> Result<()> {
+        loop {
+            if st.shutdown && ctx == AllocCtx::Background {
+                return Err(GodivaError::Shutdown);
+            }
+            if st.mem_used + bytes <= st.mem_limit {
+                break;
+            }
+            if self.evict_one(st) {
+                continue;
+            }
+            // Nothing evictable. If everything currently charged belongs
+            // to the unit being read, the unit is simply larger than the
+            // budget; proceed over budget rather than hang (the paper
+            // assumes one unit always fits).
+            let own = unit
+                .and_then(|u| st.units.get(u))
+                .map(|u| u.bytes)
+                .unwrap_or(0);
+            if st.mem_used.saturating_sub(own) == 0 {
+                st.stats.over_budget_allocs += 1;
+                break;
+            }
+            match ctx {
+                AllocCtx::Foreground => {
+                    st.stats.over_budget_allocs += 1;
+                    break;
+                }
+                AllocCtx::Inline => {
+                    return Err(GodivaError::OutOfMemory {
+                        requested: bytes,
+                        mem_used: st.mem_used,
+                        mem_limit: st.mem_limit,
+                    });
+                }
+                AllocCtx::Background => {
+                    st.io_blocked_on_memory = true;
+                    // Wake any `wait_unit` callers so they can run the
+                    // deadlock check (§3.3).
+                    self.unit_cv.notify_all();
+                    self.work_cv.wait(st);
+                    st.io_blocked_on_memory = false;
+                }
+            }
+        }
+        st.mem_used += bytes;
+        st.stats.bytes_allocated += bytes;
+        st.stats.mem_peak = st.stats.mem_peak.max(st.mem_used);
+        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
+            u.bytes += bytes;
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` to the budget (and to `unit`'s account).
+    fn release(&self, st: &mut State, bytes: u64, unit: Option<&str>) {
+        st.mem_used = st.mem_used.saturating_sub(bytes);
+        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
+            u.bytes = u.bytes.saturating_sub(bytes);
+        }
+        if bytes > 0 {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Evict one finished, unpinned unit according to the policy.
+    /// Returns whether anything was evicted.
+    fn evict_one(&self, st: &mut State) -> bool {
+        let candidate = st
+            .units
+            .iter()
+            .filter(|(_, u)| u.evictable())
+            .min_by_key(|(_, u)| match self.eviction {
+                EvictionPolicy::Lru => u.last_access,
+                EvictionPolicy::Fifo => u.loaded_seq,
+            })
+            .map(|(name, _)| name.clone());
+        let Some(name) = candidate else {
+            return false;
+        };
+        let freed = self.drop_unit_data(st, &name);
+        st.stats.evictions += 1;
+        st.stats.bytes_evicted += freed;
+        true
+    }
+
+    /// Remove a unit's records from the store and index, free its bytes,
+    /// and return the unit to `Registered`. Returns bytes freed.
+    fn drop_unit_data(&self, st: &mut State, name: &str) -> u64 {
+        let Some(entry) = st.units.get_mut(name) else {
+            return 0;
+        };
+        let records = std::mem::take(&mut entry.records);
+        let freed = entry.bytes;
+        entry.bytes = 0;
+        entry.state = UnitState::Registered;
+        for rid in records {
+            if let Some(rec) = st.records.remove(&rid) {
+                if let Some(key) = rec.key {
+                    if let Some(idx) = st.index.get_mut(&rec.rt.name) {
+                        idx.remove(&key);
+                    }
+                }
+            }
+        }
+        st.mem_used = st.mem_used.saturating_sub(freed);
+        if freed > 0 {
+            self.work_cv.notify_all();
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // record operations
+    // ------------------------------------------------------------------
+
+    fn new_record(
+        self: &Arc<Self>,
+        type_name: &str,
+        unit: Option<&str>,
+        ctx: AllocCtx,
+    ) -> Result<RecordId> {
+        let mut st = self.state.lock();
+        let rt = match st.committed_types.get(type_name) {
+            Some(rt) => Arc::clone(rt),
+            None => {
+                // Promote a freshly committed definition into the cache.
+                let def = st.schema.committed_record(type_name)?.clone();
+                let rt = Arc::new(def);
+                st.committed_types
+                    .insert(type_name.to_string(), Arc::clone(&rt));
+                rt
+            }
+        };
+        // Pre-allocate buffers for fields with known sizes (§3.1: "If a
+        // field's size is not UNKNOWN, its data buffer will be allocated
+        // when the new record is created").
+        let mut prealloc: Vec<(usize, FieldData)> = Vec::new();
+        let mut total = 0u64;
+        for (slot, fs) in rt.fields.iter().enumerate() {
+            let def = st.schema.field(&fs.field)?;
+            if let DeclaredSize::Known(bytes) = def.size {
+                prealloc.push((slot, FieldData::zeroed(def.kind, bytes)?));
+                total += bytes;
+            }
+        }
+        self.charge(&mut st, total, ctx, unit)?;
+        let id = st.next_record;
+        st.next_record += 1;
+        let mut fields: Vec<Option<FieldRef>> = vec![None; rt.fields.len()];
+        for (slot, data) in prealloc {
+            fields[slot] = Some(FieldBuffer::new(data));
+        }
+        st.records.insert(
+            id,
+            RecordEntry {
+                rt,
+                fields,
+                committed: false,
+                key: None,
+                unit: unit.map(str::to_string),
+            },
+        );
+        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
+            u.records.push(id);
+        }
+        st.stats.records_created += 1;
+        Ok(id)
+    }
+
+    /// Resolve `(record, field)` to its slot, checking existence.
+    fn slot_of(st: &State, id: RecordId, field: &str) -> Result<(usize, FieldKind)> {
+        let rec = st
+            .records
+            .get(&id)
+            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
+        let slot = rec
+            .rt
+            .slot(field)
+            .ok_or_else(|| GodivaError::UnknownField {
+                record_type: rec.rt.name.clone(),
+                field: field.to_string(),
+            })?;
+        let kind = st.schema.field(field)?.kind;
+        Ok((slot, kind))
+    }
+
+    fn alloc_field(
+        self: &Arc<Self>,
+        id: RecordId,
+        field: &str,
+        bytes: u64,
+        ctx: AllocCtx,
+    ) -> Result<FieldRef> {
+        let data = {
+            let st = self.state.lock();
+            let (_, kind) = Self::slot_of(&st, id, field)?;
+            FieldData::zeroed(kind, bytes)?
+        };
+        self.set_field(id, field, data, ctx)
+            .map(|r| r.expect("just set"))
+    }
+
+    /// Install `data` as the contents of `(record, field)`; returns the
+    /// buffer handle. Used by `alloc_field` and all `set_*` helpers.
+    fn set_field(
+        self: &Arc<Self>,
+        id: RecordId,
+        field: &str,
+        data: FieldData,
+        ctx: AllocCtx,
+    ) -> Result<Option<FieldRef>> {
+        let mut st = self.state.lock();
+        let (slot, kind) = Self::slot_of(&st, id, field)?;
+        if data.kind() != kind {
+            return Err(GodivaError::TypeMismatch(format!(
+                "field '{field}' is declared {kind:?}, got {:?}",
+                data.kind()
+            )));
+        }
+        // Enforce a declared Known size exactly (the paper pre-allocates
+        // exactly that many bytes).
+        if let DeclaredSize::Known(declared) = st.schema.field(field)?.size {
+            if data.byte_len() > declared {
+                return Err(GodivaError::TypeMismatch(format!(
+                    "field '{field}' declared {declared} bytes, got {}",
+                    data.byte_len()
+                )));
+            }
+        }
+        let rec = st.records.get(&id).expect("checked by slot_of");
+        if rec.committed && rec.rt.fields[slot].is_key {
+            return Err(GodivaError::TypeMismatch(format!(
+                "field '{field}' is a key field of a committed record and cannot be changed"
+            )));
+        }
+        let unit = rec.unit.clone();
+        let existing = rec.fields[slot].clone();
+        let old_len = existing.as_ref().map(|b| b.byte_len()).unwrap_or(0);
+        let new_len = data.byte_len();
+        if new_len > old_len {
+            self.charge(&mut st, new_len - old_len, ctx, unit.as_deref())?;
+        } else {
+            self.release(&mut st, old_len - new_len, unit.as_deref());
+        }
+        let buf = match existing {
+            Some(buf) => {
+                buf.replace(data);
+                buf
+            }
+            None => {
+                let buf = FieldBuffer::new(data);
+                st.records.get_mut(&id).expect("present").fields[slot] = Some(Arc::clone(&buf));
+                buf
+            }
+        };
+        Ok(Some(buf))
+    }
+
+    fn field_of(&self, id: RecordId, field: &str) -> Result<FieldRef> {
+        let st = self.state.lock();
+        let (slot, _) = Self::slot_of(&st, id, field)?;
+        st.records.get(&id).expect("checked").fields[slot]
+            .clone()
+            .ok_or_else(|| GodivaError::Unallocated {
+                field: field.to_string(),
+            })
+    }
+
+    fn commit_record(&self, id: RecordId) -> Result<()> {
+        let mut st = self.state.lock();
+        let rec = st
+            .records
+            .get(&id)
+            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
+        if rec.committed {
+            return Ok(());
+        }
+        let mut key = Vec::new();
+        for (slot, fs) in rec.rt.fields.iter().enumerate() {
+            if !fs.is_key {
+                continue;
+            }
+            let buf = rec.fields[slot]
+                .as_ref()
+                .ok_or_else(|| GodivaError::Unallocated {
+                    field: fs.field.clone(),
+                })?;
+            key.push(Key(buf.data().key_bytes()));
+        }
+        let type_name = rec.rt.name.clone();
+        let idx = st.index.entry(type_name.clone()).or_default();
+        if let Some(existing) = idx.get(&key) {
+            return Err(GodivaError::DuplicateKey(format!(
+                "record type '{type_name}': key {key:?} already identifies record #{existing}"
+            )));
+        }
+        idx.insert(key.clone(), id);
+        let rec = st.records.get_mut(&id).expect("present");
+        rec.committed = true;
+        rec.key = Some(key);
+        st.stats.records_committed += 1;
+        Ok(())
+    }
+
+    fn lookup(&self, record_type: &str, field: &str, keys: &[Key]) -> Result<FieldRef> {
+        let mut st = self.state.lock();
+        st.stats.queries += 1;
+        let Some(&id) = st
+            .index
+            .get(record_type)
+            .and_then(|idx| idx.get(&keys.to_vec()))
+        else {
+            st.stats.query_misses += 1;
+            // Distinguish "unknown type" from "no such key" for callers.
+            st.schema.committed_record(record_type)?;
+            return Err(GodivaError::NotFound(format!(
+                "record type '{record_type}' has no record with key {keys:?}"
+            )));
+        };
+        let rec = st.records.get(&id).expect("index points at live record");
+        let slot = rec
+            .rt
+            .slot(field)
+            .ok_or_else(|| GodivaError::UnknownField {
+                record_type: record_type.to_string(),
+                field: field.to_string(),
+            })?;
+        let buf = rec.fields[slot]
+            .clone()
+            .ok_or_else(|| GodivaError::Unallocated {
+                field: field.to_string(),
+            })?;
+        // Touch the owning unit for LRU (interactive-mode locality).
+        if let Some(unit) = rec.unit.clone() {
+            st.touch(&unit);
+        }
+        Ok(buf)
+    }
+
+    // ------------------------------------------------------------------
+    // unit operations
+    // ------------------------------------------------------------------
+
+    fn add_unit(&self, name: &str, reader: ReadFn) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return Err(GodivaError::Shutdown);
+        }
+        match st.units.get_mut(name) {
+            None => {
+                st.units.insert(
+                    name.to_string(),
+                    UnitEntry {
+                        reader: Some(reader),
+                        state: UnitState::Queued,
+                        records: Vec::new(),
+                        refcount: 0,
+                        bytes: 0,
+                        last_access: 0,
+                        loaded_seq: 0,
+                    },
+                );
+            }
+            Some(entry) => match entry.state {
+                UnitState::Registered => {
+                    entry.reader = Some(reader);
+                    entry.state = UnitState::Queued;
+                }
+                _ => {
+                    return Err(GodivaError::UnitError(format!(
+                        "unit '{name}' already added (state {:?})",
+                        entry.state
+                    )))
+                }
+            },
+        }
+        st.queue.push_back(name.to_string());
+        st.stats.units_added += 1;
+        self.work_cv.notify_all();
+        Ok(())
+    }
+
+    /// Run a unit's reader inline on the calling thread. The state lock
+    /// must *not* be held; the unit must already be marked `Reading`.
+    fn run_inline(self: &Arc<Self>, name: &str) -> Result<()> {
+        let reader = {
+            let st = self.state.lock();
+            st.units
+                .get(name)
+                .and_then(|u| u.reader.clone())
+                .ok_or_else(|| GodivaError::UnitError(format!("unit '{name}' has no reader")))?
+        };
+        let session = UnitSession {
+            inner: Arc::clone(self),
+            unit: name.to_string(),
+            ctx: AllocCtx::Inline,
+        };
+        let result = reader.read(&session);
+        let mut st = self.state.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        let entry = st.units.get_mut(name).expect("unit present");
+        match &result {
+            Ok(()) => {
+                entry.state = UnitState::Ready;
+                entry.loaded_seq = clock;
+                entry.last_access = clock;
+                st.stats.units_read += 1;
+            }
+            Err(e) => {
+                entry.state = UnitState::Failed(e.to_string());
+                st.stats.units_failed += 1;
+            }
+        }
+        self.unit_cv.notify_all();
+        result.map_err(|e| GodivaError::ReadFailed {
+            unit: name.to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Remove `name` from the prefetch queue if enqueued.
+    fn unqueue(st: &mut State, name: &str) {
+        if let Some(pos) = st.queue.iter().position(|n| n == name) {
+            st.queue.remove(pos);
+        }
+    }
+
+    /// Block until `name` is loaded; pin it. Core of `wait_unit` and the
+    /// tail of `read_unit`.
+    fn wait_loaded(self: &Arc<Self>, name: &str, explicit_read: bool) -> Result<()> {
+        let started = Instant::now();
+        let mut blocked = false;
+        let result = loop {
+            let mut st = self.state.lock();
+            let Some(entry) = st.units.get_mut(name) else {
+                break Err(GodivaError::UnitError(format!("unknown unit '{name}'")));
+            };
+            match entry.state.clone() {
+                UnitState::Ready | UnitState::Finished => {
+                    entry.state = UnitState::Ready;
+                    entry.refcount += 1;
+                    st.touch(name);
+                    if !blocked {
+                        st.stats.cache_hits += 1;
+                    }
+                    break Ok(());
+                }
+                UnitState::Failed(msg) => {
+                    break Err(GodivaError::ReadFailed {
+                        unit: name.to_string(),
+                        message: msg,
+                    })
+                }
+                UnitState::Registered => {
+                    // Not queued: do a blocking read on this thread
+                    // (interactive mode, or a revisit after eviction).
+                    entry.state = UnitState::Reading;
+                    st.stats.blocking_reads += 1;
+                    drop(st);
+                    blocked = true;
+                    if let Err(e) = self.run_inline(name) {
+                        break Err(e);
+                    }
+                    continue;
+                }
+                UnitState::Queued if !self.background_io || explicit_read => {
+                    // Single-thread GODIVA performs the read inside
+                    // wait_unit (§4.2); read_unit is always explicit.
+                    Self::unqueue(&mut st, name);
+                    let entry = st.units.get_mut(name).expect("present");
+                    entry.state = UnitState::Reading;
+                    st.stats.blocking_reads += 1;
+                    drop(st);
+                    blocked = true;
+                    if let Err(e) = self.run_inline(name) {
+                        break Err(e);
+                    }
+                    continue;
+                }
+                UnitState::Queued | UnitState::Reading => {
+                    // Deadlock detection (§3.3): we are blocked on this
+                    // unit while the I/O thread is blocked on memory and
+                    // nothing can be evicted.
+                    if st.io_blocked_on_memory && !st.has_evictable() {
+                        st.stats.deadlocks_detected += 1;
+                        break Err(GodivaError::Deadlock {
+                            unit: name.to_string(),
+                            mem_used: st.mem_used,
+                            mem_limit: st.mem_limit,
+                        });
+                    }
+                    blocked = true;
+                    self.unit_cv.wait(&mut st);
+                }
+            }
+        };
+        if blocked {
+            let mut st = self.state.lock();
+            st.stats.wait_time += started.elapsed();
+        }
+        result
+    }
+
+    fn finish_unit(&self, name: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        if !entry.state.is_loaded() {
+            return Err(GodivaError::UnitError(format!(
+                "unit '{name}' is not loaded (state {:?})",
+                entry.state
+            )));
+        }
+        entry.refcount = entry.refcount.saturating_sub(1);
+        if entry.refcount == 0 {
+            entry.state = UnitState::Finished;
+            // The I/O thread may have been waiting for evictable memory.
+            self.work_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn delete_unit(&self, name: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        match entry.state {
+            UnitState::Reading => {
+                return Err(GodivaError::UnitError(format!(
+                    "unit '{name}' is being read and cannot be deleted"
+                )))
+            }
+            UnitState::Queued => {
+                entry.state = UnitState::Registered;
+                Self::unqueue(&mut st, name);
+            }
+            _ => {}
+        }
+        let st_ref = &mut *st;
+        if let Some(e) = st_ref.units.get_mut(name) {
+            e.refcount = 0;
+        }
+        self.drop_unit_data(&mut st, name);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // background I/O thread
+    // ------------------------------------------------------------------
+
+    fn io_loop(self: Arc<Self>) {
+        loop {
+            // Wait for a queued unit and for memory headroom.
+            let name = {
+                let mut st = self.state.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if !st.queue.is_empty() {
+                        if st.mem_used < st.mem_limit {
+                            break;
+                        }
+                        if self.evict_one(&mut st) {
+                            continue;
+                        }
+                        // Memory full, nothing evictable: block, flagged
+                        // for deadlock detection.
+                        st.io_blocked_on_memory = true;
+                        self.unit_cv.notify_all();
+                        self.work_cv.wait(&mut st);
+                        st.io_blocked_on_memory = false;
+                        continue;
+                    }
+                    self.work_cv.wait(&mut st);
+                }
+                let name = st.queue.pop_front().expect("non-empty");
+                let entry = st.units.get_mut(&name).expect("queued unit exists");
+                entry.state = UnitState::Reading;
+                st.stats.background_reads += 1;
+                name
+            };
+
+            let reader = {
+                let st = self.state.lock();
+                st.units.get(&name).and_then(|u| u.reader.clone())
+            };
+            let result = match reader {
+                Some(r) => {
+                    let session = UnitSession {
+                        inner: Arc::clone(&self),
+                        unit: name.clone(),
+                        ctx: AllocCtx::Background,
+                    };
+                    r.read(&session)
+                }
+                None => Err(GodivaError::UnitError(format!(
+                    "unit '{name}' lost its reader"
+                ))),
+            };
+
+            let mut st = self.state.lock();
+            st.clock += 1;
+            let clock = st.clock;
+            if let Some(entry) = st.units.get_mut(&name) {
+                match &result {
+                    Ok(()) => {
+                        entry.state = UnitState::Ready;
+                        entry.loaded_seq = clock;
+                        entry.last_access = clock;
+                        st.stats.units_read += 1;
+                    }
+                    Err(e) => {
+                        entry.state = UnitState::Failed(e.to_string());
+                        st.stats.units_failed += 1;
+                    }
+                }
+            }
+            self.unit_cv.notify_all();
+        }
+    }
+}
+
+impl Gbo {
+    /// Create a database with a memory budget in **megabytes**, matching
+    /// the paper's `new GBO(400)` constructor. Background I/O enabled.
+    pub fn new(mem_mb: u64) -> Self {
+        Self::with_config(GboConfig {
+            mem_limit: mem_mb * 1024 * 1024,
+            ..GboConfig::default()
+        })
+    }
+
+    /// Create a database with explicit configuration.
+    pub fn with_config(config: GboConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                schema: Schema::new(),
+                committed_types: HashMap::new(),
+                records: HashMap::new(),
+                index: HashMap::new(),
+                units: HashMap::new(),
+                queue: VecDeque::new(),
+                mem_used: 0,
+                mem_limit: config.mem_limit,
+                clock: 0,
+                next_record: 1,
+                io_blocked_on_memory: false,
+                shutdown: false,
+                stats: GboStats::default(),
+            }),
+            unit_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            background_io: config.background_io,
+            eviction: config.eviction,
+        });
+        let io_thread = if config.background_io {
+            let inner2 = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("godiva-io".into())
+                    .spawn(move || inner2.io_loop())
+                    .expect("spawn GODIVA I/O thread"),
+            )
+        } else {
+            None
+        };
+        Gbo { inner, io_thread }
+    }
+
+    // --- schema (record operation interfaces, §3.1) ---------------------
+
+    /// `defineField(name, type, size)`.
+    pub fn define_field(&self, name: &str, kind: FieldKind, size: DeclaredSize) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .define_field(name, kind, size)
+    }
+
+    /// `defineRecord(name, n_key_fields)`.
+    pub fn define_record(&self, name: &str, key_fields: usize) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .define_record(name, key_fields)
+    }
+
+    /// `insertField(record, field, is_key)`.
+    pub fn insert_field(&self, record: &str, field: &str, is_key: bool) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .insert_field(record, field, is_key)
+    }
+
+    /// `commitRecordType(record)`.
+    pub fn commit_record_type(&self, record: &str) -> Result<()> {
+        self.inner.state.lock().schema.commit_record_type(record)
+    }
+
+    /// `newRecord(type)`: create a record (outside any unit) and return a
+    /// handle for filling its buffers.
+    pub fn new_record(&self, type_name: &str) -> Result<RecordHandle> {
+        let id = self
+            .inner
+            .new_record(type_name, None, AllocCtx::Foreground)?;
+        Ok(RecordHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+            ctx: AllocCtx::Foreground,
+        })
+    }
+
+    /// `commitRecord(record)`: snapshot the key fields and insert the
+    /// record into the index.
+    pub fn commit_record(&self, record: &RecordHandle) -> Result<()> {
+        self.inner.commit_record(record.id)
+    }
+
+    // --- dataset query interfaces (§3.1) --------------------------------
+
+    /// `getFieldBuffer(recordType, field, keyValues)`: locate the buffer
+    /// of `field` in the record identified by `keys` (in key-field
+    /// insertion order).
+    pub fn get_field_buffer(
+        &self,
+        record_type: &str,
+        field: &str,
+        keys: &[Key],
+    ) -> Result<FieldRef> {
+        self.inner.lookup(record_type, field, keys)
+    }
+
+    /// `getFieldBufferSize(...)`: like [`Gbo::get_field_buffer`] but
+    /// returns the buffer size in bytes.
+    pub fn get_field_buffer_size(
+        &self,
+        record_type: &str,
+        field: &str,
+        keys: &[Key],
+    ) -> Result<u64> {
+        Ok(self.inner.lookup(record_type, field, keys)?.byte_len())
+    }
+
+    // --- background I/O interfaces (§3.2) --------------------------------
+
+    /// `addUnit(name, readFunction)`: non-blocking; appends the unit to
+    /// the FIFO prefetch queue.
+    pub fn add_unit(&self, name: &str, reader: impl ReadFunction + 'static) -> Result<()> {
+        self.inner.add_unit(name, Arc::new(reader))
+    }
+
+    /// `readUnit(name, readFunction)`: blocking explicit read of a unit
+    /// on the calling thread (used by interactive tools, §3.2).
+    pub fn read_unit(&self, name: &str, reader: impl ReadFunction + 'static) -> Result<()> {
+        {
+            let mut st = self.inner.state.lock();
+            if st.shutdown {
+                return Err(GodivaError::Shutdown);
+            }
+            let reader: ReadFn = Arc::new(reader);
+            match st.units.get_mut(name) {
+                None => {
+                    st.units.insert(
+                        name.to_string(),
+                        UnitEntry {
+                            reader: Some(reader),
+                            state: UnitState::Registered,
+                            records: Vec::new(),
+                            refcount: 0,
+                            bytes: 0,
+                            last_access: 0,
+                            loaded_seq: 0,
+                        },
+                    );
+                    st.stats.units_added += 1;
+                }
+                Some(entry) => {
+                    if entry.state == UnitState::Registered {
+                        entry.reader = Some(reader);
+                    }
+                }
+            }
+        }
+        self.inner.wait_loaded(name, true)
+    }
+
+    /// `waitUnit(name)`: block until the unit is in the database, then
+    /// pin it (unit-level reference count, §3.3).
+    pub fn wait_unit(&self, name: &str) -> Result<()> {
+        self.inner.wait_loaded(name, false)
+    }
+
+    /// Like [`Gbo::wait_unit`], but returns an RAII guard that calls
+    /// `finish_unit` when dropped — the idiomatic-Rust companion to the
+    /// paper's explicit `waitUnit`/`finishUnit` pairing, making the
+    /// §3.3 "forgot to finish" deadlock unrepresentable in code that
+    /// uses guards.
+    pub fn wait_unit_guard(&self, name: &str) -> Result<UnitGuard> {
+        self.inner.wait_loaded(name, false)?;
+        Ok(UnitGuard {
+            inner: Arc::clone(&self.inner),
+            name: name.to_string(),
+            released: false,
+        })
+    }
+
+    /// `finishUnit(name)`: unpin; at zero pins the unit becomes
+    /// evictable but stays queryable until memory pressure evicts it.
+    pub fn finish_unit(&self, name: &str) -> Result<()> {
+        self.inner.finish_unit(name)
+    }
+
+    /// `deleteUnit(name)`: drop the unit's records immediately. The unit
+    /// stays registered and may be re-added or re-read later.
+    pub fn delete_unit(&self, name: &str) -> Result<()> {
+        self.inner.delete_unit(name)
+    }
+
+    /// `setMemSpace(bytes)`: adjust the memory budget at runtime.
+    pub fn set_mem_space(&self, bytes: u64) {
+        let mut st = self.inner.state.lock();
+        st.mem_limit = bytes;
+        self.inner.work_cv.notify_all();
+    }
+
+    // --- introspection ----------------------------------------------------
+
+    /// Current state of a unit, if known.
+    pub fn unit_state(&self, name: &str) -> Option<UnitState> {
+        self.inner
+            .state
+            .lock()
+            .units
+            .get(name)
+            .map(|u| u.state.clone())
+    }
+
+    /// Names of all known units, sorted.
+    pub fn unit_names(&self) -> Vec<String> {
+        let st = self.inner.state.lock();
+        let mut names: Vec<String> = st.units.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of live records in the database.
+    pub fn record_count(&self) -> usize {
+        self.inner.state.lock().records.len()
+    }
+
+    /// Names of all defined record types, sorted.
+    pub fn record_type_names(&self) -> Vec<String> {
+        self.inner.state.lock().schema.record_type_names()
+    }
+
+    /// Number of units waiting in the prefetch queue.
+    pub fn queue_len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn mem_used(&self) -> u64 {
+        self.inner.state.lock().mem_used
+    }
+
+    /// The configured memory budget in bytes.
+    pub fn mem_limit(&self) -> u64 {
+        self.inner.state.lock().mem_limit
+    }
+
+    /// Snapshot of the runtime statistics.
+    pub fn stats(&self) -> GboStats {
+        let st = self.inner.state.lock();
+        let mut s = st.stats.clone();
+        s.mem_used = st.mem_used;
+        s
+    }
+}
+
+impl Drop for Gbo {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.unit_cv.notify_all();
+        if let Some(h) = self.io_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// RAII pin on a loaded unit: created by [`Gbo::wait_unit_guard`],
+/// releases its reference count (`finish_unit`) on drop.
+pub struct UnitGuard {
+    inner: Arc<Inner>,
+    name: String,
+    released: bool,
+}
+
+impl UnitGuard {
+    /// The pinned unit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Finish the unit now (same as drop, but explicit).
+    pub fn finish(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if !self.released {
+            self.released = true;
+            let _ = self.inner.finish_unit(&self.name);
+        }
+    }
+}
+
+impl Drop for UnitGuard {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// The view of the database a [`ReadFunction`] works through: all record
+/// operations are available, and every record created is tagged with the
+/// unit being read.
+pub struct UnitSession {
+    inner: Arc<Inner>,
+    unit: String,
+    ctx: AllocCtx,
+}
+
+impl UnitSession {
+    /// Name of the unit being read (read functions typically dispatch on
+    /// this — e.g. it names the file to open).
+    pub fn unit(&self) -> &str {
+        &self.unit
+    }
+
+    /// `defineField` — see [`Gbo::define_field`].
+    pub fn define_field(&self, name: &str, kind: FieldKind, size: DeclaredSize) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .define_field(name, kind, size)
+    }
+
+    /// `defineRecord` — see [`Gbo::define_record`].
+    pub fn define_record(&self, name: &str, key_fields: usize) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .define_record(name, key_fields)
+    }
+
+    /// `insertField` — see [`Gbo::insert_field`].
+    pub fn insert_field(&self, record: &str, field: &str, is_key: bool) -> Result<()> {
+        self.inner
+            .state
+            .lock()
+            .schema
+            .insert_field(record, field, is_key)
+    }
+
+    /// `commitRecordType` — see [`Gbo::commit_record_type`].
+    pub fn commit_record_type(&self, record: &str) -> Result<()> {
+        self.inner.state.lock().schema.commit_record_type(record)
+    }
+
+    /// `newRecord`: create a record owned by this unit.
+    pub fn new_record(&self, type_name: &str) -> Result<RecordHandle> {
+        let id = self
+            .inner
+            .new_record(type_name, Some(&self.unit), self.ctx)?;
+        Ok(RecordHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+            ctx: self.ctx,
+        })
+    }
+
+    /// `commitRecord`.
+    pub fn commit_record(&self, record: &RecordHandle) -> Result<()> {
+        self.inner.commit_record(record.id)
+    }
+
+    /// Query interface, usable for cross-record metadata sharing during
+    /// a read (footnote 1 of the paper).
+    pub fn get_field_buffer(
+        &self,
+        record_type: &str,
+        field: &str,
+        keys: &[Key],
+    ) -> Result<FieldRef> {
+        self.inner.lookup(record_type, field, keys)
+    }
+}
+
+/// Handle to one record: fill buffers, then commit.
+pub struct RecordHandle {
+    inner: Arc<Inner>,
+    id: RecordId,
+    ctx: AllocCtx,
+}
+
+impl RecordHandle {
+    /// This record's database-unique id.
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// `allocFieldBuffer(record, field, size)`: allocate a zeroed buffer
+    /// of `bytes` bytes for a field whose declared size was UNKNOWN.
+    pub fn alloc_field(&self, field: &str, bytes: u64) -> Result<FieldRef> {
+        self.inner.alloc_field(self.id, field, bytes, self.ctx)
+    }
+
+    /// Fill a `Str` field.
+    pub fn set_str(&self, field: &str, value: impl Into<String>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::Str(value.into()), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Fill an `F64` field (moves the vector in — no copy).
+    pub fn set_f64(&self, field: &str, values: Vec<f64>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::F64(values), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Fill an `F32` field.
+    pub fn set_f32(&self, field: &str, values: Vec<f32>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::F32(values), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Fill an `I32` field.
+    pub fn set_i32(&self, field: &str, values: Vec<i32>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::I32(values), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Fill an `I64` field.
+    pub fn set_i64(&self, field: &str, values: Vec<i64>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::I64(values), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Fill a `Bytes` field.
+    pub fn set_bytes(&self, field: &str, values: Vec<u8>) -> Result<()> {
+        self.inner
+            .set_field(self.id, field, FieldData::Bytes(values), self.ctx)
+            .map(|_| ())
+    }
+
+    /// Get the field's buffer handle (must be allocated).
+    pub fn field(&self, field: &str) -> Result<FieldRef> {
+        self.inner.field_of(self.id, field)
+    }
+
+    /// Mutate a field's buffer in place. Length changes are re-accounted
+    /// against the memory budget afterwards (without blocking).
+    pub fn update_field<T>(&self, field: &str, f: impl FnOnce(&mut FieldData) -> T) -> Result<T> {
+        let buf = self.inner.field_of(self.id, field)?;
+        let old = buf.byte_len();
+        let out = buf.update(f);
+        let new = buf.byte_len();
+        let unit = {
+            let st = self.inner.state.lock();
+            st.records.get(&self.id).and_then(|r| r.unit.clone())
+        };
+        let mut st = self.inner.state.lock();
+        if new >= old {
+            let delta = new - old;
+            st.mem_used += delta;
+            st.stats.bytes_allocated += delta;
+            st.stats.mem_peak = st.stats.mem_peak.max(st.mem_used);
+            if let Some(u) = unit.as_deref().and_then(|u| st.units.get_mut(u)) {
+                u.bytes += delta;
+            }
+        } else {
+            let inner = Arc::clone(&self.inner);
+            inner.release(&mut st, old - new, unit.as_deref());
+        }
+        Ok(out)
+    }
+
+    /// Commit this record into the key index.
+    pub fn commit(&self) -> Result<()> {
+        self.inner.commit_record(self.id)
+    }
+}

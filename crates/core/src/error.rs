@@ -1,0 +1,166 @@
+//! Error type for the GODIVA database.
+
+use std::fmt;
+
+/// Everything the GODIVA database can refuse to do.
+#[derive(Debug)]
+pub enum GodivaError {
+    /// A schema definition conflicts with an existing, different one.
+    /// (Re-issuing an *identical* definition is allowed, because the
+    /// paper's developer-supplied read functions re-declare their field
+    /// and record types every time they run.)
+    SchemaConflict(String),
+    /// Reference to a field/record type that has not been defined.
+    UnknownType(String),
+    /// Operation on a record type that has not been committed yet, or a
+    /// definition change after commit.
+    TypeState(String),
+    /// Operation on a field the record does not contain.
+    UnknownField {
+        /// Record type involved.
+        record_type: String,
+        /// Field name that was not found.
+        field: String,
+    },
+    /// Typed access with the wrong element type, or key arity mismatch.
+    TypeMismatch(String),
+    /// A buffer that was never allocated (size UNKNOWN and no
+    /// `alloc_field`/`set_*` call yet).
+    Unallocated {
+        /// Field that has no buffer.
+        field: String,
+    },
+    /// `commit_record` would insert a key combination that already
+    /// identifies a different live record of the same type.
+    DuplicateKey(String),
+    /// Key lookup found no record.
+    NotFound(String),
+    /// Unit-level misuse (unknown unit, double add, …).
+    UnitError(String),
+    /// A developer-supplied read function failed.
+    ReadFailed {
+        /// Unit whose read function failed.
+        unit: String,
+        /// The read function's error message.
+        message: String,
+    },
+    /// The main thread is waiting for a unit while the I/O thread is
+    /// blocked on memory and nothing can be evicted — the deadlock the
+    /// paper's library detects (§3.3: a unit was processed but never
+    /// finished/deleted).
+    Deadlock {
+        /// Unit the caller was waiting for.
+        unit: String,
+        /// Memory currently charged to the database.
+        mem_used: u64,
+        /// The configured budget.
+        mem_limit: u64,
+    },
+    /// An allocation cannot fit in the memory budget and nothing is
+    /// evictable (single-thread mode reports this instead of blocking).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Memory currently charged to the database.
+        mem_used: u64,
+        /// The configured budget.
+        mem_limit: u64,
+    },
+    /// The database is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for GodivaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GodivaError::SchemaConflict(m) => write!(f, "schema conflict: {m}"),
+            GodivaError::UnknownType(n) => write!(f, "unknown type: '{n}'"),
+            GodivaError::TypeState(m) => write!(f, "record type state error: {m}"),
+            GodivaError::UnknownField { record_type, field } => {
+                write!(f, "record type '{record_type}' has no field '{field}'")
+            }
+            GodivaError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            GodivaError::Unallocated { field } => {
+                write!(f, "field '{field}' has no allocated buffer")
+            }
+            GodivaError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            GodivaError::NotFound(m) => write!(f, "no record found: {m}"),
+            GodivaError::UnitError(m) => write!(f, "unit error: {m}"),
+            GodivaError::ReadFailed { unit, message } => {
+                write!(f, "read function for unit '{unit}' failed: {message}")
+            }
+            GodivaError::Deadlock {
+                unit,
+                mem_used,
+                mem_limit,
+            } => write!(
+                f,
+                "deadlock detected waiting for unit '{unit}': I/O thread blocked on memory \
+                 ({mem_used} of {mem_limit} bytes used) and no finished unit is evictable — \
+                 did the application forget finish_unit/delete_unit?"
+            ),
+            GodivaError::OutOfMemory {
+                requested,
+                mem_used,
+                mem_limit,
+            } => write!(
+                f,
+                "out of memory: {requested} more bytes over {mem_used}/{mem_limit} used \
+                 and nothing evictable"
+            ),
+            GodivaError::Shutdown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for GodivaError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GodivaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_message_mentions_remedy() {
+        let e = GodivaError::Deadlock {
+            unit: "snap7".into(),
+            mem_used: 100,
+            mem_limit: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("snap7"));
+        assert!(s.contains("finish_unit"));
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        for e in [
+            GodivaError::SchemaConflict("x".into()),
+            GodivaError::UnknownType("t".into()),
+            GodivaError::TypeState("m".into()),
+            GodivaError::UnknownField {
+                record_type: "r".into(),
+                field: "f".into(),
+            },
+            GodivaError::TypeMismatch("m".into()),
+            GodivaError::Unallocated { field: "f".into() },
+            GodivaError::DuplicateKey("k".into()),
+            GodivaError::NotFound("k".into()),
+            GodivaError::UnitError("u".into()),
+            GodivaError::ReadFailed {
+                unit: "u".into(),
+                message: "m".into(),
+            },
+            GodivaError::OutOfMemory {
+                requested: 1,
+                mem_used: 2,
+                mem_limit: 3,
+            },
+            GodivaError::Shutdown,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

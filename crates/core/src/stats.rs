@@ -1,0 +1,135 @@
+//! Runtime statistics.
+//!
+//! The paper's evaluation derives every number from three quantities per
+//! run: I/O volume, visible I/O time, and total time. [`GboStats`]
+//! exposes those plus the cache/prefetch counters needed by the
+//! ablation benchmarks.
+
+use std::time::Duration;
+
+/// Snapshot of a database's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GboStats {
+    /// Units registered via `add_unit`/`read_unit`.
+    pub units_added: u64,
+    /// Unit loads completed successfully (background + inline).
+    pub units_read: u64,
+    /// Unit loads that failed.
+    pub units_failed: u64,
+    /// `wait_unit`/`read_unit` calls satisfied from already-loaded data.
+    pub cache_hits: u64,
+    /// Reads performed inline on the calling thread (blocking).
+    pub blocking_reads: u64,
+    /// Reads performed by the background I/O thread.
+    pub background_reads: u64,
+    /// Records created.
+    pub records_created: u64,
+    /// Records committed into the key index.
+    pub records_committed: u64,
+    /// Key lookups answered.
+    pub queries: u64,
+    /// Key lookups that found nothing.
+    pub query_misses: u64,
+    /// Cumulative bytes ever charged to the database.
+    pub bytes_allocated: u64,
+    /// Bytes currently charged.
+    pub mem_used: u64,
+    /// High-water mark of `mem_used`.
+    pub mem_peak: u64,
+    /// Units evicted under memory pressure.
+    pub evictions: u64,
+    /// Bytes released by evictions.
+    pub bytes_evicted: u64,
+    /// Deadlocks detected and reported (§3.3).
+    pub deadlocks_detected: u64,
+    /// Foreground allocations that pushed usage past the budget (allowed
+    /// — the paper assumes active data fits in memory — but counted).
+    pub over_budget_allocs: u64,
+    /// Cumulative time callers spent blocked in `wait_unit`/`read_unit` —
+    /// the paper's "visible I/O time" as seen by the library.
+    pub wait_time: Duration,
+}
+
+impl GboStats {
+    /// Fraction of unit requests served without blocking on a read.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.blocking_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for GboStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+        writeln!(
+            f,
+            "units: {} added, {} read ({} background / {} blocking), {} failed, {} cache hits",
+            self.units_added,
+            self.units_read,
+            self.background_reads,
+            self.blocking_reads,
+            self.units_failed,
+            self.cache_hits
+        )?;
+        writeln!(
+            f,
+            "records: {} created, {} committed; queries: {} ({} misses)",
+            self.records_created, self.records_committed, self.queries, self.query_misses
+        )?;
+        writeln!(
+            f,
+            "memory: {:.2} MB used, {:.2} MB peak, {:.2} MB allocated total; \
+             {} evictions ({:.2} MB), {} over-budget, {} deadlocks",
+            mb(self.mem_used),
+            mb(self.mem_peak),
+            mb(self.bytes_allocated),
+            self.evictions,
+            mb(self.bytes_evicted),
+            self.over_budget_allocs,
+            self.deadlocks_detected
+        )?;
+        write!(f, "blocked in waits: {:.3}s", self.wait_time.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(GboStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_every_section() {
+        let s = GboStats {
+            units_added: 3,
+            units_read: 2,
+            cache_hits: 5,
+            mem_peak: 2 << 20,
+            deadlocks_detected: 1,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("units: 3 added"));
+        assert!(text.contains("5 cache hits"));
+        assert!(text.contains("2.00 MB peak"));
+        assert!(text.contains("1 deadlocks"));
+        assert!(text.contains("blocked in waits"));
+    }
+
+    #[test]
+    fn hit_rate_ratio() {
+        let s = GboStats {
+            cache_hits: 3,
+            blocking_reads: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

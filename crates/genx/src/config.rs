@@ -1,0 +1,232 @@
+//! Generator configuration and size presets.
+
+/// Parameters of a synthetic GENx run.
+#[derive(Debug, Clone)]
+pub struct GenxConfig {
+    /// Radial cells of the annular propellant grain.
+    pub nr: usize,
+    /// Circumferential cells (wrapped ring).
+    pub nt: usize,
+    /// Axial cells.
+    pub nz: usize,
+    /// Inner bore radius.
+    pub r_inner: f64,
+    /// Outer grain radius.
+    pub r_outer: f64,
+    /// Grain height.
+    pub height: f64,
+    /// Number of partition blocks (paper: 120).
+    pub blocks: usize,
+    /// Number of time-step snapshots to write (paper: 32).
+    pub snapshots: usize,
+    /// Files per snapshot (paper: 8 HDF4 files).
+    pub files_per_snapshot: usize,
+    /// Simulation time between snapshots.
+    pub dt: f64,
+    /// Seed for the stochastic part of the field evolution.
+    pub seed: u64,
+    /// Root path prefix for the generated files.
+    pub root: String,
+}
+
+impl GenxConfig {
+    /// A tiny dataset for unit tests (hundreds of elements, 3 snapshots).
+    pub fn tiny() -> Self {
+        GenxConfig {
+            nr: 1,
+            nt: 6,
+            nz: 2,
+            r_inner: 0.4,
+            r_outer: 1.0,
+            height: 2.0,
+            blocks: 4,
+            snapshots: 3,
+            files_per_snapshot: 2,
+            dt: 2.5e-5,
+            seed: 7,
+            root: "genx".into(),
+        }
+    }
+
+    /// The scaled-down default used by the experiment harness: same
+    /// structure as the paper's dataset (120 blocks, 8 files/snapshot,
+    /// 32 snapshots) at ~1/40 the node count, so a full Figure-3 run
+    /// takes seconds, not hours.
+    pub fn paper_scaled() -> Self {
+        GenxConfig {
+            nr: 2,
+            nt: 36,
+            nz: 26,
+            r_inner: 0.5,
+            r_outer: 1.5,
+            height: 40.0,
+            blocks: 120,
+            snapshots: 32,
+            files_per_snapshot: 8,
+            dt: 2.5e-5,
+            seed: 42,
+            root: "genx".into(),
+        }
+    }
+
+    /// Full paper-size mesh: ≈120 481 nodes / ≈679 008 elements in 120
+    /// blocks. Expensive to generate; used only when explicitly asked.
+    pub fn paper_full() -> Self {
+        GenxConfig {
+            // (nr+1) * nt * (nz+1) = 5 * 100 * 241 = 120 500 nodes,
+            // nr * nt * nz * 6    = 4 * 100 * 240 * 6 = 576 000 tets —
+            // the closest structured match to 120 481 / 679 008.
+            nr: 4,
+            nt: 100,
+            nz: 240,
+            r_inner: 0.5,
+            r_outer: 1.5,
+            height: 40.0,
+            blocks: 120,
+            snapshots: 32,
+            files_per_snapshot: 8,
+            dt: 2.5e-5,
+            seed: 42,
+            root: "genx".into(),
+        }
+    }
+
+    /// Global node count of the generated mesh.
+    pub fn node_count(&self) -> usize {
+        (self.nr + 1) * self.nt * (self.nz + 1)
+    }
+
+    /// Global element count of the generated mesh.
+    pub fn elem_count(&self) -> usize {
+        self.nr * self.nt * self.nz * 6
+    }
+
+    /// Simulation time of snapshot `s`.
+    pub fn time_of(&self, s: usize) -> f64 {
+        self.dt * (s as f64 + 1.0)
+    }
+
+    /// Blocks stored in file `f` of each snapshot: consecutive ranges,
+    /// `ceil(blocks / files)` per file.
+    pub fn blocks_in_file(&self, f: usize) -> std::ops::Range<usize> {
+        let per = self.blocks.div_ceil(self.files_per_snapshot);
+        let start = (f * per).min(self.blocks);
+        let end = ((f + 1) * per).min(self.blocks);
+        start..end
+    }
+
+    /// File index holding block `b`.
+    pub fn file_of_block(&self, b: usize) -> usize {
+        let per = self.blocks.div_ceil(self.files_per_snapshot);
+        b / per
+    }
+
+    /// Path of file `f` of snapshot `s`.
+    pub fn file_path(&self, s: usize, f: usize) -> String {
+        format!("{}/snap_{s:04}/file_{f}.sdf", self.root)
+    }
+
+    /// Name of snapshot `s` (used as a GODIVA unit name by Voyager).
+    pub fn snapshot_name(&self, s: usize) -> String {
+        format!("{}/snap_{s:04}", self.root)
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks == 0 || self.snapshots == 0 || self.files_per_snapshot == 0 {
+            return Err("blocks, snapshots and files_per_snapshot must be positive".into());
+        }
+        if self.files_per_snapshot > self.blocks {
+            return Err(format!(
+                "{} files per snapshot but only {} blocks",
+                self.files_per_snapshot, self.blocks
+            ));
+        }
+        if self.blocks > self.elem_count() {
+            return Err(format!(
+                "{} blocks but only {} elements",
+                self.blocks,
+                self.elem_count()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        GenxConfig::tiny().validate().unwrap();
+        GenxConfig::paper_scaled().validate().unwrap();
+        GenxConfig::paper_full().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_full_matches_paper_scale() {
+        let c = GenxConfig::paper_full();
+        let nodes = c.node_count();
+        let elems = c.elem_count();
+        assert!((nodes as i64 - 120_481).abs() < 1000, "nodes = {nodes}");
+        assert!(
+            (elems as f64 - 679_008.0).abs() / 679_008.0 < 0.2,
+            "elems = {elems}"
+        );
+        assert_eq!(c.blocks, 120);
+        assert_eq!(c.snapshots, 32);
+        assert_eq!(c.files_per_snapshot, 8);
+    }
+
+    #[test]
+    fn block_file_mapping_covers_all_blocks() {
+        let c = GenxConfig::paper_scaled();
+        let mut covered = vec![false; c.blocks];
+        for f in 0..c.files_per_snapshot {
+            for b in c.blocks_in_file(f) {
+                assert!(!covered[b], "block {b} in two files");
+                covered[b] = true;
+                assert_eq!(c.file_of_block(b), f);
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn uneven_block_division() {
+        let mut c = GenxConfig::tiny();
+        c.blocks = 7;
+        c.files_per_snapshot = 3;
+        let sizes: Vec<usize> = (0..3).map(|f| c.blocks_in_file(f).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn times_increase() {
+        let c = GenxConfig::tiny();
+        assert!(c.time_of(1) > c.time_of(0));
+        assert!((c.time_of(0) - 2.5e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GenxConfig::tiny();
+        c.files_per_snapshot = 99;
+        assert!(c.validate().is_err());
+        let mut c = GenxConfig::tiny();
+        c.blocks = 0;
+        assert!(c.validate().is_err());
+        let mut c = GenxConfig::tiny();
+        c.blocks = 10_000;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paths_are_stable() {
+        let c = GenxConfig::tiny();
+        assert_eq!(c.file_path(3, 1), "genx/snap_0003/file_1.sdf");
+        assert_eq!(c.snapshot_name(3), "genx/snap_0003");
+    }
+}

@@ -1,0 +1,115 @@
+//! Dataset discovery: reconstruct a readable [`GenxConfig`] from the
+//! snapshot files alone.
+//!
+//! The real Voyager "takes as arguments … a list of HDF files to
+//! process" — it learns everything else from the files. The CLI front
+//! end does the same: given a root directory, [`discover`] reads the
+//! self-description attributes the writer stores on every file's
+//! `meta.time` dataset and returns a config sufficient for *reading*
+//! (paths, snapshot/file/block counts, camera bounds). The mesh
+//! generation fields are filled with placeholders; do not re-`generate`
+//! from a discovered config.
+
+use crate::config::GenxConfig;
+use godiva_platform::Storage;
+use godiva_sdf::{AttrValue, Result, SdfError, SdfFile};
+use std::sync::Arc;
+
+fn int_attr(file: &SdfFile, name: &str) -> Result<i64> {
+    match file.dataset("meta.time")?.attr(name) {
+        Some(AttrValue::Int(v)) => Ok(*v),
+        other => Err(SdfError::Corrupt(format!(
+            "meta.time attribute '{name}' missing or mistyped: {other:?}"
+        ))),
+    }
+}
+
+fn float_attr(file: &SdfFile, name: &str) -> Result<f64> {
+    match file.dataset("meta.time")?.attr(name) {
+        Some(AttrValue::Float(v)) => Ok(*v),
+        other => Err(SdfError::Corrupt(format!(
+            "meta.time attribute '{name}' missing or mistyped: {other:?}"
+        ))),
+    }
+}
+
+/// Discover the dataset rooted at `root` on `storage`.
+pub fn discover(storage: Arc<dyn Storage>, root: &str) -> Result<GenxConfig> {
+    let first = format!("{root}/snap_0000/file_0.sdf");
+    if !storage.exists(&first) {
+        return Err(SdfError::Invalid(format!(
+            "no dataset at '{root}' (expected {first})"
+        )));
+    }
+    let file = SdfFile::open(storage, &first)?;
+    let snapshots = int_attr(&file, "snapshots")? as usize;
+    let files_per_snapshot = int_attr(&file, "files_per_snapshot")? as usize;
+    let blocks = int_attr(&file, "blocks")? as usize;
+    let r_outer = float_attr(&file, "r_outer")?;
+    let height = float_attr(&file, "height")?;
+    if snapshots == 0 || files_per_snapshot == 0 || blocks == 0 {
+        return Err(SdfError::Corrupt(
+            "dataset self-description has zero counts".into(),
+        ));
+    }
+    Ok(GenxConfig {
+        // Placeholder mesh-generation parameters: a discovered config
+        // describes existing files; it is never used to generate.
+        nr: 1,
+        nt: 3,
+        nz: 1,
+        r_inner: r_outer / 2.0,
+        r_outer,
+        height,
+        blocks,
+        snapshots,
+        files_per_snapshot,
+        dt: 0.0,
+        seed: 0,
+        root: root.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::generate;
+    use godiva_platform::MemFs;
+
+    #[test]
+    fn discovery_round_trips_the_reading_fields() {
+        let fs = Arc::new(MemFs::new());
+        let config = GenxConfig::tiny();
+        generate(fs.as_ref(), &config).unwrap();
+        let found = discover(fs, &config.root).unwrap();
+        assert_eq!(found.snapshots, config.snapshots);
+        assert_eq!(found.files_per_snapshot, config.files_per_snapshot);
+        assert_eq!(found.blocks, config.blocks);
+        assert_eq!(found.r_outer, config.r_outer);
+        assert_eq!(found.height, config.height);
+        assert_eq!(found.root, config.root);
+        // Path/block mapping identical to the writer's.
+        for f in 0..config.files_per_snapshot {
+            assert_eq!(
+                found.blocks_in_file(f).collect::<Vec<_>>(),
+                config.blocks_in_file(f).collect::<Vec<_>>()
+            );
+            assert_eq!(found.file_path(1, f), config.file_path(1, f));
+        }
+    }
+
+    #[test]
+    fn missing_dataset_is_a_clear_error() {
+        let fs: Arc<dyn Storage> = Arc::new(MemFs::new());
+        let err = discover(fs, "nowhere").unwrap_err();
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let fs = Arc::new(MemFs::new());
+        fs.write("d/snap_0000/file_0.sdf", b"not an sdf file")
+            .unwrap();
+        assert!(discover(fs, "d").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic field evolution.
+//!
+//! The variable inventory mirrors §4.2 of the paper: a scalar average
+//! stress, six stress-tensor components stored as scalars, displacement /
+//! velocity / acceleration vectors, and element-based restart quantities.
+//! Values come from smooth closed-form "pressurized grain" dynamics (a
+//! radial pressure wave travelling up the bore) plus small seeded noise,
+//! so they are deterministic, physically plausible in shape, and cheap.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether a variable lives on nodes or elements, scalar or vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// One value per mesh node.
+    NodeScalar,
+    /// Three values per mesh node.
+    NodeVector,
+    /// One value per element (restart quantities).
+    ElemScalar,
+}
+
+/// A named variable in every snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variable {
+    /// Dataset name inside the snapshot files.
+    pub name: &'static str,
+    /// Placement and arity.
+    pub kind: VarKind,
+}
+
+/// The full snapshot variable inventory (§4.2).
+pub const VARIABLES: &[Variable] = &[
+    Variable {
+        name: "stress_avg",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_xx",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_yy",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_zz",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_xy",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_yz",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "stress_xz",
+        kind: VarKind::NodeScalar,
+    },
+    Variable {
+        name: "displacement",
+        kind: VarKind::NodeVector,
+    },
+    Variable {
+        name: "velocity",
+        kind: VarKind::NodeVector,
+    },
+    Variable {
+        name: "acceleration",
+        kind: VarKind::NodeVector,
+    },
+    Variable {
+        name: "burn_rate",
+        kind: VarKind::ElemScalar,
+    },
+    Variable {
+        name: "temperature_restart",
+        kind: VarKind::ElemScalar,
+    },
+];
+
+/// Look a variable up by name.
+pub fn variable(name: &str) -> Option<&'static Variable> {
+    VARIABLES.iter().find(|v| v.name == name)
+}
+
+/// Values per entity for a variable kind (1 or 3).
+pub const fn components(kind: VarKind) -> usize {
+    match kind {
+        VarKind::NodeScalar | VarKind::ElemScalar => 1,
+        VarKind::NodeVector => 3,
+    }
+}
+
+// Wave parameters of the synthetic pressurization transient.
+const OMEGA: f64 = 60_000.0; // rad/s — fast transient, matches dt ≈ 25 µs
+const KZ: f64 = 0.35; // axial wavenumber
+const P0: f64 = 6.0e6; // chamber pressure scale, Pa
+
+/// The travelling pressure wave underlying all stress components.
+fn wave(p: [f64; 3], t: f64) -> f64 {
+    let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+    let theta = p[1].atan2(p[0]);
+    (OMEGA * t - KZ * p[2]).sin() * (1.0 + 0.2 * (2.0 * theta).cos()) / r.max(0.05)
+}
+
+/// Closed-form value of node scalar `name` at position `p`, time `t`.
+pub fn node_scalar(name: &str, p: [f64; 3], t: f64) -> f64 {
+    let w = wave(p, t);
+    let r = (p[0] * p[0] + p[1] * p[1]).sqrt().max(0.05);
+    let (cx, cy) = (p[0] / r, p[1] / r);
+    match name {
+        // Hoop-dominated stress state of a pressurized grain.
+        "stress_xx" => P0 * w * (1.0 + cx * cx),
+        "stress_yy" => P0 * w * (1.0 + cy * cy),
+        "stress_zz" => P0 * w * 0.6,
+        "stress_xy" => P0 * w * cx * cy,
+        "stress_yz" => P0 * w * 0.15 * cy,
+        "stress_xz" => P0 * w * 0.15 * cx,
+        "stress_avg" => {
+            (node_scalar("stress_xx", p, t)
+                + node_scalar("stress_yy", p, t)
+                + node_scalar("stress_zz", p, t))
+                / 3.0
+        }
+        other => panic!("unknown node scalar '{other}'"),
+    }
+}
+
+/// Closed-form value of node vector `name` at position `p`, time `t`.
+pub fn node_vector(name: &str, p: [f64; 3], t: f64) -> [f64; 3] {
+    let r = (p[0] * p[0] + p[1] * p[1]).sqrt().max(0.05);
+    let (cx, cy) = (p[0] / r, p[1] / r);
+    let phase = OMEGA * t - KZ * p[2];
+    // Radial breathing mode: u = A sin(phase) r̂ ; v, a are time
+    // derivatives of u.
+    let amp = 1.0e-3 / r;
+    match name {
+        "displacement" => {
+            let u = amp * phase.sin();
+            [u * cx, u * cy, 0.3 * amp * phase.cos()]
+        }
+        "velocity" => {
+            let v = amp * OMEGA * phase.cos();
+            [v * cx, v * cy, -0.3 * amp * OMEGA * phase.sin()]
+        }
+        "acceleration" => {
+            let a = -amp * OMEGA * OMEGA * phase.sin();
+            [a * cx, a * cy, -0.3 * amp * OMEGA * OMEGA * phase.cos()]
+        }
+        other => panic!("unknown node vector '{other}'"),
+    }
+}
+
+/// Closed-form value of element scalar `name` at centroid `c`, time `t`.
+pub fn elem_scalar(name: &str, c: [f64; 3], t: f64) -> f64 {
+    let r = (c[0] * c[0] + c[1] * c[1]).sqrt().max(0.05);
+    match name {
+        "burn_rate" => 8.0e-3 * (1.0 + 0.1 * (OMEGA * t - KZ * c[2]).sin()) / r,
+        "temperature_restart" => 300.0 + 2500.0 * (-4.0 * (r - 0.5)).exp(),
+        other => panic!("unknown element scalar '{other}'"),
+    }
+}
+
+/// Deterministic per-(seed, variable, snapshot) noise generator; the
+/// noise keeps datasets from being trivially compressible/constant.
+pub fn noise_rng(seed: u64, var: &str, snapshot: usize) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in var.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h = (h ^ snapshot as u64).wrapping_mul(0x100_0000_01b3);
+    StdRng::seed_from_u64(h)
+}
+
+/// Relative noise amplitude applied to generated values.
+pub const NOISE: f64 = 0.01;
+
+/// Apply `NOISE`-scale multiplicative noise to `value`.
+pub fn jitter(rng: &mut StdRng, value: f64) -> f64 {
+    value * (1.0 + NOISE * (rng.gen::<f64>() * 2.0 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_paper() {
+        // 1 average + 6 tensor components, node-based.
+        let scalars = VARIABLES
+            .iter()
+            .filter(|v| v.kind == VarKind::NodeScalar)
+            .count();
+        assert_eq!(scalars, 7);
+        // displacement, velocity, acceleration vectors.
+        let vectors = VARIABLES
+            .iter()
+            .filter(|v| v.kind == VarKind::NodeVector)
+            .count();
+        assert_eq!(vectors, 3);
+        // "several other quantities required for restarting".
+        assert!(VARIABLES.iter().any(|v| v.kind == VarKind::ElemScalar));
+    }
+
+    #[test]
+    fn lookup_and_components() {
+        assert_eq!(variable("velocity").unwrap().kind, VarKind::NodeVector);
+        assert!(variable("nope").is_none());
+        assert_eq!(components(VarKind::NodeVector), 3);
+        assert_eq!(components(VarKind::NodeScalar), 1);
+    }
+
+    #[test]
+    fn stress_avg_is_trace_mean() {
+        let p = [0.7, 0.2, 1.3];
+        let t = 1.25e-4;
+        let expect = (node_scalar("stress_xx", p, t)
+            + node_scalar("stress_yy", p, t)
+            + node_scalar("stress_zz", p, t))
+            / 3.0;
+        assert!((node_scalar("stress_avg", p, t) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fields_vary_in_time_and_space() {
+        let p = [0.8, 0.1, 2.0];
+        let q = [0.5, -0.5, 5.0];
+        assert_ne!(
+            node_scalar("stress_xx", p, 1e-4),
+            node_scalar("stress_xx", p, 2e-4)
+        );
+        assert_ne!(
+            node_scalar("stress_xx", p, 1e-4),
+            node_scalar("stress_xx", q, 1e-4)
+        );
+        assert_ne!(
+            node_vector("velocity", p, 1e-4),
+            node_vector("velocity", q, 1e-4)
+        );
+        assert_ne!(
+            elem_scalar("burn_rate", p, 1e-4),
+            elem_scalar("burn_rate", q, 1e-4)
+        );
+    }
+
+    #[test]
+    fn velocity_is_roughly_displacement_rate() {
+        // Central difference of displacement ≈ velocity.
+        let p = [0.9, 0.3, 4.0];
+        let t = 3.0e-4;
+        let h = 1.0e-9;
+        let up = node_vector("displacement", p, t + h);
+        let um = node_vector("displacement", p, t - h);
+        let v = node_vector("velocity", p, t);
+        for k in 0..3 {
+            let fd = (up[k] - um[k]) / (2.0 * h);
+            let denom = v[k].abs().max(1e-6);
+            assert!(
+                ((fd - v[k]) / denom).abs() < 1e-3,
+                "component {k}: {fd} vs {}",
+                v[k]
+            );
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_small() {
+        let mut a = noise_rng(42, "stress_xx", 3);
+        let mut b = noise_rng(42, "stress_xx", 3);
+        let mut c = noise_rng(42, "stress_xx", 4);
+        let va = jitter(&mut a, 100.0);
+        assert_eq!(va, jitter(&mut b, 100.0));
+        assert_ne!(va, jitter(&mut c, 100.0));
+        assert!((va - 100.0).abs() <= 100.0 * NOISE + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node scalar")]
+    fn unknown_scalar_panics() {
+        let _ = node_scalar("bogus", [0.0; 3], 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # godiva-genx — synthetic GENx snapshot generator
+//!
+//! The GODIVA paper evaluates on *"a subset of the snapshot files
+//! generated in a GENx simulation run. These snapshots store intermediate
+//! states of the solid propellant in a NASA Titan IV rocket body. The
+//! datasets contain the unstructured tetrahedral mesh, the connectivity
+//! information, and several node-based or element-based quantities: a
+//! scalar measure of average stress, six components of the stress tensor
+//! stored as scalars, the displacement, velocity, and acceleration
+//! vectors, and several other quantities required for restarting. The
+//! original mesh contains 120481 nodes and 679008 elements in total,
+//! partitioned into 120 blocks … For each time-step snapshot, there are
+//! eight HDF4 files."* (§4.2)
+//!
+//! We do not have GENx or its data, so this crate generates the closest
+//! synthetic equivalent, deterministic under a seed:
+//!
+//! - an annular-cylinder propellant mesh ([`godiva_mesh::annulus_mesh`]),
+//!   partitioned into blocks with duplicated boundary nodes,
+//! - the same variable inventory (average stress, 6 stress components,
+//!   3 vector fields, restart quantities) evolved by smooth closed-form
+//!   dynamics plus seeded noise ([`fields`]),
+//! - written as **8 SDF files per snapshot**, consecutive block ranges
+//!   per file, geometry repeated in every snapshot ([`writer`]) — the
+//!   layout whose redundant mesh reads GODIVA eliminates.
+//!
+//! [`GenxConfig::paper_scaled`] sizes the dataset so the full benchmark
+//! suite runs in seconds; [`GenxConfig::paper_full`] reproduces the
+//! paper's 120 481-node mesh for patient users.
+
+pub mod config;
+pub mod discover;
+pub mod fields;
+pub mod manifest;
+pub mod writer;
+
+pub use config::GenxConfig;
+pub use discover::discover;
+pub use fields::{VarKind, Variable, VARIABLES};
+pub use manifest::Manifest;
+pub use writer::{generate, GenxDataset};

@@ -1,0 +1,93 @@
+//! Dataset manifest: what was generated and where.
+
+use crate::config::GenxConfig;
+
+/// One snapshot's identity and files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Snapshot index (0-based).
+    pub id: usize,
+    /// Simulation time of this snapshot.
+    pub time: f64,
+    /// Paths of its files, in file-index order.
+    pub files: Vec<String>,
+}
+
+/// Inventory of a generated dataset, returned by
+/// [`crate::writer::generate`] and consumed by the Voyager driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Snapshots in time order.
+    pub snapshots: Vec<SnapshotEntry>,
+    /// Partition block count.
+    pub blocks: usize,
+    /// Files per snapshot.
+    pub files_per_snapshot: usize,
+    /// Total bytes written per snapshot (sum of its file sizes).
+    pub bytes_per_snapshot: u64,
+}
+
+impl Manifest {
+    /// Build the path structure implied by `config` (sizes filled in by
+    /// the writer).
+    pub fn from_config(config: &GenxConfig) -> Manifest {
+        Manifest {
+            snapshots: (0..config.snapshots)
+                .map(|s| SnapshotEntry {
+                    id: s,
+                    time: config.time_of(s),
+                    files: (0..config.files_per_snapshot)
+                        .map(|f| config.file_path(s, f))
+                        .collect(),
+                })
+                .collect(),
+            blocks: config.blocks,
+            files_per_snapshot: config.files_per_snapshot,
+            bytes_per_snapshot: 0,
+        }
+    }
+
+    /// All file paths across all snapshots.
+    pub fn all_files(&self) -> impl Iterator<Item = &str> {
+        self.snapshots
+            .iter()
+            .flat_map(|s| s.files.iter().map(String::as_str))
+    }
+}
+
+/// Dataset name of a block's coordinates inside a snapshot file.
+pub fn points_dataset(block: usize) -> String {
+    format!("b{block:04}.points")
+}
+
+/// Dataset name of a block's connectivity.
+pub fn conn_dataset(block: usize) -> String {
+    format!("b{block:04}.conn")
+}
+
+/// Dataset name of a block's variable.
+pub fn var_dataset(block: usize, var: &str) -> String {
+    format!("b{block:04}.{var}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_shape() {
+        let c = GenxConfig::tiny();
+        let m = Manifest::from_config(&c);
+        assert_eq!(m.snapshots.len(), c.snapshots);
+        assert_eq!(m.snapshots[0].files.len(), c.files_per_snapshot);
+        assert_eq!(m.all_files().count(), c.snapshots * c.files_per_snapshot);
+        assert_eq!(m.snapshots[1].time, c.time_of(1));
+    }
+
+    #[test]
+    fn dataset_names() {
+        assert_eq!(points_dataset(3), "b0003.points");
+        assert_eq!(conn_dataset(120), "b0120.conn");
+        assert_eq!(var_dataset(0, "stress_avg"), "b0000.stress_avg");
+    }
+}

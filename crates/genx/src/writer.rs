@@ -1,0 +1,314 @@
+//! Snapshot writer: mesh generation, field evolution, SDF output.
+
+use crate::config::GenxConfig;
+use crate::fields::{
+    components, elem_scalar, jitter, node_scalar, node_vector, noise_rng, VarKind, VARIABLES,
+};
+use crate::manifest::{conn_dataset, points_dataset, var_dataset, Manifest};
+use godiva_mesh::{annulus_mesh, partition_mesh, MeshBlock, TetMesh};
+use godiva_platform::Storage;
+use godiva_sdf::{Attr, Result, SdfWriter};
+
+/// A generated dataset: the files live on the storage backend; this
+/// struct keeps the ground truth for verification and reuse.
+pub struct GenxDataset {
+    /// The configuration it was generated from.
+    pub config: GenxConfig,
+    /// File inventory with measured sizes.
+    pub manifest: Manifest,
+    /// The global mesh.
+    pub mesh: TetMesh,
+    /// The partition blocks (local meshes + global id maps).
+    pub blocks: Vec<MeshBlock>,
+}
+
+/// Ground-truth global node field of `var` at snapshot `s` (noise
+/// included), one value per node (scalars) or 3 per node flattened
+/// (vectors).
+pub fn global_node_field(config: &GenxConfig, mesh: &TetMesh, var: &str, s: usize) -> Vec<f64> {
+    let kind = crate::fields::variable(var).expect("known variable").kind;
+    let t = config.time_of(s);
+    let mut rng = noise_rng(config.seed, var, s);
+    let mut out = Vec::with_capacity(mesh.node_count() * components(kind));
+    for &p in &mesh.points {
+        match kind {
+            VarKind::NodeScalar => out.push(jitter(&mut rng, node_scalar(var, p, t))),
+            VarKind::NodeVector => {
+                let v = node_vector(var, p, t);
+                for c in v {
+                    out.push(jitter(&mut rng, c));
+                }
+            }
+            VarKind::ElemScalar => panic!("'{var}' is element-based"),
+        }
+    }
+    out
+}
+
+/// Ground-truth global element field of `var` at snapshot `s`.
+pub fn global_elem_field(config: &GenxConfig, mesh: &TetMesh, var: &str, s: usize) -> Vec<f64> {
+    let t = config.time_of(s);
+    let mut rng = noise_rng(config.seed, var, s);
+    (0..mesh.elem_count())
+        .map(|e| jitter(&mut rng, elem_scalar(var, mesh.tet_centroid(e), t)))
+        .collect()
+}
+
+/// Restrict a flattened global node field with `comps` components per
+/// node to a block's local nodes.
+fn restrict_flat(block: &MeshBlock, global: &[f64], comps: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(block.global_nodes.len() * comps);
+    for &g in &block.global_nodes {
+        let base = g as usize * comps;
+        out.extend_from_slice(&global[base..base + comps]);
+    }
+    out
+}
+
+/// Generate the whole dataset onto `storage`. Returns the dataset
+/// inventory with ground truth retained.
+pub fn generate(storage: &dyn Storage, config: &GenxConfig) -> Result<GenxDataset> {
+    config.validate().map_err(godiva_sdf::SdfError::Invalid)?;
+    let mesh = annulus_mesh(
+        config.nr,
+        config.nt,
+        config.nz,
+        config.r_inner,
+        config.r_outer,
+        config.height,
+    );
+    let blocks = partition_mesh(&mesh, config.blocks);
+    let mut manifest = Manifest::from_config(config);
+
+    let mut total_bytes = 0u64;
+    for s in 0..config.snapshots {
+        // Global fields once per snapshot, restricted per block: this is
+        // what makes duplicated boundary nodes consistent across blocks.
+        let mut node_fields: Vec<(&'static str, usize, Vec<f64>)> = Vec::new();
+        let mut elem_fields: Vec<(&'static str, Vec<f64>)> = Vec::new();
+        for v in VARIABLES {
+            match v.kind {
+                VarKind::NodeScalar | VarKind::NodeVector => node_fields.push((
+                    v.name,
+                    components(v.kind),
+                    global_node_field(config, &mesh, v.name, s),
+                )),
+                VarKind::ElemScalar => {
+                    elem_fields.push((v.name, global_elem_field(config, &mesh, v.name, s)))
+                }
+            }
+        }
+
+        for f in 0..config.files_per_snapshot {
+            let path = config.file_path(s, f);
+            let mut w = SdfWriter::create(storage, &path);
+            w.put_1d(
+                "meta.time",
+                &[config.time_of(s)],
+                vec![
+                    Attr::new("snapshot", s as i64),
+                    Attr::new("file", f as i64),
+                    // Self-description so readers can discover the dataset
+                    // from the files alone (the Voyager CLI does).
+                    Attr::new("snapshots", config.snapshots as i64),
+                    Attr::new("files_per_snapshot", config.files_per_snapshot as i64),
+                    Attr::new("blocks", config.blocks as i64),
+                    Attr::new("r_outer", config.r_outer),
+                    Attr::new("height", config.height),
+                ],
+            )?;
+            for b in config.blocks_in_file(f) {
+                let block = &blocks[b];
+                let nn = block.mesh.node_count() as u64;
+                let ne = block.mesh.elem_count() as u64;
+                let battrs = || {
+                    vec![
+                        Attr::new("block", b as i64),
+                        Attr::new("nodes", nn as i64),
+                        Attr::new("elems", ne as i64),
+                    ]
+                };
+                let flat_pts: Vec<f64> = block
+                    .mesh
+                    .points
+                    .iter()
+                    .flat_map(|p| p.iter().copied())
+                    .collect();
+                w.put(&points_dataset(b), &[nn, 3], &flat_pts, battrs())?;
+                let flat_conn: Vec<i32> = block
+                    .mesh
+                    .tets
+                    .iter()
+                    .flat_map(|t| t.iter().map(|&n| n as i32))
+                    .collect();
+                w.put(&conn_dataset(b), &[ne, 4], &flat_conn, battrs())?;
+                for (name, comps, global) in &node_fields {
+                    let local = restrict_flat(block, global, *comps);
+                    let dims: Vec<u64> = if *comps == 1 {
+                        vec![nn]
+                    } else {
+                        vec![nn, *comps as u64]
+                    };
+                    w.put(&var_dataset(b, name), &dims, &local, battrs())?;
+                }
+                for (name, global) in &elem_fields {
+                    let local = block.restrict_elem_field(global);
+                    w.put(&var_dataset(b, name), &[ne], &local, battrs())?;
+                }
+            }
+            total_bytes += w.finish()?;
+        }
+    }
+    manifest.bytes_per_snapshot = total_bytes / config.snapshots as u64;
+    Ok(GenxDataset {
+        config: config.clone(),
+        manifest,
+        mesh,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+    use godiva_sdf::SdfFile;
+    use std::sync::Arc;
+
+    fn tiny_dataset() -> (Arc<MemFs>, GenxDataset) {
+        let fs = Arc::new(MemFs::new());
+        let ds = generate(fs.as_ref(), &GenxConfig::tiny()).unwrap();
+        (fs, ds)
+    }
+
+    #[test]
+    fn writes_expected_file_set() {
+        let (fs, ds) = tiny_dataset();
+        for path in ds.manifest.all_files() {
+            assert!(fs.exists(path), "missing {path}");
+        }
+        assert_eq!(
+            fs.list("genx/").len(),
+            ds.config.snapshots * ds.config.files_per_snapshot
+        );
+        assert!(ds.manifest.bytes_per_snapshot > 0);
+    }
+
+    #[test]
+    fn snapshot_files_contain_all_block_datasets() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        for f in 0..c.files_per_snapshot {
+            let file = SdfFile::open(fs.clone(), c.file_path(0, f)).unwrap();
+            assert!(file.contains("meta.time"));
+            for b in c.blocks_in_file(f) {
+                assert!(file.contains(&points_dataset(b)));
+                assert!(file.contains(&conn_dataset(b)));
+                for v in VARIABLES {
+                    assert!(
+                        file.contains(&var_dataset(b, v.name)),
+                        "missing {} in file {f}",
+                        var_dataset(b, v.name)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_mesh_roundtrips_through_files() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        let b = 1;
+        let f = c.file_of_block(b);
+        let file = SdfFile::open(fs, c.file_path(0, f)).unwrap();
+        let pts: Vec<f64> = file.read(&points_dataset(b)).unwrap();
+        let block = &ds.blocks[b];
+        assert_eq!(pts.len(), block.mesh.node_count() * 3);
+        assert_eq!(pts[0], block.mesh.points[0][0]);
+        let conn: Vec<i32> = file.read(&conn_dataset(b)).unwrap();
+        assert_eq!(conn.len(), block.mesh.elem_count() * 4);
+        assert_eq!(conn[3], block.mesh.tets[0][3] as i32);
+    }
+
+    #[test]
+    fn variable_data_matches_ground_truth() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        let s = 2;
+        let truth = global_node_field(c, &ds.mesh, "stress_avg", s);
+        let b = 0;
+        let file = SdfFile::open(fs, c.file_path(s, c.file_of_block(b))).unwrap();
+        let local: Vec<f64> = file.read(&var_dataset(b, "stress_avg")).unwrap();
+        for (l, &g) in ds.blocks[b].global_nodes.iter().enumerate() {
+            assert_eq!(local[l], truth[g as usize]);
+        }
+    }
+
+    #[test]
+    fn duplicated_boundary_nodes_agree_across_blocks() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        // Build a map global node -> value from every block; all blocks
+        // must agree on shared nodes.
+        let mut seen: std::collections::HashMap<u32, f64> = Default::default();
+        let mut duplicates = 0;
+        for b in 0..c.blocks {
+            let file = SdfFile::open(fs.clone(), c.file_path(1, c.file_of_block(b))).unwrap();
+            let local: Vec<f64> = file.read(&var_dataset(b, "stress_xx")).unwrap();
+            for (l, &g) in ds.blocks[b].global_nodes.iter().enumerate() {
+                if let Some(&prev) = seen.get(&g) {
+                    assert_eq!(prev, local[l], "node {g} differs between blocks");
+                    duplicates += 1;
+                } else {
+                    seen.insert(g, local[l]);
+                }
+            }
+        }
+        assert!(duplicates > 0, "partition should duplicate boundary nodes");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let fs1 = MemFs::new();
+        let fs2 = MemFs::new();
+        generate(&fs1, &GenxConfig::tiny()).unwrap();
+        generate(&fs2, &GenxConfig::tiny()).unwrap();
+        let path = GenxConfig::tiny().file_path(0, 0);
+        assert_eq!(fs1.read(&path).unwrap(), fs2.read(&path).unwrap());
+    }
+
+    #[test]
+    fn snapshots_differ_in_time() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        let f0 = SdfFile::open(fs.clone(), c.file_path(0, 0)).unwrap();
+        let f1 = SdfFile::open(fs, c.file_path(1, 0)).unwrap();
+        let a: Vec<f64> = f0.read(&var_dataset(0, "velocity")).unwrap();
+        let b: Vec<f64> = f1.read(&var_dataset(0, "velocity")).unwrap();
+        assert_ne!(a, b, "fields must evolve between snapshots");
+        let ta: Vec<f64> = f0.read("meta.time").unwrap();
+        let tb: Vec<f64> = f1.read("meta.time").unwrap();
+        assert!(tb[0] > ta[0]);
+    }
+
+    #[test]
+    fn vector_variables_have_three_components() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        let file = SdfFile::open(fs, c.file_path(0, 0)).unwrap();
+        let info = file.dataset(&var_dataset(0, "displacement")).unwrap();
+        assert_eq!(info.dims.len(), 2);
+        assert_eq!(info.dims[1], 3);
+        assert_eq!(info.dims[0], ds.blocks[0].mesh.node_count() as u64);
+    }
+
+    #[test]
+    fn elem_variable_sized_by_elements() {
+        let (fs, ds) = tiny_dataset();
+        let c = &ds.config;
+        let file = SdfFile::open(fs, c.file_path(0, 0)).unwrap();
+        let info = file.dataset(&var_dataset(0, "burn_rate")).unwrap();
+        assert_eq!(info.dims, vec![ds.blocks[0].mesh.elem_count() as u64]);
+    }
+}

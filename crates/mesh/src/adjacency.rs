@@ -1,0 +1,172 @@
+//! Connectivity utilities: faces, boundary surfaces, node↔element maps.
+//!
+//! Voyager's cheapest pipeline ("simple") renders the *outer surface* of
+//! the mesh, which is exactly the set of faces that belong to one
+//! tetrahedron only — [`boundary_faces`] extracts them with outward
+//! orientation.
+
+use crate::tet::TetMesh;
+use std::collections::HashMap;
+
+/// The four triangular faces of a tet `[a,b,c,d]`, oriented so their
+/// normals point *out* of a positively oriented element.
+pub fn tet_faces(t: [u32; 4]) -> [[u32; 3]; 4] {
+    let [a, b, c, d] = t;
+    // For a tet with positive signed volume (d on the positive side of
+    // triangle (a,b,c) ordered counter-clockwise seen from outside):
+    [[a, c, b], [a, b, d], [b, c, d], [a, d, c]]
+}
+
+fn face_key(f: [u32; 3]) -> [u32; 3] {
+    let mut k = f;
+    k.sort_unstable();
+    k
+}
+
+/// Faces that appear in exactly one element: the mesh boundary, with
+/// outward orientation preserved.
+pub fn boundary_faces(mesh: &TetMesh) -> Vec<[u32; 3]> {
+    let mut seen: HashMap<[u32; 3], (u32, [u32; 3])> = HashMap::new();
+    for t in &mesh.tets {
+        for f in tet_faces(*t) {
+            let e = seen.entry(face_key(f)).or_insert((0, f));
+            e.0 += 1;
+        }
+    }
+    let mut out: Vec<[u32; 3]> = seen
+        .into_values()
+        .filter(|(count, _)| *count == 1)
+        .map(|(_, f)| f)
+        .collect();
+    // Deterministic output order (hash maps are not).
+    out.sort_unstable();
+    out
+}
+
+/// Node→element adjacency in CSR form: `offsets.len() == nodes + 1`,
+/// `elems[offsets[n]..offsets[n+1]]` are the elements touching node `n`.
+pub struct NodeToElem {
+    /// CSR row offsets, one per node plus a terminator.
+    pub offsets: Vec<u32>,
+    /// Concatenated element lists.
+    pub elems: Vec<u32>,
+}
+
+impl NodeToElem {
+    /// Elements incident to `node`.
+    pub fn elems_of(&self, node: u32) -> &[u32] {
+        let a = self.offsets[node as usize] as usize;
+        let b = self.offsets[node as usize + 1] as usize;
+        &self.elems[a..b]
+    }
+}
+
+/// Build the node→element adjacency of `mesh`.
+pub fn node_to_elem(mesh: &TetMesh) -> NodeToElem {
+    let n = mesh.node_count();
+    let mut counts = vec![0u32; n + 1];
+    for t in &mesh.tets {
+        for &v in t {
+            counts[v as usize + 1] += 1;
+        }
+    }
+    for i in 1..=n {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor = offsets.clone();
+    let mut elems = vec![0u32; *offsets.last().unwrap() as usize];
+    for (e, t) in mesh.tets.iter().enumerate() {
+        for &v in t {
+            let slot = cursor[v as usize];
+            elems[slot as usize] = e as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+    NodeToElem { offsets, elems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::box_tet_mesh;
+    use crate::tet::{signed_volume, unit_tet};
+
+    #[test]
+    fn single_tet_has_four_boundary_faces() {
+        let m = unit_tet();
+        let faces = boundary_faces(&m);
+        assert_eq!(faces.len(), 4);
+    }
+
+    #[test]
+    fn tet_faces_are_outward() {
+        let m = unit_tet();
+        let [a, b, c, d] = m.tets[0];
+        assert!(
+            signed_volume(
+                m.points[a as usize],
+                m.points[b as usize],
+                m.points[c as usize],
+                m.points[d as usize]
+            ) > 0.0
+        );
+        let centroid = m.tet_centroid(0);
+        for f in tet_faces(m.tets[0]) {
+            let p0 = m.points[f[0] as usize];
+            let p1 = m.points[f[1] as usize];
+            let p2 = m.points[f[2] as usize];
+            // The centroid must be on the negative side of each outward
+            // face (i.e. tetrahedron (p0,p1,p2,centroid) has negative
+            // volume).
+            assert!(
+                signed_volume(p0, p1, p2, centroid) < 0.0,
+                "face {f:?} is not outward"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_faces_cancel() {
+        // Two cells share interior faces; the boundary of a 2×1×1 box
+        // still has 2 triangles per exterior quad: faces = 2*(2*1+1*1+2*1)*2.
+        let m = box_tet_mesh(2, 1, 1, 2.0, 1.0, 1.0);
+        let faces = boundary_faces(&m);
+        let quads = 2 * (2 + 1 + 2);
+        assert_eq!(faces.len(), quads * 2);
+    }
+
+    #[test]
+    fn boundary_faces_reference_valid_nodes() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        for f in boundary_faces(&m) {
+            for v in f {
+                assert!((v as usize) < m.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn node_to_elem_roundtrip() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let adj = node_to_elem(&m);
+        // Every (element, node) incidence appears exactly once.
+        let mut count = 0usize;
+        for n in 0..m.node_count() as u32 {
+            for &e in adj.elems_of(n) {
+                assert!(m.tets[e as usize].contains(&n));
+                count += 1;
+            }
+        }
+        assert_eq!(count, m.elem_count() * 4);
+    }
+
+    #[test]
+    fn isolated_node_has_no_elems() {
+        let mut m = unit_tet();
+        m.points.push([9.0, 9.0, 9.0]);
+        let adj = node_to_elem(&m);
+        assert!(adj.elems_of(4).is_empty());
+        assert_eq!(adj.elems_of(0), &[0]);
+    }
+}

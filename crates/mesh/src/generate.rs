@@ -1,0 +1,216 @@
+//! Deterministic mesh generators.
+//!
+//! The GENx snapshots in §4.2 mesh the *solid propellant in a NASA Titan
+//! IV rocket body* — geometrically an annular cylinder (grain with a
+//! central bore). [`annulus_mesh`] builds exactly that; [`box_tet_mesh`]
+//! is the rectangular workhorse used by tests.
+//!
+//! Both generators produce **conforming** tetrahedral meshes by Kuhn
+//! subdivision: each hexahedral cell of a structured grid is split into
+//! 6 tetrahedra along the main diagonal, one per permutation of the three
+//! axes, which guarantees that neighbouring cells agree on their shared
+//! face diagonals. Element orientation is fixed up against the actual
+//! coordinates, so the mapped (curvilinear) annulus mesh validates too.
+
+use crate::tet::{signed_volume, TetMesh};
+
+/// The 6 Kuhn tetrahedra of the unit cube, as corner indices into the
+/// cube's 8 vertices with bit order (x | y<<1 | z<<2). Each tet walks
+/// from corner 000 to corner 111 adding one axis at a time; the walk
+/// order is one of the 3! permutations.
+const KUHN_PERMS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+fn kuhn_tets() -> [[usize; 4]; 6] {
+    let mut out = [[0usize; 4]; 6];
+    for (t, perm) in KUHN_PERMS.iter().enumerate() {
+        let mut corner = 0usize;
+        out[t][0] = corner;
+        for (step, &axis) in perm.iter().enumerate() {
+            corner |= 1 << axis;
+            out[t][step + 1] = corner;
+        }
+    }
+    out
+}
+
+/// Build a tet mesh over a structured grid of `nx × ny × nz` cells whose
+/// node at logical position `(i, j, k)` is produced by `position`. The
+/// node index for `(i, j, k)` is `i + j*(nx+1) + k*(nx+1)*(ny+1)` unless
+/// `wrap_j` is set, in which case `j` wraps modulo `ny` (used for closed
+/// rings).
+pub(crate) fn structured_tets(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    wrap_j: bool,
+    position: impl Fn(usize, usize, usize) -> [f64; 3],
+) -> TetMesh {
+    assert!(
+        nx >= 1 && ny >= 1 && nz >= 1,
+        "need at least one cell per axis"
+    );
+    let jn = if wrap_j { ny } else { ny + 1 };
+    let node = |i: usize, j: usize, k: usize| -> u32 {
+        let jj = if wrap_j { j % ny } else { j };
+        (i + jj * (nx + 1) + k * (nx + 1) * jn) as u32
+    };
+    let mut points = Vec::with_capacity((nx + 1) * jn * (nz + 1));
+    for k in 0..=nz {
+        for j in 0..jn {
+            for i in 0..=nx {
+                points.push(position(i, j, k));
+            }
+        }
+    }
+    let kuhn = kuhn_tets();
+    let mut tets = Vec::with_capacity(nx * ny * nz * 6);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                let corner = |bits: usize| {
+                    node(i + (bits & 1), j + ((bits >> 1) & 1), k + ((bits >> 2) & 1))
+                };
+                for kt in &kuhn {
+                    let mut t = [corner(kt[0]), corner(kt[1]), corner(kt[2]), corner(kt[3])];
+                    // Fix orientation against real coordinates.
+                    let v = signed_volume(
+                        points[t[0] as usize],
+                        points[t[1] as usize],
+                        points[t[2] as usize],
+                        points[t[3] as usize],
+                    );
+                    if v < 0.0 {
+                        t.swap(2, 3);
+                    }
+                    tets.push(t);
+                }
+            }
+        }
+    }
+    TetMesh { points, tets }
+}
+
+/// Tetrahedral mesh of the axis-aligned box `[0,lx]×[0,ly]×[0,lz]` with
+/// `nx × ny × nz` cells (6 tets each).
+pub fn box_tet_mesh(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> TetMesh {
+    structured_tets(nx, ny, nz, false, |i, j, k| {
+        [
+            lx * i as f64 / nx as f64,
+            ly * j as f64 / ny as f64,
+            lz * k as f64 / nz as f64,
+        ]
+    })
+}
+
+/// Tetrahedral mesh of a full annular cylinder (a propellant grain):
+/// inner radius `r0`, outer radius `r1`, height `h`, with `nr` radial,
+/// `nt` circumferential (wrapped) and `nz` axial cells.
+pub fn annulus_mesh(nr: usize, nt: usize, nz: usize, r0: f64, r1: f64, h: f64) -> TetMesh {
+    assert!(r1 > r0 && r0 > 0.0, "annulus needs 0 < r0 < r1");
+    assert!(nt >= 3, "a ring needs at least 3 circumferential cells");
+    structured_tets(nr, nt, nz, true, |i, j, k| {
+        let r = r0 + (r1 - r0) * i as f64 / nr as f64;
+        let theta = 2.0 * std::f64::consts::PI * j as f64 / nt as f64;
+        [r * theta.cos(), r * theta.sin(), h * k as f64 / nz as f64]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::boundary_faces;
+
+    #[test]
+    fn box_mesh_counts_and_validity() {
+        let m = box_tet_mesh(3, 4, 5, 1.0, 2.0, 3.0);
+        assert_eq!(m.node_count(), 4 * 5 * 6);
+        assert_eq!(m.elem_count(), 3 * 4 * 5 * 6);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn box_mesh_volume_exact() {
+        // Kuhn subdivision tiles the box exactly.
+        let m = box_tet_mesh(2, 3, 4, 1.5, 1.0, 2.0);
+        assert!(
+            (m.total_volume() - 3.0).abs() < 1e-10,
+            "{}",
+            m.total_volume()
+        );
+    }
+
+    #[test]
+    fn box_mesh_is_conforming() {
+        // A conforming tiling of a box has a closed boundary consisting
+        // only of faces on the 6 box sides: 2 triangles per quad face.
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let faces = boundary_faces(&m);
+        // 6 sides × (2×2 quads) × 2 triangles.
+        assert_eq!(faces.len(), 6 * 4 * 2);
+    }
+
+    #[test]
+    fn single_cell_box() {
+        let m = box_tet_mesh(1, 1, 1, 1.0, 1.0, 1.0);
+        assert_eq!(m.elem_count(), 6);
+        m.validate().unwrap();
+        assert!((m.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annulus_counts_wrap() {
+        let m = annulus_mesh(2, 12, 3, 0.5, 1.0, 2.0);
+        // Wrapped j axis: (nr+1) * nt * (nz+1) nodes.
+        assert_eq!(m.node_count(), 3 * 12 * 4);
+        assert_eq!(m.elem_count(), 2 * 12 * 3 * 6);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn annulus_volume_approaches_analytic() {
+        let (r0, r1, h) = (0.5, 1.0, 2.0);
+        let analytic = std::f64::consts::PI * (r1 * r1 - r0 * r0) * h;
+        let coarse = annulus_mesh(2, 16, 2, r0, r1, h).total_volume();
+        let fine = annulus_mesh(2, 64, 2, r0, r1, h).total_volume();
+        // Faceted ring underestimates; refinement must converge.
+        assert!(coarse < analytic);
+        assert!((analytic - fine) < (analytic - coarse) / 4.0);
+        assert!((fine - analytic).abs() / analytic < 0.01);
+    }
+
+    #[test]
+    fn annulus_boundary_is_closed() {
+        let m = annulus_mesh(2, 8, 2, 0.5, 1.0, 1.0);
+        let faces = boundary_faces(&m);
+        // Every boundary edge must be shared by exactly two boundary
+        // faces (a closed 2-manifold).
+        use std::collections::HashMap;
+        let mut edges: HashMap<(u32, u32), usize> = HashMap::new();
+        for f in &faces {
+            for (a, b) in [(f[0], f[1]), (f[1], f[2]), (f[2], f[0])] {
+                let key = (a.min(b), a.max(b));
+                *edges.entry(key).or_default() += 1;
+            }
+        }
+        assert!(edges.values().all(|&c| c == 2), "boundary must be closed");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn annulus_rejects_degenerate_ring() {
+        let _ = annulus_mesh(1, 2, 1, 0.5, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < r0 < r1")]
+    fn annulus_rejects_bad_radii() {
+        let _ = annulus_mesh(1, 8, 1, 1.0, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # godiva-mesh — mesh substrate for the GODIVA reproduction
+//!
+//! The datasets in the GODIVA paper's evaluation are meshes from the
+//! GENx rocket simulation: *"the unstructured tetrahedral mesh, the
+//! connectivity information, and several node-based or element-based
+//! quantities … partitioned into 120 blocks (with a small amount of
+//! duplication of the boundary data)"* (§4.2). The paper's Table 1
+//! example is a structured 2-D block.
+//!
+//! This crate provides both, from scratch:
+//!
+//! - [`structured`] — structured 2-D blocks (Table 1 / Figure 2),
+//! - [`tet`] — unstructured tetrahedral meshes with validation,
+//! - [`generate`] — deterministic generators (box and annular-cylinder
+//!   meshes; the annulus models a solid-propellant grain in a rocket
+//!   body),
+//! - [`adjacency`] — face extraction, boundary surfaces, node↔element
+//!   adjacency,
+//! - [`partition`] — recursive coordinate bisection into blocks with
+//!   duplicated boundary nodes, exactly the layout Voyager consumes.
+
+pub mod adjacency;
+pub mod generate;
+pub mod partition;
+pub mod structured;
+pub mod structured3d;
+pub mod tet;
+
+pub use adjacency::{boundary_faces, node_to_elem, tet_faces};
+pub use generate::{annulus_mesh, box_tet_mesh};
+pub use partition::{partition_mesh, MeshBlock};
+pub use structured::StructuredBlock2D;
+pub use structured3d::{CurvilinearBlock3D, MultiBlock3D};
+pub use tet::{MeshError, TetMesh};

@@ -1,0 +1,250 @@
+//! Mesh partitioning.
+//!
+//! §4.2: the Titan IV mesh is *"partitioned into 120 blocks (with a small
+//! amount of duplication of the boundary data)"*. We reproduce that with
+//! recursive coordinate bisection (RCB) over element centroids: each
+//! split halves the element set along its longest axis, yielding
+//! spatially compact blocks of near-equal element counts. Nodes shared
+//! between blocks are **duplicated** into every block that uses them,
+//! exactly like the paper's snapshot files.
+
+use crate::tet::TetMesh;
+use std::collections::HashMap;
+
+/// One partition block: a self-contained local mesh plus the mapping
+/// back to global node/element ids.
+#[derive(Debug, Clone)]
+pub struct MeshBlock {
+    /// Block index in `0..k`.
+    pub id: usize,
+    /// Local mesh with reindexed connectivity.
+    pub mesh: TetMesh,
+    /// `global_nodes[local] = global` node id.
+    pub global_nodes: Vec<u32>,
+    /// `global_elems[local] = global` element id.
+    pub global_elems: Vec<u32>,
+}
+
+impl MeshBlock {
+    /// Restrict a global node-based field to this block's local nodes.
+    pub fn restrict_node_field(&self, global: &[f64]) -> Vec<f64> {
+        self.global_nodes
+            .iter()
+            .map(|&g| global[g as usize])
+            .collect()
+    }
+
+    /// Restrict a global element-based field to this block's elements.
+    pub fn restrict_elem_field(&self, global: &[f64]) -> Vec<f64> {
+        self.global_elems
+            .iter()
+            .map(|&g| global[g as usize])
+            .collect()
+    }
+}
+
+/// Partition `mesh` into `k` blocks by recursive coordinate bisection.
+///
+/// Every global element lands in exactly one block; boundary nodes are
+/// duplicated into each block that references them.
+pub fn partition_mesh(mesh: &TetMesh, k: usize) -> Vec<MeshBlock> {
+    assert!(k >= 1, "need at least one block");
+    let mut elems: Vec<u32> = (0..mesh.elem_count() as u32).collect();
+    let centroids: Vec<[f64; 3]> = (0..mesh.elem_count())
+        .map(|e| mesh.tet_centroid(e))
+        .collect();
+    let mut parts: Vec<Vec<u32>> = Vec::with_capacity(k);
+    rcb(&mut elems, &centroids, k, &mut parts);
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(id, mut elems)| {
+            elems.sort_unstable();
+            build_block(mesh, id, elems)
+        })
+        .collect()
+}
+
+/// Recursively bisect `elems` into `k` parts along the longest axis of
+/// the current subset's centroid bounding box.
+fn rcb(elems: &mut [u32], centroids: &[[f64; 3]], k: usize, out: &mut Vec<Vec<u32>>) {
+    if k == 1 || elems.len() <= 1 {
+        out.push(elems.to_vec());
+        for _ in 1..k {
+            out.push(Vec::new()); // more parts than elements: empty blocks
+        }
+        return;
+    }
+    // Longest axis of this subset.
+    let mut min = [f64::INFINITY; 3];
+    let mut max = [f64::NEG_INFINITY; 3];
+    for &e in elems.iter() {
+        let c = centroids[e as usize];
+        for a in 0..3 {
+            min[a] = min[a].min(c[a]);
+            max[a] = max[a].max(c[a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| {
+            (max[a] - min[a])
+                .partial_cmp(&(max[b] - min[b]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap();
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    // Element count proportional to sub-part counts.
+    let split = elems.len() * k_left / k;
+    elems.sort_unstable_by(|&a, &b| {
+        centroids[a as usize][axis]
+            .partial_cmp(&centroids[b as usize][axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b)) // stable tie-break for determinism
+    });
+    let (left, right) = elems.split_at_mut(split);
+    rcb(left, centroids, k_left, out);
+    rcb(right, centroids, k_right, out);
+}
+
+fn build_block(mesh: &TetMesh, id: usize, global_elems: Vec<u32>) -> MeshBlock {
+    let mut global_nodes: Vec<u32> = Vec::new();
+    let mut g2l: HashMap<u32, u32> = HashMap::new();
+    let mut tets = Vec::with_capacity(global_elems.len());
+    for &ge in &global_elems {
+        let t = mesh.tets[ge as usize];
+        let mut local = [0u32; 4];
+        for (i, &g) in t.iter().enumerate() {
+            let l = *g2l.entry(g).or_insert_with(|| {
+                global_nodes.push(g);
+                (global_nodes.len() - 1) as u32
+            });
+            local[i] = l;
+        }
+        tets.push(local);
+    }
+    let points = global_nodes
+        .iter()
+        .map(|&g| mesh.points[g as usize])
+        .collect();
+    MeshBlock {
+        id,
+        mesh: TetMesh { points, tets },
+        global_nodes,
+        global_elems,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::box_tet_mesh;
+
+    fn check_partition(mesh: &TetMesh, k: usize) -> Vec<MeshBlock> {
+        let blocks = partition_mesh(mesh, k);
+        assert_eq!(blocks.len(), k);
+        // Every element exactly once.
+        let mut seen = vec![false; mesh.elem_count()];
+        for b in &blocks {
+            b.mesh.validate().unwrap();
+            assert_eq!(b.mesh.elem_count(), b.global_elems.len());
+            assert_eq!(b.mesh.node_count(), b.global_nodes.len());
+            for &ge in &b.global_elems {
+                assert!(!seen[ge as usize], "element {ge} in two blocks");
+                seen[ge as usize] = true;
+            }
+            // Local connectivity maps back to the global mesh.
+            for (le, t) in b.mesh.tets.iter().enumerate() {
+                let gt = mesh.tets[b.global_elems[le] as usize];
+                for (i, &ln) in t.iter().enumerate() {
+                    assert_eq!(b.global_nodes[ln as usize], gt[i]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every element covered");
+        blocks
+    }
+
+    #[test]
+    fn partition_into_one_is_identity_sized() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let blocks = check_partition(&m, 1);
+        assert_eq!(blocks[0].mesh.elem_count(), m.elem_count());
+        assert_eq!(blocks[0].mesh.node_count(), m.node_count());
+    }
+
+    #[test]
+    fn partition_balances_elements() {
+        let m = box_tet_mesh(4, 4, 4, 1.0, 1.0, 1.0);
+        for k in [2, 3, 5, 8] {
+            let blocks = check_partition(&m, k);
+            let counts: Vec<usize> = blocks.iter().map(|b| b.mesh.elem_count()).collect();
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            assert!(
+                max - min <= m.elem_count() / k,
+                "k={k}: unbalanced {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_nodes_are_duplicated() {
+        let m = box_tet_mesh(4, 2, 2, 1.0, 1.0, 1.0);
+        let blocks = check_partition(&m, 2);
+        let total_local_nodes: usize = blocks.iter().map(|b| b.mesh.node_count()).sum();
+        assert!(
+            total_local_nodes > m.node_count(),
+            "interface duplication expected: {total_local_nodes} vs {}",
+            m.node_count()
+        );
+        // …but only a small amount (the paper notes "a small amount of
+        // duplication").
+        assert!(total_local_nodes < m.node_count() * 2);
+    }
+
+    #[test]
+    fn volume_is_conserved_across_blocks() {
+        let m = box_tet_mesh(3, 3, 3, 1.0, 2.0, 1.0);
+        let blocks = check_partition(&m, 4);
+        let total: f64 = blocks.iter().map(|b| b.mesh.total_volume()).sum();
+        assert!((total - m.total_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field_restriction_matches_global() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let node_field: Vec<f64> = (0..m.node_count()).map(|i| i as f64).collect();
+        let elem_field: Vec<f64> = (0..m.elem_count()).map(|i| i as f64 * 0.5).collect();
+        for b in check_partition(&m, 3) {
+            let nf = b.restrict_node_field(&node_field);
+            for (l, &g) in b.global_nodes.iter().enumerate() {
+                assert_eq!(nf[l], g as f64);
+            }
+            let ef = b.restrict_elem_field(&elem_field);
+            for (l, &g) in b.global_elems.iter().enumerate() {
+                assert_eq!(ef[l], g as f64 * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_elements_yields_empty_blocks() {
+        let m = crate::tet::unit_tet();
+        let blocks = partition_mesh(&m, 3);
+        assert_eq!(blocks.len(), 3);
+        let non_empty = blocks.iter().filter(|b| b.mesh.elem_count() > 0).count();
+        assert_eq!(non_empty, 1);
+    }
+
+    #[test]
+    fn deterministic_partitioning() {
+        let m = box_tet_mesh(3, 3, 3, 1.0, 1.0, 1.0);
+        let a = partition_mesh(&m, 5);
+        let b = partition_mesh(&m, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.global_elems, y.global_elems);
+            assert_eq!(x.global_nodes, y.global_nodes);
+        }
+    }
+}

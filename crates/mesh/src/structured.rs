@@ -1,0 +1,160 @@
+//! Structured 2-D mesh blocks — the paper's Table 1 / Figure 2 example.
+//!
+//! Figure 2's sample record stores "a 2-D structured mesh block, which
+//! contains a 100 × 100 grid, with 101 coordinates each in the x and y
+//! directions … 10,000 rectangular elements, each with two element-based
+//! variables: pressure and temperature". This module is that object.
+
+/// A structured 2-D mesh block with rectilinear coordinates and
+/// element-based variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuredBlock2D {
+    /// Cells in x.
+    pub nx: usize,
+    /// Cells in y.
+    pub ny: usize,
+    /// `nx + 1` x-coordinates.
+    pub x: Vec<f64>,
+    /// `ny + 1` y-coordinates.
+    pub y: Vec<f64>,
+}
+
+impl StructuredBlock2D {
+    /// Uniform block over `[0,lx]×[0,ly]` with `nx×ny` cells.
+    pub fn uniform(nx: usize, ny: usize, lx: f64, ly: f64) -> Self {
+        assert!(nx >= 1 && ny >= 1);
+        StructuredBlock2D {
+            nx,
+            ny,
+            x: (0..=nx).map(|i| lx * i as f64 / nx as f64).collect(),
+            y: (0..=ny).map(|j| ly * j as f64 / ny as f64).collect(),
+        }
+    }
+
+    /// Number of rectangular elements.
+    pub fn elem_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of grid nodes.
+    pub fn node_count(&self) -> usize {
+        (self.nx + 1) * (self.ny + 1)
+    }
+
+    /// Element index of cell `(i, j)`.
+    pub fn elem_index(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.nx && j < self.ny);
+        j * self.nx + i
+    }
+
+    /// Area of cell `(i, j)`.
+    pub fn cell_area(&self, i: usize, j: usize) -> f64 {
+        (self.x[i + 1] - self.x[i]) * (self.y[j + 1] - self.y[j])
+    }
+
+    /// Centre of cell `(i, j)`.
+    pub fn cell_center(&self, i: usize, j: usize) -> [f64; 2] {
+        [
+            0.5 * (self.x[i] + self.x[i + 1]),
+            0.5 * (self.y[j] + self.y[j + 1]),
+        ]
+    }
+
+    /// Total area covered by the block.
+    pub fn total_area(&self) -> f64 {
+        (self.x[self.nx] - self.x[0]) * (self.y[self.ny] - self.y[0])
+    }
+
+    /// Validate coordinate monotonicity and lengths.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.x.len() != self.nx + 1 {
+            return Err(format!(
+                "x has {} entries, expected {}",
+                self.x.len(),
+                self.nx + 1
+            ));
+        }
+        if self.y.len() != self.ny + 1 {
+            return Err(format!(
+                "y has {} entries, expected {}",
+                self.y.len(),
+                self.ny + 1
+            ));
+        }
+        if self.x.windows(2).any(|w| w[1] <= w[0]) {
+            return Err("x coordinates must be strictly increasing".into());
+        }
+        if self.y.windows(2).any(|w| w[1] <= w[0]) {
+            return Err("y coordinates must be strictly increasing".into());
+        }
+        Ok(())
+    }
+
+    /// Sample an element-based field `f(center)` over all cells, row-major.
+    pub fn sample_elem_field(&self, f: impl Fn([f64; 2]) -> f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.elem_count());
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                out.push(f(self.cell_center(i, j)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_block_dimensions() {
+        // The paper's sample: 100×100 grid, 101 coordinates per axis,
+        // 10,000 elements, coordinate buffers of 808 bytes each.
+        let b = StructuredBlock2D::uniform(100, 100, 1.0, 1.0);
+        assert_eq!(b.x.len(), 101);
+        assert_eq!(b.y.len(), 101);
+        assert_eq!(b.elem_count(), 10_000);
+        assert_eq!(b.x.len() * std::mem::size_of::<f64>(), 808);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn areas_sum() {
+        let b = StructuredBlock2D::uniform(4, 3, 2.0, 1.5);
+        let total: f64 = (0..3)
+            .flat_map(|j| (0..4).map(move |i| (i, j)))
+            .map(|(i, j)| b.cell_area(i, j))
+            .sum();
+        assert!((total - b.total_area()).abs() < 1e-12);
+        assert!((b.total_area() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indices_and_centers() {
+        let b = StructuredBlock2D::uniform(3, 2, 3.0, 2.0);
+        assert_eq!(b.elem_index(0, 0), 0);
+        assert_eq!(b.elem_index(2, 1), 5);
+        assert_eq!(b.cell_center(0, 0), [0.5, 0.5]);
+        assert_eq!(b.node_count(), 4 * 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_coords() {
+        let mut b = StructuredBlock2D::uniform(2, 2, 1.0, 1.0);
+        b.x[1] = -1.0;
+        assert!(b.validate().is_err());
+        let mut b = StructuredBlock2D::uniform(2, 2, 1.0, 1.0);
+        b.y.pop();
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn sample_field_row_major() {
+        let b = StructuredBlock2D::uniform(2, 2, 2.0, 2.0);
+        let f = b.sample_elem_field(|c| c[0] + 10.0 * c[1]);
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - (0.5 + 5.0)).abs() < 1e-12);
+        assert!((f[1] - (1.5 + 5.0)).abs() < 1e-12);
+        assert!((f[2] - (0.5 + 15.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Unstructured tetrahedral meshes.
+
+use std::fmt;
+
+/// Mesh validation failures.
+#[derive(Debug, PartialEq)]
+pub enum MeshError {
+    /// A connectivity entry points past the node array.
+    NodeOutOfRange {
+        /// Element index.
+        elem: usize,
+        /// Offending node id.
+        node: u32,
+        /// Number of nodes in the mesh.
+        nodes: usize,
+    },
+    /// An element repeats a node (degenerate connectivity).
+    DegenerateElement {
+        /// Element index.
+        elem: usize,
+    },
+    /// An element has non-positive signed volume (inverted or flat).
+    InvertedElement {
+        /// Element index.
+        elem: usize,
+        /// Its signed volume.
+        volume: f64,
+    },
+    /// Field length does not match node/element count.
+    FieldLength {
+        /// What the field is attached to.
+        expected: usize,
+        /// Length supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::NodeOutOfRange { elem, node, nodes } => {
+                write!(f, "element {elem} references node {node} of {nodes}")
+            }
+            MeshError::DegenerateElement { elem } => {
+                write!(f, "element {elem} repeats a node")
+            }
+            MeshError::InvertedElement { elem, volume } => {
+                write!(f, "element {elem} has non-positive volume {volume}")
+            }
+            MeshError::FieldLength { expected, got } => {
+                write!(f, "field of length {got}, mesh expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// An unstructured tetrahedral mesh: node coordinates plus 4-node
+/// connectivity. Variables live outside the mesh as plain arrays (the
+/// paper's "array-and-buffer" style), validated against it on demand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TetMesh {
+    /// Node coordinates.
+    pub points: Vec<[f64; 3]>,
+    /// Tetrahedra as 4 node indices each.
+    pub tets: Vec<[u32; 4]>,
+}
+
+impl TetMesh {
+    /// Empty mesh.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of tetrahedra.
+    pub fn elem_count(&self) -> usize {
+        self.tets.len()
+    }
+
+    /// Signed volume of tetrahedron `e` (positive for correctly oriented
+    /// elements).
+    pub fn tet_volume(&self, e: usize) -> f64 {
+        let [a, b, c, d] = self.tets[e];
+        let p = |i: u32| self.points[i as usize];
+        signed_volume(p(a), p(b), p(c), p(d))
+    }
+
+    /// Total mesh volume (sum of element volumes).
+    pub fn total_volume(&self) -> f64 {
+        (0..self.tets.len()).map(|e| self.tet_volume(e)).sum()
+    }
+
+    /// Centroid of element `e`.
+    pub fn tet_centroid(&self, e: usize) -> [f64; 3] {
+        let [a, b, c, d] = self.tets[e];
+        let mut c3 = [0.0; 3];
+        for &n in &[a, b, c, d] {
+            let p = self.points[n as usize];
+            for k in 0..3 {
+                c3[k] += p[k] * 0.25;
+            }
+        }
+        c3
+    }
+
+    /// Axis-aligned bounding box `(min, max)`; `None` for an empty mesh.
+    pub fn bounds(&self) -> Option<([f64; 3], [f64; 3])> {
+        let mut it = self.points.iter();
+        let first = *it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in it {
+            for k in 0..3 {
+                min[k] = min[k].min(p[k]);
+                max[k] = max[k].max(p[k]);
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Structural validation: connectivity in range, no repeated nodes,
+    /// all volumes positive.
+    pub fn validate(&self) -> Result<(), MeshError> {
+        let n = self.points.len();
+        for (e, t) in self.tets.iter().enumerate() {
+            for &node in t {
+                if node as usize >= n {
+                    return Err(MeshError::NodeOutOfRange {
+                        elem: e,
+                        node,
+                        nodes: n,
+                    });
+                }
+            }
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    if t[i] == t[j] {
+                        return Err(MeshError::DegenerateElement { elem: e });
+                    }
+                }
+            }
+            let v = self.tet_volume(e);
+            if v <= 0.0 {
+                return Err(MeshError::InvertedElement { elem: e, volume: v });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that a node-based field has one value per node.
+    pub fn check_node_field(&self, field: &[f64]) -> Result<(), MeshError> {
+        if field.len() != self.points.len() {
+            return Err(MeshError::FieldLength {
+                expected: self.points.len(),
+                got: field.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Check that an element-based field has one value per element.
+    pub fn check_elem_field(&self, field: &[f64]) -> Result<(), MeshError> {
+        if field.len() != self.tets.len() {
+            return Err(MeshError::FieldLength {
+                expected: self.tets.len(),
+                got: field.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Interpolate a node field at `point` inside element `e` using
+    /// barycentric coordinates. Returns `None` if the point lies outside
+    /// the element (within `1e-9` slack).
+    pub fn interpolate_in_tet(&self, e: usize, point: [f64; 3], field: &[f64]) -> Option<f64> {
+        let [a, b, c, d] = self.tets[e];
+        let pa = self.points[a as usize];
+        let pb = self.points[b as usize];
+        let pc = self.points[c as usize];
+        let pd = self.points[d as usize];
+        let total = signed_volume(pa, pb, pc, pd);
+        if total.abs() < 1e-300 {
+            return None;
+        }
+        let wa = signed_volume(point, pb, pc, pd) / total;
+        let wb = signed_volume(pa, point, pc, pd) / total;
+        let wc = signed_volume(pa, pb, point, pd) / total;
+        let wd = signed_volume(pa, pb, pc, point) / total;
+        let eps = -1e-9;
+        if wa < eps || wb < eps || wc < eps || wd < eps {
+            return None;
+        }
+        Some(
+            wa * field[a as usize]
+                + wb * field[b as usize]
+                + wc * field[c as usize]
+                + wd * field[d as usize],
+        )
+    }
+}
+
+/// Signed volume of the tetrahedron (a, b, c, d).
+pub fn signed_volume(a: [f64; 3], b: [f64; 3], c: [f64; 3], d: [f64; 3]) -> f64 {
+    let ab = sub(b, a);
+    let ac = sub(c, a);
+    let ad = sub(d, a);
+    dot(ab, cross(ac, ad)) / 6.0
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// A unit tetrahedron used by tests across the workspace.
+pub fn unit_tet() -> TetMesh {
+    TetMesh {
+        points: vec![
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ],
+        tets: vec![[0, 1, 2, 3]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tet_properties() {
+        let m = unit_tet();
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.elem_count(), 1);
+        assert!((m.tet_volume(0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((m.total_volume() - 1.0 / 6.0).abs() < 1e-12);
+        m.validate().unwrap();
+        let c = m.tet_centroid(0);
+        assert!((c[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds() {
+        let m = unit_tet();
+        let (min, max) = m.bounds().unwrap();
+        assert_eq!(min, [0.0, 0.0, 0.0]);
+        assert_eq!(max, [1.0, 1.0, 1.0]);
+        assert!(TetMesh::new().bounds().is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_connectivity() {
+        let mut m = unit_tet();
+        m.tets.push([0, 1, 2, 9]);
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::NodeOutOfRange {
+                elem: 1,
+                node: 9,
+                ..
+            })
+        ));
+
+        let mut m = unit_tet();
+        m.tets[0] = [0, 1, 2, 2];
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::DegenerateElement { elem: 0 })
+        ));
+
+        let mut m = unit_tet();
+        m.tets[0] = [0, 2, 1, 3]; // swapped orientation → negative volume
+        assert!(matches!(
+            m.validate(),
+            Err(MeshError::InvertedElement { elem: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn field_length_checks() {
+        let m = unit_tet();
+        assert!(m.check_node_field(&[0.0; 4]).is_ok());
+        assert!(m.check_node_field(&[0.0; 3]).is_err());
+        assert!(m.check_elem_field(&[0.0]).is_ok());
+        assert!(m.check_elem_field(&[]).is_err());
+    }
+
+    #[test]
+    fn interpolation_reproduces_linear_fields() {
+        let m = unit_tet();
+        // f(x,y,z) = 2x + 3y - z + 1, nodal values at the 4 vertices.
+        let f = |p: [f64; 3]| 2.0 * p[0] + 3.0 * p[1] - p[2] + 1.0;
+        let field: Vec<f64> = m.points.iter().map(|&p| f(p)).collect();
+        let q = [0.2, 0.3, 0.1];
+        let v = m.interpolate_in_tet(0, q, &field).unwrap();
+        assert!((v - f(q)).abs() < 1e-12);
+        // A vertex interpolates to its own value.
+        let v = m.interpolate_in_tet(0, [1.0, 0.0, 0.0], &field).unwrap();
+        assert!((v - f([1.0, 0.0, 0.0])).abs() < 1e-12);
+        // Outside the element → None.
+        assert!(m.interpolate_in_tet(0, [1.0, 1.0, 1.0], &field).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MeshError::InvertedElement {
+            elem: 3,
+            volume: -0.5,
+        };
+        assert!(e.to_string().contains("element 3"));
+    }
+}

@@ -1,0 +1,400 @@
+//! CPU core-pool model.
+//!
+//! The paper's key single- vs. dual-processor distinction (Figure 3(a)
+//! vs. 3(b)) is that on a one-CPU machine the background I/O thread's
+//! CPU-bound work (decoding HDF datasets, filling buffers) competes with
+//! the visualization computation, while on a two-CPU machine it runs on
+//! the otherwise idle second processor.
+//!
+//! [`CpuPool`] reproduces this with a counted semaphore of *core tokens*.
+//! Any code section that represents CPU-bound work acquires a token for
+//! its duration ([`CpuPool::compute`] busy-spins while holding one). With
+//! one token, a main thread and an I/O thread genuinely serialize their
+//! CPU work; with two tokens they genuinely overlap on the host machine.
+//! The contention, queueing, and overlap behaviour is therefore real
+//! (threads + wall-clock), only the *amount* of work per task is synthetic.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An abstract amount of CPU-bound work, in *work units*.
+///
+/// One work unit costs one microsecond on a CPU of speed 1.0. A platform
+/// preset sets a `speed` factor (e.g. Engle's 2 GHz P4 is faster than
+/// Turing's 1 GHz PIII for the same render workload), so the same `Work`
+/// takes different wall time on different platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Work(pub u64);
+
+impl Work {
+    /// Work corresponding to `micros` microseconds at speed 1.0.
+    pub const fn from_micros(micros: u64) -> Self {
+        Work(micros)
+    }
+
+    /// The zero amount of work.
+    pub const ZERO: Work = Work(0);
+
+    /// Duration of this work on a CPU with the given speed factor.
+    pub fn duration_at(&self, speed: f64) -> Duration {
+        if self.0 == 0 {
+            return Duration::ZERO;
+        }
+        let micros = self.0 as f64 / speed.max(1e-9);
+        Duration::from_nanos((micros * 1000.0) as u64)
+    }
+}
+
+impl std::ops::Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Work {
+    fn add_assign(&mut self, rhs: Work) {
+        self.0 += rhs.0;
+    }
+}
+
+struct PoolState {
+    available: usize,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    cond: Condvar,
+    cores: usize,
+    speed: f64,
+    /// Total busy nanoseconds across all cores (for utilization reports).
+    busy_nanos: AtomicU64,
+}
+
+/// A counted pool of CPU core tokens with an associated speed factor.
+///
+/// Cloning a `CpuPool` yields a handle to the same pool, so a platform can
+/// be shared between the main thread, the GODIVA I/O thread, and any
+/// synthetic external load.
+#[derive(Clone)]
+pub struct CpuPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for CpuPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuPool")
+            .field("cores", &self.inner.cores)
+            .field("speed", &self.inner.speed)
+            .finish()
+    }
+}
+
+impl CpuPool {
+    /// Create a pool with `cores` tokens and the given speed factor
+    /// (work units per microsecond).
+    pub fn new(cores: usize, speed: f64) -> Self {
+        assert!(cores >= 1, "a platform needs at least one core");
+        assert!(speed > 0.0, "cpu speed must be positive");
+        CpuPool {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState { available: cores }),
+                cond: Condvar::new(),
+                cores,
+                speed,
+                busy_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of cores in the pool.
+    pub fn cores(&self) -> usize {
+        self.inner.cores
+    }
+
+    /// Speed factor of this platform's CPUs.
+    pub fn speed(&self) -> f64 {
+        self.inner.speed
+    }
+
+    /// Acquire a core token, blocking until one is free.
+    pub fn acquire(&self) -> CoreGuard {
+        let mut st = self.inner.state.lock();
+        while st.available == 0 {
+            self.inner.cond.wait(&mut st);
+        }
+        st.available -= 1;
+        CoreGuard {
+            pool: self.clone(),
+            acquired: Instant::now(),
+        }
+    }
+
+    /// Try to acquire a core token without blocking.
+    pub fn try_acquire(&self) -> Option<CoreGuard> {
+        let mut st = self.inner.state.lock();
+        if st.available == 0 {
+            return None;
+        }
+        st.available -= 1;
+        Some(CoreGuard {
+            pool: self.clone(),
+            acquired: Instant::now(),
+        })
+    }
+
+    fn release(&self, held_for: Duration) {
+        self.inner
+            .busy_nanos
+            .fetch_add(held_for.as_nanos() as u64, Ordering::Relaxed);
+        let mut st = self.inner.state.lock();
+        st.available += 1;
+        drop(st);
+        self.inner.cond.notify_one();
+    }
+
+    /// Perform `work` units of CPU-bound work: acquire a core, hold it
+    /// for the work's wall-clock duration at this pool's speed, release
+    /// the core.
+    ///
+    /// Occupancy is modelled by *sleeping while holding the token*: all
+    /// simulated work in this crate is denominated in wall-clock time, so
+    /// a sleeping holder excludes other simulated work exactly like a
+    /// spinning one would — but the harness stays runnable on hosts with
+    /// fewer physical cores than the simulated machine (threads time-
+    /// sharing one host core would otherwise distort every measurement).
+    pub fn compute(&self, work: Work) {
+        if work == Work::ZERO {
+            return;
+        }
+        let guard = self.acquire();
+        occupy_for(work.duration_at(self.inner.speed));
+        drop(guard);
+    }
+
+    /// Like [`CpuPool::compute`] but in slices, so long work periodically
+    /// yields the core. This mirrors a time-sliced scheduler (the paper
+    /// notes Turing's SMP kernel schedules the threads round-robin) and
+    /// prevents one thread from starving the pool for the whole run.
+    pub fn compute_sliced(&self, work: Work, slice: Duration) {
+        if work == Work::ZERO {
+            return;
+        }
+        let total = work.duration_at(self.inner.speed);
+        let mut remaining = total;
+        while remaining > Duration::ZERO {
+            let this = remaining.min(slice);
+            let guard = self.acquire();
+            occupy_for(this);
+            drop(guard);
+            remaining = remaining.saturating_sub(this);
+        }
+    }
+
+    /// Total core-busy time accumulated so far, across all cores.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.inner.busy_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// RAII guard representing one held CPU core token.
+pub struct CoreGuard {
+    pool: CpuPool,
+    acquired: Instant,
+}
+
+impl Drop for CoreGuard {
+    fn drop(&mut self) {
+        let held = self.acquired.elapsed();
+        self.pool.release(held);
+    }
+}
+
+/// Occupy wall-clock time `d` (sleep; see [`CpuPool::compute`] for why
+/// sleeping rather than spinning is the right occupancy model here).
+pub fn occupy_for(d: Duration) {
+    if d > Duration::ZERO {
+        std::thread::sleep(d);
+    }
+}
+
+/// A synthetic compute-bound process occupying cores of a [`CpuPool`].
+///
+/// The paper's TG1 configuration runs Voyager *plus another
+/// computation-intensive program* on the dual-processor node so that both
+/// processors are busy. `ExternalLoad` is that program: a thread that
+/// repeatedly acquires a core token and occupies it in short slices
+/// until stopped.
+pub struct ExternalLoad {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExternalLoad {
+    /// Start a load thread against `pool`, occupying a core in
+    /// `slice`-long chunks back to back (100 % duty).
+    pub fn start(pool: CpuPool, slice: Duration) -> Self {
+        Self::start_with_duty(pool, slice, Duration::ZERO)
+    }
+
+    /// Start a load thread that alternates `slice` of core occupancy
+    /// with `idle` off-core time.
+    ///
+    /// A real competing process does not pin a CPU: the OS round-robins
+    /// all runnable threads (the paper credits exactly this — "the
+    /// processes are scheduled in a round-robin way" — for TG1's good
+    /// behaviour on Turing). A duty cycle below 100 % models the load's
+    /// fair share under such timeslicing.
+    pub fn start_with_duty(pool: CpuPool, slice: Duration, idle: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("external-load".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let guard = pool.acquire();
+                    occupy_for(slice);
+                    drop(guard);
+                    if idle > Duration::ZERO {
+                        std::thread::sleep(idle);
+                    } else {
+                        // Brief yield so other waiters get the token
+                        // promptly.
+                        std::thread::yield_now();
+                    }
+                }
+            })
+            .expect("spawn external load thread");
+        ExternalLoad {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the load thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ExternalLoad {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn work_duration_scales_with_speed() {
+        let w = Work::from_micros(1000);
+        assert_eq!(w.duration_at(1.0), Duration::from_millis(1));
+        assert_eq!(w.duration_at(2.0), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn work_zero_is_free() {
+        assert_eq!(Work::ZERO.duration_at(1.0), Duration::ZERO);
+        let pool = CpuPool::new(1, 1.0);
+        let t = Instant::now();
+        pool.compute(Work::ZERO);
+        assert!(t.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn work_adds() {
+        let mut w = Work::from_micros(3);
+        w += Work::from_micros(4);
+        assert_eq!(w, Work(7));
+        assert_eq!(Work(1) + Work(2), Work(3));
+    }
+
+    #[test]
+    fn try_acquire_respects_capacity() {
+        let pool = CpuPool::new(2, 1.0);
+        let g1 = pool.try_acquire().expect("first core");
+        let g2 = pool.try_acquire().expect("second core");
+        assert!(pool.try_acquire().is_none(), "pool exhausted");
+        drop(g1);
+        let g3 = pool.try_acquire().expect("released core reusable");
+        drop(g2);
+        drop(g3);
+    }
+
+    #[test]
+    fn single_core_serializes_two_threads() {
+        // Two threads each doing 30 ms of work on one core must take at
+        // least ~60 ms in total; on two cores they overlap.
+        let run = |cores: usize| -> Duration {
+            let pool = CpuPool::new(cores, 1.0);
+            let start = Instant::now();
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let p = pool.clone();
+                handles.push(std::thread::spawn(move || {
+                    p.compute(Work::from_micros(30_000));
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            start.elapsed()
+        };
+        let serial = run(1);
+        let parallel = run(2);
+        assert!(
+            serial >= Duration::from_millis(55),
+            "one core should serialize: {serial:?}"
+        );
+        assert!(
+            parallel < serial,
+            "two cores should beat one: {parallel:?} vs {serial:?}"
+        );
+    }
+
+    #[test]
+    fn sliced_compute_completes_and_interleaves() {
+        let pool = CpuPool::new(1, 1.0);
+        let start = Instant::now();
+        pool.compute_sliced(Work::from_micros(10_000), Duration::from_millis(2));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(9), "{elapsed:?}");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let pool = CpuPool::new(1, 1.0);
+        pool.compute(Work::from_micros(5_000));
+        assert!(pool.busy_time() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn external_load_occupies_a_core_and_stops() {
+        let pool = CpuPool::new(1, 1.0);
+        let load = ExternalLoad::start(pool.clone(), Duration::from_millis(1));
+        // The load should make acquiring slower but never dead-lock.
+        let g = pool.acquire();
+        drop(g);
+        load.stop();
+        // After stop, the core is free immediately.
+        assert!(pool.try_acquire().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = CpuPool::new(0, 1.0);
+    }
+}

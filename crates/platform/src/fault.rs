@@ -1,0 +1,206 @@
+//! Fault-injection storage wrapper.
+//!
+//! GODIVA's read functions run on a background thread; a read failure
+//! must surface to the application as a failed unit, not a crash or a
+//! hang (§3.3 discusses the library's limited integrity guarantees).
+//! [`FaultyFs`] wraps any [`Storage`] and injects deterministic,
+//! schedule-independent failures so tests can exercise those paths:
+//!
+//! - fail the *n*-th read operation (`fail_nth_read`),
+//! - fail every read whose path matches a substring (`fail_paths_with`),
+//! - corrupt (bit-flip) payloads instead of erroring (`corrupt_reads`).
+
+use crate::storage::{Storage, StorageStats};
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct FaultPlan {
+    fail_reads_at: Vec<u64>,
+    fail_substring: Option<String>,
+    corrupt_substring: Option<String>,
+}
+
+/// A storage wrapper injecting failures per a configurable plan.
+pub struct FaultyFs {
+    inner: Arc<dyn Storage>,
+    reads_seen: AtomicU64,
+    plan: Mutex<FaultPlan>,
+    injected: AtomicU64,
+}
+
+impl FaultyFs {
+    /// Wrap `inner` with no faults armed.
+    pub fn new(inner: Arc<dyn Storage>) -> Self {
+        FaultyFs {
+            inner,
+            reads_seen: AtomicU64::new(0),
+            plan: Mutex::new(FaultPlan::default()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Fail the `n`-th read operation (1-based) with an I/O error.
+    pub fn fail_nth_read(&self, n: u64) {
+        self.plan.lock().fail_reads_at.push(n);
+    }
+
+    /// Fail every read of a path containing `substr`.
+    pub fn fail_paths_with(&self, substr: impl Into<String>) {
+        self.plan.lock().fail_substring = Some(substr.into());
+    }
+
+    /// Flip a byte in every read of a path containing `substr`
+    /// (delivers corrupt data instead of failing).
+    pub fn corrupt_paths_with(&self, substr: impl Into<String>) {
+        self.plan.lock().corrupt_substring = Some(substr.into());
+    }
+
+    /// Disarm all faults.
+    pub fn clear_faults(&self) {
+        *self.plan.lock() = FaultPlan::default();
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn check_read(&self, path: &str) -> io::Result<bool> {
+        let seq = self.reads_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let plan = self.plan.lock();
+        if plan.fail_reads_at.contains(&seq) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected fault: read #{seq} of {path}"
+            )));
+        }
+        if let Some(s) = &plan.fail_substring {
+            if path.contains(s.as_str()) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::other(format!("injected fault: {path}")));
+            }
+        }
+        if let Some(s) = &plan.corrupt_substring {
+            if path.contains(s.as_str()) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Ok(true); // corrupt
+            }
+        }
+        Ok(false)
+    }
+
+    fn mangle(mut data: Vec<u8>) -> Vec<u8> {
+        if !data.is_empty() {
+            let mid = data.len() / 2;
+            data[mid] ^= 0xFF;
+        }
+        data
+    }
+}
+
+impl Storage for FaultyFs {
+    fn write(&self, path: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.write(path, data)
+    }
+
+    fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        let corrupt = self.check_read(path)?;
+        let data = self.inner.read(path)?;
+        Ok(if corrupt { Self::mangle(data) } else { data })
+    }
+
+    fn read_at(&self, path: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let corrupt = self.check_read(path)?;
+        let data = self.inner.read_at(path, offset, len)?;
+        Ok(if corrupt { Self::mangle(data) } else { data })
+    }
+
+    fn len(&self, path: &str) -> io::Result<u64> {
+        self.inner.len(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, path: &str) -> io::Result<()> {
+        self.inner.delete(path)
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFs;
+
+    fn faulty() -> FaultyFs {
+        let mem = Arc::new(MemFs::new());
+        mem.write("a/file1", b"hello").unwrap();
+        mem.write("b/file2", b"world").unwrap();
+        FaultyFs::new(mem)
+    }
+
+    #[test]
+    fn passes_through_without_faults() {
+        let fs = faulty();
+        assert_eq!(fs.read("a/file1").unwrap(), b"hello");
+        assert_eq!(fs.read_at("b/file2", 1, 3).unwrap(), b"orl");
+        assert_eq!(fs.injected(), 0);
+    }
+
+    #[test]
+    fn nth_read_fails_once() {
+        let fs = faulty();
+        fs.fail_nth_read(2);
+        assert!(fs.read("a/file1").is_ok()); // read 1
+        assert!(fs.read("a/file1").is_err()); // read 2 — injected
+        assert!(fs.read("a/file1").is_ok()); // read 3
+        assert_eq!(fs.injected(), 1);
+    }
+
+    #[test]
+    fn path_faults_are_selective() {
+        let fs = faulty();
+        fs.fail_paths_with("b/");
+        assert!(fs.read("a/file1").is_ok());
+        assert!(fs.read("b/file2").is_err());
+        assert!(fs.read_at("b/file2", 0, 1).is_err());
+        fs.clear_faults();
+        assert!(fs.read("b/file2").is_ok());
+    }
+
+    #[test]
+    fn corruption_flips_a_byte() {
+        let fs = faulty();
+        fs.corrupt_paths_with("file1");
+        let data = fs.read("a/file1").unwrap();
+        assert_ne!(data, b"hello");
+        assert_eq!(data.len(), 5);
+        assert_eq!(fs.injected(), 1);
+    }
+
+    #[test]
+    fn writes_and_metadata_unaffected() {
+        let fs = faulty();
+        fs.fail_paths_with("file1");
+        fs.write("a/file1", b"new").unwrap();
+        assert!(fs.exists("a/file1"));
+        assert_eq!(fs.len("a/file1").unwrap(), 3);
+        assert_eq!(fs.list("a/").len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # godiva-platform
+//!
+//! Simulated-platform substrate for the GODIVA reproduction.
+//!
+//! The GODIVA paper (ICDE 2004) evaluates its visualization I/O library on
+//! two concrete machines — *Engle*, a single-CPU Pentium 4 workstation with
+//! an IDE disk, and a dual-CPU Pentium III node of the *Turing* cluster.
+//! The shape of its results (how much I/O a background thread can hide)
+//! depends on two hardware properties:
+//!
+//! 1. **disk behaviour** — seek latency vs. sequential bandwidth, which is
+//!    why eliminating redundant mesh reads saves *more* time than the raw
+//!    byte reduction suggests, and
+//! 2. **CPU contention** — on a single CPU the background I/O thread's
+//!    deserialization work steals cycles from the render computation; on a
+//!    dual CPU it does not.
+//!
+//! We do not have that hardware, so this crate provides faithful,
+//! deterministic stand-ins:
+//!
+//! - [`DiskModel`]/[`SimFs`] — an in-memory filesystem whose reads and
+//!   writes cost real wall-clock time according to a seek + bandwidth
+//!   model with sequential-access tracking and optional read-ahead.
+//! - [`CpuPool`] — a counted pool of "core tokens"; every CPU-bound
+//!   section (render computation *and* the I/O thread's decode work) runs
+//!   while holding a token, so a 1-core platform exhibits genuine
+//!   contention between the main and I/O threads while a 2-core platform
+//!   overlaps them.
+//! - [`Storage`] — the abstraction the file-format crate reads through,
+//!   with [`MemFs`] (instant, for unit tests), [`SimFs`] (modelled costs,
+//!   for experiments) and [`RealFs`] (actual files) backends.
+//! - [`Platform`] — bundles of the above with presets [`Platform::engle`]
+//!   and [`Platform::turing`] mirroring the paper's two testbeds.
+//!
+//! Time is real wall-clock time with scaled-down device constants: thread
+//! overlap in the experiments is *actual* overlap between OS threads, not
+//! an analytical model.
+
+pub mod cpu;
+pub mod disk;
+pub mod fault;
+pub mod platform;
+pub mod storage;
+pub mod timer;
+
+pub use cpu::{CoreGuard, CpuPool, ExternalLoad, Work};
+pub use disk::{DiskModel, DiskStats};
+pub use fault::FaultyFs;
+pub use platform::{Platform, PlatformSpec};
+pub use storage::{MemFs, RealFs, SimFs, Storage, StorageStats};
+pub use timer::{MeanCi, PhaseTimer, Stopwatch};

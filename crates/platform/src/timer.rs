@@ -1,0 +1,231 @@
+//! Timing utilities used by the experiment harness.
+//!
+//! The paper reports two times per run: *visible I/O time* ("total time
+//! spent on reading the datasets with explicit, blocking read operations
+//! or waiting for units to be ready in memory") and *computation time*
+//! (total execution time minus visible I/O time). [`PhaseTimer`]
+//! accumulates exactly those two phases.
+
+use std::time::{Duration, Instant};
+
+/// A simple start/stop stopwatch accumulating elapsed time.
+#[derive(Debug, Default)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// New stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start timing. Starting an already-running stopwatch is a no-op.
+    pub fn start(&mut self) {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stop timing and fold the elapsed interval into the total.
+    pub fn stop(&mut self) {
+        if let Some(t) = self.started.take() {
+            self.accumulated += t.elapsed();
+        }
+    }
+
+    /// Whether the stopwatch is currently running.
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Total accumulated time (including the current interval if running).
+    pub fn elapsed(&self) -> Duration {
+        match self.started {
+            Some(t) => self.accumulated + t.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Run `f` while the stopwatch runs, returning `f`'s result.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+}
+
+/// Accumulates a run's *visible I/O* and *total* time; computation time is
+/// derived, matching §4.2 of the paper.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    run_started: Instant,
+    io: Stopwatch,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Start a new run; total time counts from now.
+    pub fn new() -> Self {
+        PhaseTimer {
+            run_started: Instant::now(),
+            io: Stopwatch::new(),
+        }
+    }
+
+    /// Time a blocking read / unit wait as visible I/O.
+    pub fn io<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.io.time(f)
+    }
+
+    /// Add an externally measured interval of visible I/O.
+    pub fn add_io(&mut self, d: Duration) {
+        self.io.accumulated += d;
+    }
+
+    /// Total wall time since the run started.
+    pub fn total(&self) -> Duration {
+        self.run_started.elapsed()
+    }
+
+    /// Accumulated visible I/O time.
+    pub fn visible_io(&self) -> Duration {
+        self.io.elapsed()
+    }
+
+    /// Computation time = total − visible I/O (clamped at zero).
+    pub fn computation(&self) -> Duration {
+        self.total().saturating_sub(self.visible_io())
+    }
+}
+
+/// Mean and a 95 % confidence half-width over a set of sample durations,
+/// in seconds. The paper plots error bars as 95 % confidence intervals
+/// over five runs; we reproduce the same statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean in seconds.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval in seconds.
+    pub ci95: f64,
+}
+
+impl MeanCi {
+    /// Compute over `samples` (empty input yields zeros).
+    pub fn of(samples: &[Duration]) -> MeanCi {
+        if samples.is_empty() {
+            return MeanCi {
+                mean: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let xs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        if xs.len() < 2 {
+            return MeanCi { mean, ci95: 0.0 };
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        // t-critical values for 95 % two-sided CI, df = n-1 (n ≤ 10 covers
+        // the harness's repeat counts; beyond that, use the normal value).
+        const T95: [f64; 10] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        ];
+        let df = xs.len() - 1;
+        let t = if df <= 10 { T95[df - 1] } else { 1.96 };
+        MeanCi {
+            mean,
+            ci95: t * (var / n).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn stopwatch_accumulates_intervals() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| sleep(Duration::from_millis(10)));
+        sw.time(|| sleep(Duration::from_millis(10)));
+        assert!(sw.elapsed() >= Duration::from_millis(18));
+        assert!(!sw.is_running());
+    }
+
+    #[test]
+    fn stopwatch_double_start_is_noop() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        sleep(Duration::from_millis(5));
+        sw.stop();
+        sw.stop();
+        let once = sw.elapsed();
+        assert!(once >= Duration::from_millis(4) && once < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn running_stopwatch_reports_live_elapsed() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sleep(Duration::from_millis(5));
+        assert!(sw.is_running());
+        assert!(sw.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn phase_timer_splits_io_and_computation() {
+        let mut pt = PhaseTimer::new();
+        pt.io(|| sleep(Duration::from_millis(20)));
+        sleep(Duration::from_millis(20));
+        assert!(pt.visible_io() >= Duration::from_millis(18));
+        assert!(pt.computation() >= Duration::from_millis(18));
+        assert!(pt.total() >= pt.visible_io() + pt.computation() - Duration::from_millis(5));
+    }
+
+    #[test]
+    fn phase_timer_add_io() {
+        let mut pt = PhaseTimer::new();
+        pt.add_io(Duration::from_millis(30));
+        assert!(pt.visible_io() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn mean_ci_basic() {
+        let s = [Duration::from_secs(1), Duration::from_secs(3)];
+        let m = MeanCi::of(&s);
+        assert!((m.mean - 2.0).abs() < 1e-9);
+        assert!(m.ci95 > 0.0);
+    }
+
+    #[test]
+    fn mean_ci_single_sample_has_zero_ci() {
+        let m = MeanCi::of(&[Duration::from_secs(2)]);
+        assert!((m.mean - 2.0).abs() < 1e-9);
+        assert_eq!(m.ci95, 0.0);
+    }
+
+    #[test]
+    fn mean_ci_empty() {
+        let m = MeanCi::of(&[]);
+        assert_eq!(m.mean, 0.0);
+        assert_eq!(m.ci95, 0.0);
+    }
+
+    #[test]
+    fn mean_ci_identical_samples_zero_width() {
+        let s = vec![Duration::from_millis(500); 5];
+        let m = MeanCi::of(&s);
+        assert!((m.mean - 0.5).abs() < 1e-9);
+        assert!(m.ci95 < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! `sdfls` — list the datasets of SDF files, like `h5ls` for HDF5.
+//!
+//! ```text
+//! sdfls FILE [FILE…]
+//! ```
+
+use godiva_platform::{RealFs, Storage};
+use godiva_sdf::describe::describe;
+use godiva_sdf::SdfFile;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: sdfls FILE [FILE…]");
+        return ExitCode::from(2);
+    }
+    let fs = match RealFs::new(".") {
+        Ok(fs) => Arc::new(fs) as Arc<dyn Storage>,
+        Err(e) => {
+            eprintln!("sdfls: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut status = ExitCode::SUCCESS;
+    for path in files {
+        match SdfFile::open(fs.clone(), &path) {
+            Ok(file) => print!("{}", describe(&file)),
+            Err(e) => {
+                eprintln!("sdfls: {path}: {e}");
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}

@@ -1,0 +1,323 @@
+//! Dataset directory entries and attributes.
+
+use crate::codec::Encoding;
+use crate::dtype::DType;
+use crate::error::{Result, SdfError};
+
+/// A typed attribute value attached to a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer metadata (block ids, counts, …).
+    Int(i64),
+    /// Floating-point metadata (simulation time, …).
+    Float(f64),
+    /// Text metadata (units, descriptions, …).
+    Text(String),
+}
+
+impl AttrValue {
+    fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Int(_) => 0,
+            AttrValue::Float(_) => 1,
+            AttrValue::Text(_) => 2,
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+
+/// A named attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        Attr {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Directory entry for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetInfo {
+    /// Dataset name, unique within the file.
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Extents; the element count is the product of all dims.
+    pub dims: Vec<u64>,
+    /// Payload encoding.
+    pub encoding: Encoding,
+    /// Attributes in insertion order.
+    pub attrs: Vec<Attr>,
+    /// Byte offset of the stored payload within the file.
+    pub offset: u64,
+    /// Stored (possibly encoded) payload length in bytes.
+    pub stored_len: u64,
+    /// CRC-32 of the stored payload.
+    pub crc: u32,
+}
+
+impl DatasetInfo {
+    /// Number of elements (product of dims).
+    pub fn element_count(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Decoded payload length in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.element_count() * self.dtype.size() as u64
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|a| a.name == name).map(|a| &a.value)
+    }
+}
+
+// --- binary (de)serialization helpers for the directory --------------------
+
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "name too long");
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+/// Cursor over a byte slice with bounds-checked little-endian reads.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(SdfError::Corrupt(format!(
+                "directory truncated: need {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SdfError::Corrupt("non-UTF-8 name in directory".into()))
+    }
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Serialize one directory entry.
+pub(crate) fn encode_entry(info: &DatasetInfo, out: &mut Vec<u8>) {
+    put_str(out, &info.name);
+    out.push(info.dtype.tag());
+    out.push(info.encoding.tag());
+    out.push(info.dims.len() as u8);
+    for &d in &info.dims {
+        put_u64(out, d);
+    }
+    put_u16(out, info.attrs.len() as u16);
+    for a in &info.attrs {
+        put_str(out, &a.name);
+        out.push(a.value.tag());
+        match &a.value {
+            AttrValue::Int(v) => put_u64(out, *v as u64),
+            AttrValue::Float(v) => put_u64(out, v.to_bits()),
+            AttrValue::Text(s) => put_str(out, s),
+        }
+    }
+    put_u64(out, info.offset);
+    put_u64(out, info.stored_len);
+    put_u32(out, info.crc);
+}
+
+/// Deserialize one directory entry.
+pub(crate) fn decode_entry(cur: &mut Cursor<'_>) -> Result<DatasetInfo> {
+    let name = cur.str()?;
+    let dtype = DType::from_tag(cur.u8()?)?;
+    let encoding = Encoding::from_tag(cur.u8()?)?;
+    let ndims = cur.u8()? as usize;
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(cur.u64()?);
+    }
+    let nattrs = cur.u16()? as usize;
+    let mut attrs = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        let aname = cur.str()?;
+        let tag = cur.u8()?;
+        let value = match tag {
+            0 => AttrValue::Int(cur.i64()?),
+            1 => AttrValue::Float(cur.f64()?),
+            2 => AttrValue::Text(cur.str()?),
+            other => return Err(SdfError::Corrupt(format!("unknown attr tag {other}"))),
+        };
+        attrs.push(Attr { name: aname, value });
+    }
+    let offset = cur.u64()?;
+    let stored_len = cur.u64()?;
+    let crc = cur.u32()?;
+    Ok(DatasetInfo {
+        name,
+        dtype,
+        dims,
+        encoding,
+        attrs,
+        offset,
+        stored_len,
+        crc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DatasetInfo {
+        DatasetInfo {
+            name: "pressure".into(),
+            dtype: DType::F64,
+            dims: vec![100, 100],
+            encoding: Encoding::Shuffle,
+            attrs: vec![
+                Attr::new("units", "Pa"),
+                Attr::new("time", 0.000025_f64),
+                Attr::new("block", 3_i64),
+            ],
+            offset: 4096,
+            stored_len: 80_000,
+            crc: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let info = sample();
+        let mut buf = Vec::new();
+        encode_entry(&info, &mut buf);
+        let mut cur = Cursor::new(&buf);
+        let back = decode_entry(&mut cur).unwrap();
+        assert_eq!(back, info);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn element_and_byte_counts() {
+        let info = sample();
+        assert_eq!(info.element_count(), 10_000);
+        assert_eq!(info.byte_len(), 80_000);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let info = sample();
+        assert_eq!(info.attr("units"), Some(&AttrValue::Text("Pa".into())));
+        assert_eq!(info.attr("block"), Some(&AttrValue::Int(3)));
+        assert!(info.attr("missing").is_none());
+    }
+
+    #[test]
+    fn truncated_entry_is_corrupt_not_panic() {
+        let info = sample();
+        let mut buf = Vec::new();
+        encode_entry(&info, &mut buf);
+        for cut in [0usize, 1, 5, buf.len() / 2, buf.len() - 1] {
+            let mut cur = Cursor::new(&buf[..cut]);
+            assert!(decode_entry(&mut cur).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3i64), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(0.5f64), AttrValue::Float(0.5));
+        assert_eq!(AttrValue::from("x"), AttrValue::Text("x".into()));
+        assert_eq!(
+            AttrValue::from("y".to_string()),
+            AttrValue::Text("y".into())
+        );
+    }
+
+    #[test]
+    fn scalar_dataset_has_one_element() {
+        let info = DatasetInfo {
+            name: "t".into(),
+            dtype: DType::F64,
+            dims: vec![],
+            encoding: Encoding::Raw,
+            attrs: vec![],
+            offset: 0,
+            stored_len: 8,
+            crc: 0,
+        };
+        // Empty dims product is 1 (a scalar).
+        assert_eq!(info.element_count(), 1);
+    }
+}

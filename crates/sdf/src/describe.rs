@@ -1,0 +1,101 @@
+//! Human-readable SDF file descriptions (the `sdfls` tool's engine).
+
+use crate::dataset::AttrValue;
+use crate::reader::SdfFile;
+
+fn fmt_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => format!("{f}"),
+        AttrValue::Text(s) => format!("{s:?}"),
+    }
+}
+
+/// Render a directory listing of `file`, one dataset per line:
+/// name, type, dims, stored size, encoding, attributes.
+pub fn describe(file: &SdfFile) -> String {
+    let mut out = format!(
+        "{}: {} dataset(s), {} data bytes\n",
+        file.path(),
+        file.datasets().len(),
+        file.total_data_bytes()
+    );
+    let name_w = file
+        .datasets()
+        .iter()
+        .map(|d| d.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    for d in file.datasets() {
+        let dims = d
+            .dims
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        let attrs = d
+            .attrs
+            .iter()
+            .map(|a| format!("{}={}", a.name, fmt_attr(&a.value)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!(
+            "  {:<name_w$}  {:<5}  [{}]  {} B  {:?}{}{}\n",
+            d.name,
+            format!("{:?}", d.dtype),
+            if dims.is_empty() {
+                "scalar".into()
+            } else {
+                dims
+            },
+            d.stored_len,
+            d.encoding,
+            if attrs.is_empty() { "" } else { "  " },
+            attrs,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Attr;
+    use crate::writer::SdfWriter;
+    use godiva_platform::MemFs;
+    use std::sync::Arc;
+
+    #[test]
+    fn describe_lists_everything() {
+        let fs = Arc::new(MemFs::new());
+        let mut w = SdfWriter::create(fs.as_ref(), "d.sdf");
+        w.put(
+            "pressure",
+            &[10, 10],
+            &vec![0.0f64; 100],
+            vec![Attr::new("units", "Pa"), Attr::new("block", 3_i64)],
+        )
+        .unwrap();
+        w.put_1d("conn", &[1i32, 2, 3, 4], vec![]).unwrap();
+        w.finish().unwrap();
+        let file = SdfFile::open(fs, "d.sdf").unwrap();
+        let text = describe(&file);
+        assert!(text.contains("2 dataset(s)"));
+        assert!(text.contains("pressure"));
+        assert!(text.contains("[10x10]"));
+        assert!(text.contains("units=\"Pa\""));
+        assert!(text.contains("block=3"));
+        assert!(text.contains("conn"));
+        assert!(text.contains("800 B"));
+    }
+
+    #[test]
+    fn describe_empty_file() {
+        let fs = Arc::new(MemFs::new());
+        SdfWriter::create(fs.as_ref(), "e.sdf").finish().unwrap();
+        let file = SdfFile::open(fs, "e.sdf").unwrap();
+        let text = describe(&file);
+        assert!(text.contains("0 dataset(s)"));
+    }
+}

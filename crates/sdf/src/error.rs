@@ -1,0 +1,111 @@
+//! Error type shared across the SDF crate.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing an SDF file.
+#[derive(Debug)]
+pub enum SdfError {
+    /// Underlying storage failure.
+    Io(std::io::Error),
+    /// The file is not an SDF file or is structurally damaged.
+    Corrupt(String),
+    /// A dataset checksum did not match its directory entry.
+    ChecksumMismatch {
+        /// Dataset whose payload failed verification.
+        dataset: String,
+        /// CRC-32 recorded in the directory.
+        expected: u32,
+        /// CRC-32 of the bytes actually read.
+        actual: u32,
+    },
+    /// The named dataset does not exist in the file.
+    NoSuchDataset(String),
+    /// The dataset exists but has a different element type.
+    TypeMismatch {
+        /// Dataset being read.
+        dataset: String,
+        /// Type recorded in the file.
+        stored: crate::DType,
+        /// Type the caller asked for.
+        requested: crate::DType,
+    },
+    /// A hyperslab request falls outside the dataset extents, or was made
+    /// against an encoded dataset that does not support ranged reads.
+    BadSlab(String),
+    /// Writer misuse (duplicate dataset name, zero-dim dataset, …).
+    Invalid(String),
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Io(e) => write!(f, "I/O error: {e}"),
+            SdfError::Corrupt(m) => write!(f, "corrupt SDF file: {m}"),
+            SdfError::ChecksumMismatch {
+                dataset,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in dataset '{dataset}': expected {expected:#010x}, got {actual:#010x}"
+            ),
+            SdfError::NoSuchDataset(n) => write!(f, "no such dataset: '{n}'"),
+            SdfError::TypeMismatch {
+                dataset,
+                stored,
+                requested,
+            } => write!(
+                f,
+                "dataset '{dataset}' stores {stored:?} but {requested:?} was requested"
+            ),
+            SdfError::BadSlab(m) => write!(f, "bad hyperslab request: {m}"),
+            SdfError::Invalid(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SdfError {
+    fn from(e: std::io::Error) -> Self {
+        SdfError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SdfError::ChecksumMismatch {
+            dataset: "pressure".into(),
+            expected: 0xdead_beef,
+            actual: 0x1234_5678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pressure"));
+        assert!(s.contains("0xdeadbeef"));
+
+        let e = SdfError::NoSuchDataset("x".into());
+        assert!(e.to_string().contains("'x'"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let e: SdfError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # godiva-sdf — a self-describing scientific data format
+//!
+//! The GODIVA paper's visualization tool (Rocketeer) reads **HDF4** files;
+//! its snapshots are sets of HDF4 files holding named, typed,
+//! multi-dimensional datasets with attributes. The paper also leans on two
+//! behavioural properties of scientific data libraries:
+//!
+//! 1. they have *"a higher input cost than do plain binary files"*
+//!    (per-dataset interpretation, checksums, directory walks), and
+//! 2. reading a dataset from the middle of a file is a *seek* on disk,
+//!    which is why eliminating redundant mesh reads saves time beyond the
+//!    raw byte reduction.
+//!
+//! We cannot ship HDF4, so this crate implements **SDF**, a from-scratch
+//! self-describing container with the same shape:
+//!
+//! - a file is a header + data blobs + a dataset **directory**;
+//! - each dataset has a name, element type ([`DType`]), dimensions,
+//!   key/value [`Attr`]ibutes, an optional byte-shuffle [`Encoding`], and a
+//!   CRC-32 checksum verified on read;
+//! - readers fetch the directory first, then read datasets individually
+//!   with ranged reads (hence real seek behaviour on a simulated disk);
+//! - an optional CPU-cost hook charges decode work to a
+//!   [`godiva_platform::CpuPool`], standing in for HDF's interpretation
+//!   overhead — this is what the background I/O thread burns CPU on.
+//!
+//! A [`plain`] module provides the contrasting "plain binary file" format
+//! (one array per file, fixed 24-byte header, no checksum) used by the
+//! format-comparison benchmark.
+//!
+//! All multi-byte values are little-endian.
+
+pub mod codec;
+pub mod crc;
+pub mod dataset;
+pub mod describe;
+pub mod dtype;
+pub mod error;
+pub mod plain;
+pub mod reader;
+pub mod writer;
+
+pub use codec::Encoding;
+pub use dataset::{Attr, AttrValue, DatasetInfo};
+pub use dtype::DType;
+pub use error::{Result, SdfError};
+pub use reader::{ReadOptions, SdfFile};
+pub use writer::SdfWriter;
+
+/// File magic: "SDF1".
+pub const MAGIC: [u8; 4] = *b"SDF1";
+/// Current format version.
+pub const VERSION: u32 = 1;

@@ -1,0 +1,168 @@
+//! Plain binary array files.
+//!
+//! The paper contrasts scientific data libraries (HDF, netCDF, FITS) with
+//! "plain binary files", noting the former "have at visualization time a
+//! higher input cost". This module is the plain-binary side of that
+//! comparison: one array per file, a fixed 24-byte header (magic, dtype,
+//! element count), no directory, no attributes, no checksum. The format
+//! benchmark reads the same data through both paths.
+
+use crate::dtype::{from_bytes, to_bytes, DType, Element};
+use crate::error::{Result, SdfError};
+use godiva_platform::Storage;
+
+/// Magic for plain array files: "GPB1" (Godiva Plain Binary).
+pub const PLAIN_MAGIC: [u8; 4] = *b"GPB1";
+/// Fixed header size.
+pub const PLAIN_HEADER_LEN: usize = 24;
+
+/// Write `values` as a plain binary array file at `path`.
+pub fn write_array<T: Element>(storage: &dyn Storage, path: &str, values: &[T]) -> Result<u64> {
+    let payload = to_bytes(values);
+    let mut file = Vec::with_capacity(PLAIN_HEADER_LEN + payload.len());
+    file.extend_from_slice(&PLAIN_MAGIC);
+    file.push(T::DTYPE.tag());
+    file.extend_from_slice(&[0u8; 3]); // padding
+    file.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    file.extend_from_slice(&[0u8; 8]); // reserved
+    file.extend_from_slice(&payload);
+    storage.write(path, &file)?;
+    Ok(file.len() as u64)
+}
+
+/// Read a whole plain binary array file.
+pub fn read_array<T: Element>(storage: &dyn Storage, path: &str) -> Result<Vec<T>> {
+    let bytes = storage.read(path)?;
+    if bytes.len() < PLAIN_HEADER_LEN {
+        return Err(SdfError::Corrupt(format!("{path}: shorter than header")));
+    }
+    if bytes[0..4] != PLAIN_MAGIC {
+        return Err(SdfError::Corrupt(format!("{path}: bad plain-binary magic")));
+    }
+    let dtype = DType::from_tag(bytes[4])?;
+    if dtype != T::DTYPE {
+        return Err(SdfError::TypeMismatch {
+            dataset: path.to_string(),
+            stored: dtype,
+            requested: T::DTYPE,
+        });
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let payload = &bytes[PLAIN_HEADER_LEN..];
+    if payload.len() != count * dtype.size() {
+        return Err(SdfError::Corrupt(format!(
+            "{path}: header claims {count} elements, payload is {} bytes",
+            payload.len()
+        )));
+    }
+    from_bytes(payload)
+}
+
+/// Read `count` elements starting at element `start` without reading the
+/// whole file (header read + one ranged read).
+pub fn read_array_slab<T: Element>(
+    storage: &dyn Storage,
+    path: &str,
+    start: u64,
+    count: u64,
+) -> Result<Vec<T>> {
+    let header = storage.read_at(path, 0, PLAIN_HEADER_LEN)?;
+    if header[0..4] != PLAIN_MAGIC {
+        return Err(SdfError::Corrupt(format!("{path}: bad plain-binary magic")));
+    }
+    let dtype = DType::from_tag(header[4])?;
+    if dtype != T::DTYPE {
+        return Err(SdfError::TypeMismatch {
+            dataset: path.to_string(),
+            stored: dtype,
+            requested: T::DTYPE,
+        });
+    }
+    let total = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if start + count > total {
+        return Err(SdfError::BadSlab(format!(
+            "slab [{start}, +{count}) exceeds {total} elements of {path}"
+        )));
+    }
+    let esz = dtype.size() as u64;
+    let bytes = storage.read_at(
+        path,
+        PLAIN_HEADER_LEN as u64 + start * esz,
+        (count * esz) as usize,
+    )?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+
+    #[test]
+    fn roundtrip() {
+        let fs = MemFs::new();
+        let xs: Vec<f64> = (0..500).map(|i| i as f64 * 0.5).collect();
+        write_array(&fs, "a.bin", &xs).unwrap();
+        let back: Vec<f64> = read_array(&fs, "a.bin").unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn empty_array_roundtrip() {
+        let fs = MemFs::new();
+        write_array::<f64>(&fs, "e.bin", &[]).unwrap();
+        let back: Vec<f64> = read_array(&fs, "e.bin").unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let fs = MemFs::new();
+        write_array(&fs, "a.bin", &[1i32, 2, 3]).unwrap();
+        assert!(matches!(
+            read_array::<f64>(&fs, "a.bin"),
+            Err(SdfError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn slab_read() {
+        let fs = MemFs::new();
+        let xs: Vec<i32> = (0..100).collect();
+        write_array(&fs, "a.bin", &xs).unwrap();
+        let slab: Vec<i32> = read_array_slab(&fs, "a.bin", 90, 10).unwrap();
+        assert_eq!(slab, (90..100).collect::<Vec<i32>>());
+        assert!(read_array_slab::<i32>(&fs, "a.bin", 95, 10).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let fs = MemFs::new();
+        fs.write("junk.bin", b"not a plain binary file at all....")
+            .unwrap();
+        assert!(read_array::<f64>(&fs, "junk.bin").is_err());
+        assert!(read_array_slab::<f64>(&fs, "junk.bin", 0, 1).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let fs = MemFs::new();
+        let xs: Vec<f64> = vec![1.0, 2.0];
+        write_array(&fs, "a.bin", &xs).unwrap();
+        let bytes = fs.read("a.bin").unwrap();
+        fs.write("a.bin", &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_array::<f64>(&fs, "a.bin").is_err());
+    }
+
+    #[test]
+    fn plain_is_smaller_than_sdf_for_same_data() {
+        use crate::writer::SdfWriter;
+        let fs = MemFs::new();
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let plain_size = write_array(&fs, "p.bin", &xs).unwrap();
+        let mut w = SdfWriter::create(&fs, "s.sdf");
+        w.put_1d("x", &xs, vec![]).unwrap();
+        let sdf_size = w.finish().unwrap();
+        assert!(plain_size < sdf_size, "{plain_size} vs {sdf_size}");
+    }
+}

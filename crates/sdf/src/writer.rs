@@ -1,0 +1,227 @@
+//! SDF file writer.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! offset 0   MAGIC "SDF1"            4 bytes
+//!        4   VERSION                 4 bytes
+//!        8   directory offset        8 bytes
+//!       16   directory length        8 bytes
+//!       24   dataset payloads        …
+//!  dir_off   dataset count           4 bytes
+//!            directory entries       …
+//! ```
+//!
+//! The directory lives at the end (like HDF4's DD blocks resolved last),
+//! so readers must first touch the header, then seek to the tail, then
+//! seek back into the body per dataset — faithfully generating the seek
+//! traffic the paper's I/O analysis relies on.
+
+use crate::codec::Encoding;
+use crate::crc::crc32;
+use crate::dataset::{encode_entry, put_u32, put_u64, Attr, DatasetInfo};
+use crate::dtype::{to_bytes, DType, Element};
+use crate::error::{Result, SdfError};
+use crate::{MAGIC, VERSION};
+use godiva_platform::Storage;
+use std::collections::BTreeSet;
+
+/// Builds one SDF file in memory and writes it atomically on
+/// [`SdfWriter::finish`].
+pub struct SdfWriter<'a> {
+    storage: &'a dyn Storage,
+    path: String,
+    body: Vec<u8>,
+    directory: Vec<DatasetInfo>,
+    names: BTreeSet<String>,
+    default_encoding: Encoding,
+}
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 24;
+
+impl<'a> SdfWriter<'a> {
+    /// Start a new file at `path` on `storage`.
+    pub fn create(storage: &'a dyn Storage, path: impl Into<String>) -> Self {
+        SdfWriter {
+            storage,
+            path: path.into(),
+            body: Vec::new(),
+            directory: Vec::new(),
+            names: BTreeSet::new(),
+            default_encoding: Encoding::Raw,
+        }
+    }
+
+    /// Set the encoding applied to subsequently added datasets.
+    pub fn with_encoding(mut self, enc: Encoding) -> Self {
+        self.default_encoding = enc;
+        self
+    }
+
+    /// Number of datasets added so far.
+    pub fn dataset_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Add a dataset of typed elements with explicit dimensions.
+    ///
+    /// `dims` must multiply to `values.len()`. The dataset name must be
+    /// unique within the file.
+    pub fn put<T: Element>(
+        &mut self,
+        name: &str,
+        dims: &[u64],
+        values: &[T],
+        attrs: Vec<Attr>,
+    ) -> Result<()> {
+        let expected: u64 = dims.iter().product();
+        if expected != values.len() as u64 {
+            return Err(SdfError::Invalid(format!(
+                "dataset '{name}': dims {:?} imply {expected} elements, got {}",
+                dims,
+                values.len()
+            )));
+        }
+        self.put_raw(name, T::DTYPE, dims, &to_bytes(values), attrs)
+    }
+
+    /// Add a 1-D dataset of typed elements.
+    pub fn put_1d<T: Element>(&mut self, name: &str, values: &[T], attrs: Vec<Attr>) -> Result<()> {
+        self.put(name, &[values.len() as u64], values, attrs)
+    }
+
+    /// Add a string dataset (stored as U8 bytes).
+    pub fn put_str(&mut self, name: &str, value: &str, attrs: Vec<Attr>) -> Result<()> {
+        self.put_raw(
+            name,
+            DType::U8,
+            &[value.len() as u64],
+            value.as_bytes(),
+            attrs,
+        )
+    }
+
+    /// Add a dataset from pre-serialized little-endian bytes.
+    pub fn put_raw(
+        &mut self,
+        name: &str,
+        dtype: DType,
+        dims: &[u64],
+        bytes: &[u8],
+        attrs: Vec<Attr>,
+    ) -> Result<()> {
+        if name.is_empty() {
+            return Err(SdfError::Invalid("dataset name must be non-empty".into()));
+        }
+        if !self.names.insert(name.to_string()) {
+            return Err(SdfError::Invalid(format!(
+                "duplicate dataset name '{name}'"
+            )));
+        }
+        let expected_bytes: u64 = dims.iter().product::<u64>() * dtype.size() as u64;
+        if expected_bytes != bytes.len() as u64 {
+            return Err(SdfError::Invalid(format!(
+                "dataset '{name}': dims {dims:?} of {dtype:?} imply {expected_bytes} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let stored = self.default_encoding.encode(bytes, dtype.size());
+        let offset = (HEADER_LEN + self.body.len()) as u64;
+        let crc = crc32(&stored);
+        self.directory.push(DatasetInfo {
+            name: name.to_string(),
+            dtype,
+            dims: dims.to_vec(),
+            encoding: self.default_encoding,
+            attrs,
+            offset,
+            stored_len: stored.len() as u64,
+            crc,
+        });
+        self.body.extend_from_slice(&stored);
+        Ok(())
+    }
+
+    /// Assemble the file and write it to storage. Returns total file size.
+    pub fn finish(self) -> Result<u64> {
+        let mut dir = Vec::new();
+        put_u32(&mut dir, self.directory.len() as u32);
+        for entry in &self.directory {
+            encode_entry(entry, &mut dir);
+        }
+        let dir_offset = (HEADER_LEN + self.body.len()) as u64;
+
+        let mut file = Vec::with_capacity(HEADER_LEN + self.body.len() + dir.len());
+        file.extend_from_slice(&MAGIC);
+        file.extend_from_slice(&VERSION.to_le_bytes());
+        put_u64(&mut file, dir_offset);
+        put_u64(&mut file, dir.len() as u64);
+        file.extend_from_slice(&self.body);
+        file.extend_from_slice(&dir);
+
+        let total = file.len() as u64;
+        self.storage.write(&self.path, &file)?;
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+
+    #[test]
+    fn writes_header_and_directory() {
+        let fs = MemFs::new();
+        let mut w = SdfWriter::create(&fs, "t.sdf");
+        w.put_1d("a", &[1.0f64, 2.0, 3.0], vec![]).unwrap();
+        let size = w.finish().unwrap();
+        let bytes = fs.read("t.sdf").unwrap();
+        assert_eq!(bytes.len() as u64, size);
+        assert_eq!(&bytes[0..4], b"SDF1");
+        let dir_off = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        assert_eq!(dir_off, 24 + 24); // header + 3 f64s
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let fs = MemFs::new();
+        let mut w = SdfWriter::create(&fs, "t.sdf");
+        w.put_1d("a", &[1.0f64], vec![]).unwrap();
+        let err = w.put_1d("a", &[2.0f64], vec![]).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let fs = MemFs::new();
+        let mut w = SdfWriter::create(&fs, "t.sdf");
+        assert!(w.put_1d("", &[1.0f64], vec![]).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let fs = MemFs::new();
+        let mut w = SdfWriter::create(&fs, "t.sdf");
+        assert!(w.put("a", &[2, 2], &[1.0f64, 2.0, 3.0], vec![]).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_valid() {
+        let fs = MemFs::new();
+        let w = SdfWriter::create(&fs, "empty.sdf");
+        assert_eq!(w.dataset_count(), 0);
+        w.finish().unwrap();
+        assert!(fs.exists("empty.sdf"));
+    }
+
+    #[test]
+    fn string_dataset_stored_as_bytes() {
+        let fs = MemFs::new();
+        let mut w = SdfWriter::create(&fs, "t.sdf");
+        w.put_str("block id", "block_0001$", vec![]).unwrap();
+        assert_eq!(w.dataset_count(), 1);
+        w.finish().unwrap();
+    }
+}

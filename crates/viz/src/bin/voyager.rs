@@ -1,0 +1,227 @@
+//! The Voyager command-line tool.
+//!
+//! §4.1: *"Voyager is a command line tool that takes as arguments a
+//! camera position file, a graphics operations file, and a list of HDF
+//! files to process"* and batch-renders one image per time-step
+//! snapshot. This is that tool, reading SDF snapshot datasets from the
+//! real filesystem.
+//!
+//! ```text
+//! voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]
+//! voyager render   --data DIR --ops OPS.txt [--camera CAM.txt]
+//!                  [--mode O|G|TG] [--mem MB] [--out DIR]
+//! voyager example-specs DIR       # write sample ops/camera files
+//! ```
+
+use godiva_genx::GenxConfig;
+use godiva_platform::{CpuPool, RealFs, Storage};
+use godiva_viz::specfile::{format_camera, format_ops, parse_camera, parse_ops};
+use godiva_viz::{run_voyager, Camera, ImageFormat, Mode, TestSpec, VoyagerOptions};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]\n  \
+         voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
+         [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png]\n  \
+         voyager example-specs DIR"
+    );
+    ExitCode::from(2)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn value_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
+        self.value(flag).unwrap_or(default)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return usage();
+    };
+    let args = Args(argv[1..].to_vec());
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "render" => cmd_render(&args),
+        "example-specs" => cmd_example_specs(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("voyager: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn open_data_dir(args: &Args) -> Result<(Arc<dyn Storage>, String), String> {
+    let data = args
+        .value("--data")
+        .ok_or("missing --data DIR".to_string())?;
+    // Root the storage at the parent so 'DIR' stays part of the dataset
+    // paths (the generator writes '<root>/snap_XXXX/file_Y.sdf').
+    let path = std::path::Path::new(data);
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let (root, rel) = match parent {
+        Some(p) => (
+            p.to_path_buf(),
+            path.file_name().unwrap().to_string_lossy().to_string(),
+        ),
+        None => (std::path::PathBuf::from("."), data.to_string()),
+    };
+    let fs = RealFs::new(root).map_err(|e| e.to_string())?;
+    Ok((Arc::new(fs) as Arc<dyn Storage>, rel))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let (storage, root) = open_data_dir(args)?;
+    let mut config = GenxConfig::paper_scaled();
+    config.root = root;
+    if let Some(v) = args.value("--snapshots") {
+        config.snapshots = v.parse().map_err(|_| "--snapshots must be an integer")?;
+    }
+    if let Some(v) = args.value("--blocks") {
+        config.blocks = v.parse().map_err(|_| "--blocks must be an integer")?;
+    }
+    if let Some(v) = args.value("--files") {
+        config.files_per_snapshot = v.parse().map_err(|_| "--files must be an integer")?;
+    }
+    config.validate()?;
+    eprintln!(
+        "generating {} snapshots x {} files ({} nodes, {} tets, {} blocks)…",
+        config.snapshots,
+        config.files_per_snapshot,
+        config.node_count(),
+        config.elem_count(),
+        config.blocks
+    );
+    let ds = godiva_genx::generate(storage.as_ref(), &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "done: {:.2} MB per snapshot under {}",
+        ds.manifest.bytes_per_snapshot as f64 / (1024.0 * 1024.0),
+        config.root
+    );
+    Ok(())
+}
+
+fn cmd_render(args: &Args) -> Result<(), String> {
+    let (storage, root) = open_data_dir(args)?;
+    let genx = godiva_genx::discover(storage.clone(), &root).map_err(|e| e.to_string())?;
+
+    let ops_path = args.value("--ops").ok_or("missing --ops FILE")?;
+    let ops_text =
+        std::fs::read_to_string(ops_path).map_err(|e| format!("cannot read {ops_path}: {e}"))?;
+    let spec: TestSpec = match ops_text.trim() {
+        // The three paper tests are built in by name.
+        "simple" => TestSpec::simple(),
+        "medium" => TestSpec::medium(),
+        "complex" => TestSpec::complex(),
+        _ => parse_ops(&ops_text).map_err(|e| e.to_string())?,
+    };
+
+    let camera: Option<Camera> = match args.value("--camera") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(parse_camera(&text).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
+
+    let mode = match args.value_or("--mode", "TG") {
+        "O" | "o" => Mode::Original,
+        "G" | "g" => Mode::GodivaSingle,
+        "TG" | "tg" => Mode::GodivaMulti,
+        other => return Err(format!("unknown mode '{other}' (use O, G or TG)")),
+    };
+    let mem_mb: u64 = args
+        .value_or("--mem", "384")
+        .parse()
+        .map_err(|_| "--mem must be an integer (MB)")?;
+    let width: usize = args
+        .value_or("--width", "384")
+        .parse()
+        .map_err(|_| "--width must be an integer")?;
+    let height: usize = args
+        .value_or("--height", "288")
+        .parse()
+        .map_err(|_| "--height must be an integer")?;
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2); // give the I/O thread somewhere to run
+    let mut opts = VoyagerOptions::new(storage, CpuPool::new(cores, 1.0), genx.clone(), spec, mode);
+    opts.mem_limit = mem_mb << 20;
+    opts.image_size = (width, height);
+    opts.camera = camera;
+    opts.image_format = match args.value_or("--format", "ppm") {
+        "ppm" => ImageFormat::Ppm,
+        "png" => ImageFormat::Png,
+        other => return Err(format!("unknown image format '{other}' (use ppm or png)")),
+    };
+    opts.decode_work_per_kib = 0; // real machine: no synthetic costs
+    opts.spec.work_per_op = godiva_platform::Work::ZERO;
+    if let Some(out) = args.value("--out") {
+        let fs = RealFs::new(out).map_err(|e| e.to_string())?;
+        opts.images_out = Some((Arc::new(fs) as Arc<dyn Storage>, "frames".into()));
+    }
+
+    let report = run_voyager(opts).map_err(|e| e.to_string())?;
+    println!(
+        "{} [{}]: {} snapshots in {:.3}s  (visible I/O {:.3}s, computation {:.3}s)",
+        report.test,
+        report.mode,
+        report.images,
+        report.total.as_secs_f64(),
+        report.visible_io.as_secs_f64(),
+        report.computation.as_secs_f64(),
+    );
+    if let Some(stats) = report.gbo_stats {
+        println!(
+            "godiva: {} background reads, {} blocking reads, {} cache hits, peak {:.1} MB",
+            stats.background_reads,
+            stats.blocking_reads,
+            stats.cache_hits,
+            stats.mem_peak as f64 / (1024.0 * 1024.0)
+        );
+    }
+    if args.value("--out").is_some() {
+        println!(
+            "frames written under {}/frames/",
+            args.value("--out").unwrap()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_example_specs(args: &Args) -> Result<(), String> {
+    let dir = args
+        .0
+        .first()
+        .ok_or("usage: voyager example-specs DIR".to_string())?;
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for spec in TestSpec::all() {
+        let path = format!("{dir}/{}.ops", spec.name);
+        std::fs::write(&path, format_ops(&spec)).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    let cam = Camera::looking_at([4.0, 3.2, 60.0], [0.0, 0.0, 20.0]);
+    let path = format!("{dir}/camera.txt");
+    std::fs::write(&path, format_camera(&cam)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

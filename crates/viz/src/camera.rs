@@ -1,0 +1,220 @@
+//! Perspective camera.
+//!
+//! Voyager takes "a camera position file" generated during an
+//! interactive Rocketeer session. [`Camera`] is that object: a look-at
+//! view transform plus a perspective projection, mapping world points to
+//! screen pixels and a depth value for the z-buffer.
+
+/// A perspective look-at camera.
+#[derive(Debug, Clone)]
+pub struct Camera {
+    /// Eye position in world space.
+    pub position: [f64; 3],
+    /// Point the camera looks at.
+    pub look_at: [f64; 3],
+    /// Up direction (need not be orthogonal to the view axis).
+    pub up: [f64; 3],
+    /// Vertical field of view in degrees.
+    pub fov_y_deg: f64,
+    /// Near clip distance.
+    pub near: f64,
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+fn normalize(a: [f64; 3]) -> [f64; 3] {
+    let n = dot(a, a).sqrt();
+    if n == 0.0 {
+        return [0.0, 0.0, 1.0];
+    }
+    [a[0] / n, a[1] / n, a[2] / n]
+}
+
+/// A point projected into screen space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projected {
+    /// Pixel x (can be outside the viewport).
+    pub x: f64,
+    /// Pixel y.
+    pub y: f64,
+    /// Camera-space depth (larger = farther).
+    pub depth: f64,
+}
+
+impl Camera {
+    /// A camera at `position` looking at `look_at` with +z up and a 45°
+    /// field of view.
+    pub fn looking_at(position: [f64; 3], look_at: [f64; 3]) -> Self {
+        Camera {
+            position,
+            look_at,
+            up: [0.0, 0.0, 1.0],
+            fov_y_deg: 45.0,
+            near: 1e-3,
+        }
+    }
+
+    /// A camera automatically framing the axis-aligned box `(min, max)`.
+    pub fn framing(min: [f64; 3], max: [f64; 3]) -> Self {
+        let center = [
+            0.5 * (min[0] + max[0]),
+            0.5 * (min[1] + max[1]),
+            0.5 * (min[2] + max[2]),
+        ];
+        let diag =
+            ((max[0] - min[0]).powi(2) + (max[1] - min[1]).powi(2) + (max[2] - min[2]).powi(2))
+                .sqrt()
+                .max(1e-9);
+        // Back off along a 3/4 view direction far enough for a 45° fov.
+        let dist = 1.5 * diag;
+        let dir = normalize([1.0, 0.8, 0.6]);
+        Camera::looking_at(
+            [
+                center[0] + dir[0] * dist,
+                center[1] + dir[1] * dist,
+                center[2] + dir[2] * dist,
+            ],
+            center,
+        )
+    }
+
+    /// An orbiting camera: positioned on a circle of `radius` around
+    /// `center` at height `elevation` above it, rotated by `angle`
+    /// radians, looking at the center. Stepping `angle` per frame gives
+    /// the classic turntable movie.
+    pub fn orbit(center: [f64; 3], radius: f64, elevation: f64, angle: f64) -> Self {
+        Camera::looking_at(
+            [
+                center[0] + radius * angle.cos(),
+                center[1] + radius * angle.sin(),
+                center[2] + elevation,
+            ],
+            center,
+        )
+    }
+
+    /// Orthonormal camera basis (right, true-up, forward).
+    fn basis(&self) -> ([f64; 3], [f64; 3], [f64; 3]) {
+        let forward = normalize(sub(self.look_at, self.position));
+        let right = normalize(cross(forward, self.up));
+        let up = cross(right, forward);
+        (right, up, forward)
+    }
+
+    /// Project a world point into a `width × height` viewport. Returns
+    /// `None` for points on or behind the near plane.
+    pub fn project(&self, p: [f64; 3], width: usize, height: usize) -> Option<Projected> {
+        let (right, up, forward) = self.basis();
+        let rel = sub(p, self.position);
+        let z = dot(rel, forward);
+        if z <= self.near {
+            return None;
+        }
+        let x = dot(rel, right);
+        let y = dot(rel, up);
+        let f = 1.0 / (0.5 * self.fov_y_deg.to_radians()).tan();
+        let aspect = width as f64 / height as f64;
+        let ndc_x = (x / z) * f / aspect;
+        let ndc_y = (y / z) * f;
+        Some(Projected {
+            x: (ndc_x + 1.0) * 0.5 * width as f64,
+            y: (1.0 - ndc_y) * 0.5 * height as f64,
+            depth: z,
+        })
+    }
+
+    /// Unit vector from the scene towards the camera (used as a head
+    /// light direction for shading).
+    pub fn view_dir(&self) -> [f64; 3] {
+        normalize(sub(self.position, self.look_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_projects_to_viewport_center() {
+        let cam = Camera::looking_at([0.0, -5.0, 0.0], [0.0, 0.0, 0.0]);
+        let p = cam.project([0.0, 0.0, 0.0], 200, 100).unwrap();
+        assert!((p.x - 100.0).abs() < 1e-9);
+        assert!((p.y - 50.0).abs() < 1e-9);
+        assert!((p.depth - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn behind_camera_is_clipped() {
+        let cam = Camera::looking_at([0.0, -5.0, 0.0], [0.0, 0.0, 0.0]);
+        assert!(cam.project([0.0, -10.0, 0.0], 100, 100).is_none());
+        assert!(cam.project(cam.position, 100, 100).is_none());
+    }
+
+    #[test]
+    fn depth_orders_points() {
+        let cam = Camera::looking_at([0.0, -5.0, 0.0], [0.0, 0.0, 0.0]);
+        let near = cam.project([0.0, -1.0, 0.0], 100, 100).unwrap();
+        let far = cam.project([0.0, 2.0, 0.0], 100, 100).unwrap();
+        assert!(near.depth < far.depth);
+    }
+
+    #[test]
+    fn up_is_up_on_screen() {
+        let cam = Camera::looking_at([0.0, -5.0, 0.0], [0.0, 0.0, 0.0]);
+        let hi = cam.project([0.0, 0.0, 1.0], 100, 100).unwrap();
+        let lo = cam.project([0.0, 0.0, -1.0], 100, 100).unwrap();
+        assert!(hi.y < lo.y, "+z up means smaller pixel y");
+    }
+
+    #[test]
+    fn framing_sees_the_whole_box() {
+        let cam = Camera::framing([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0]);
+        for corner in [
+            [-1.0, -1.0, -1.0],
+            [1.0, 1.0, 1.0],
+            [-1.0, 1.0, -1.0],
+            [1.0, -1.0, 1.0],
+        ] {
+            let p = cam.project(corner, 400, 300).unwrap();
+            assert!(p.x >= 0.0 && p.x <= 400.0, "{p:?}");
+            assert!(p.y >= 0.0 && p.y <= 300.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn orbit_circles_the_center() {
+        let center = [1.0, 2.0, 3.0];
+        for steps in 0..8 {
+            let angle = steps as f64 * std::f64::consts::FRAC_PI_4;
+            let cam = Camera::orbit(center, 5.0, 2.0, angle);
+            let dx = cam.position[0] - center[0];
+            let dy = cam.position[1] - center[1];
+            assert!(((dx * dx + dy * dy).sqrt() - 5.0).abs() < 1e-12);
+            assert!((cam.position[2] - center[2] - 2.0).abs() < 1e-12);
+            assert_eq!(cam.look_at, center);
+        }
+        // Opposite angles sit on opposite sides.
+        let a = Camera::orbit(center, 5.0, 0.0, 0.0);
+        let b = Camera::orbit(center, 5.0, 0.0, std::f64::consts::PI);
+        assert!((a.position[0] - center[0] + b.position[0] - center[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_dir_is_unit() {
+        let cam = Camera::looking_at([3.0, 4.0, 0.0], [0.0, 0.0, 0.0]);
+        let d = cam.view_dir();
+        let n = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+}

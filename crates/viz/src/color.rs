@@ -1,0 +1,175 @@
+//! Scalar→colour lookup tables.
+//!
+//! Rocketeer lets the user "play with the color scale" interactively;
+//! Voyager then applies the chosen scale in batch. We provide the
+//! classic rainbow (blue→red) map VTK defaults to, plus grayscale and a
+//! heat map.
+
+/// An 8-bit RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// Black.
+    pub const BLACK: Rgb = Rgb(0, 0, 0);
+    /// White.
+    pub const WHITE: Rgb = Rgb(255, 255, 255);
+
+    /// Componentwise scale by `f ∈ [0,1]` (shading).
+    pub fn scale(self, f: f64) -> Rgb {
+        let f = f.clamp(0.0, 1.0);
+        Rgb(
+            (self.0 as f64 * f) as u8,
+            (self.1 as f64 * f) as u8,
+            (self.2 as f64 * f) as u8,
+        )
+    }
+}
+
+/// Supported colour maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColorScheme {
+    /// Blue → cyan → green → yellow → red (the VTK default).
+    #[default]
+    Rainbow,
+    /// Black → white.
+    Gray,
+    /// Black → red → yellow → white.
+    Heat,
+}
+
+/// Maps scalars in `[min, max]` to colours under a [`ColorScheme`].
+#[derive(Debug, Clone)]
+pub struct ColorMap {
+    /// Scalar mapped to the low end.
+    pub min: f64,
+    /// Scalar mapped to the high end.
+    pub max: f64,
+    /// The colour scheme.
+    pub scheme: ColorScheme,
+}
+
+impl ColorMap {
+    /// A map over `[min, max]` (degenerate ranges map everything to the
+    /// midpoint colour).
+    pub fn new(min: f64, max: f64, scheme: ColorScheme) -> Self {
+        ColorMap { min, max, scheme }
+    }
+
+    /// A rainbow map fitted to the data range of `values` (empty or
+    /// constant input yields a unit range around the value).
+    pub fn fit(values: &[f64], scheme: ColorScheme) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if !min.is_finite() || !max.is_finite() {
+            (min, max) = (0.0, 1.0);
+        }
+        if min == max {
+            max = min + 1.0;
+        }
+        ColorMap { min, max, scheme }
+    }
+
+    /// Normalized position of `v` in the range.
+    fn t(&self, v: f64) -> f64 {
+        if self.max <= self.min {
+            return 0.5;
+        }
+        ((v - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+
+    /// Colour of scalar `v`.
+    pub fn map(&self, v: f64) -> Rgb {
+        let t = self.t(if v.is_finite() { v } else { self.min });
+        match self.scheme {
+            ColorScheme::Gray => {
+                let g = (t * 255.0) as u8;
+                Rgb(g, g, g)
+            }
+            ColorScheme::Rainbow => {
+                // Piecewise-linear blue→cyan→green→yellow→red.
+                let (r, g, b) = if t < 0.25 {
+                    (0.0, t / 0.25, 1.0)
+                } else if t < 0.5 {
+                    (0.0, 1.0, 1.0 - (t - 0.25) / 0.25)
+                } else if t < 0.75 {
+                    ((t - 0.5) / 0.25, 1.0, 0.0)
+                } else {
+                    (1.0, 1.0 - (t - 0.75) / 0.25, 0.0)
+                };
+                Rgb((r * 255.0) as u8, (g * 255.0) as u8, (b * 255.0) as u8)
+            }
+            ColorScheme::Heat => {
+                let (r, g, b) = if t < 1.0 / 3.0 {
+                    (3.0 * t, 0.0, 0.0)
+                } else if t < 2.0 / 3.0 {
+                    (1.0, 3.0 * t - 1.0, 0.0)
+                } else {
+                    (1.0, 1.0, 3.0 * t - 2.0)
+                };
+                Rgb((r * 255.0) as u8, (g * 255.0) as u8, (b * 255.0) as u8)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rainbow_endpoints() {
+        let m = ColorMap::new(0.0, 1.0, ColorScheme::Rainbow);
+        assert_eq!(m.map(0.0), Rgb(0, 0, 255));
+        assert_eq!(m.map(1.0), Rgb(255, 0, 0));
+        // Middle is green.
+        let mid = m.map(0.5);
+        assert!(mid.1 > 200 && mid.0 < 30 && mid.2 < 30, "{mid:?}");
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let m = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        assert_eq!(m.map(-5.0), Rgb(0, 0, 0));
+        assert_eq!(m.map(5.0), Rgb(255, 255, 255));
+        assert_eq!(m.map(f64::NAN), m.map(0.0));
+    }
+
+    #[test]
+    fn fit_spans_data() {
+        let m = ColorMap::fit(&[3.0, -1.0, 2.0], ColorScheme::Rainbow);
+        assert_eq!(m.min, -1.0);
+        assert_eq!(m.max, 3.0);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_inputs() {
+        let m = ColorMap::fit(&[], ColorScheme::Gray);
+        assert!(m.max > m.min);
+        let m = ColorMap::fit(&[7.0, 7.0], ColorScheme::Gray);
+        assert!(m.max > m.min);
+        let m = ColorMap::fit(&[f64::NAN], ColorScheme::Gray);
+        assert!(m.max > m.min);
+    }
+
+    #[test]
+    fn heat_monotone_in_red() {
+        let m = ColorMap::new(0.0, 1.0, ColorScheme::Heat);
+        let lo = m.map(0.1);
+        let hi = m.map(0.9);
+        assert!(hi.0 >= lo.0 && hi.1 >= lo.1 && hi.2 >= lo.2);
+    }
+
+    #[test]
+    fn scale_shades() {
+        assert_eq!(Rgb(200, 100, 50).scale(0.5), Rgb(100, 50, 25));
+        assert_eq!(Rgb::WHITE.scale(2.0), Rgb::WHITE);
+        assert_eq!(Rgb::WHITE.scale(-1.0), Rgb::BLACK);
+    }
+}

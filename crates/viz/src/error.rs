@@ -1,0 +1,74 @@
+//! Error type for the visualization pipeline.
+
+use std::fmt;
+
+/// Failures while loading or rendering snapshot data.
+#[derive(Debug)]
+pub enum VizError {
+    /// Underlying file-format error.
+    Sdf(godiva_sdf::SdfError),
+    /// GODIVA database error.
+    Godiva(godiva_core::GodivaError),
+    /// Mesh inconsistency.
+    Mesh(godiva_mesh::MeshError),
+    /// Pipeline misuse (unknown variable, empty snapshot list, …).
+    Pipeline(String),
+}
+
+impl fmt::Display for VizError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VizError::Sdf(e) => write!(f, "file format: {e}"),
+            VizError::Godiva(e) => write!(f, "godiva: {e}"),
+            VizError::Mesh(e) => write!(f, "mesh: {e}"),
+            VizError::Pipeline(m) => write!(f, "pipeline: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VizError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VizError::Sdf(e) => Some(e),
+            VizError::Godiva(e) => Some(e),
+            VizError::Mesh(e) => Some(e),
+            VizError::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<godiva_sdf::SdfError> for VizError {
+    fn from(e: godiva_sdf::SdfError) -> Self {
+        VizError::Sdf(e)
+    }
+}
+impl From<godiva_core::GodivaError> for VizError {
+    fn from(e: godiva_core::GodivaError) -> Self {
+        VizError::Godiva(e)
+    }
+}
+impl From<godiva_mesh::MeshError> for VizError {
+    fn from(e: godiva_mesh::MeshError) -> Self {
+        VizError::Mesh(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type VizResult<T> = Result<T, VizError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: VizError = godiva_sdf::SdfError::NoSuchDataset("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("x"));
+        let e: VizError = godiva_core::GodivaError::Shutdown.into();
+        assert!(e.to_string().contains("shutting down"));
+        let e = VizError::Pipeline("bad".into());
+        assert!(e.source().is_none());
+    }
+}

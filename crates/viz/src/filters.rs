@@ -1,0 +1,498 @@
+//! Geometry filters: surface extraction, isosurfaces, slices, clips.
+//!
+//! These are the "graphics operations" a Voyager run applies — the
+//! *"requested surfaces, slices, and cutting planes"* that differentiate
+//! the paper's simple/medium/complex tests (§4.2). Every filter consumes
+//! a tetrahedral mesh plus a node scalar and produces a [`TriangleSoup`]
+//! ready for rasterization.
+
+use crate::error::{VizError, VizResult};
+use godiva_mesh::{boundary_faces, TetMesh};
+
+/// A renderable bag of triangles with one scalar per vertex (for colour
+/// lookup).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriangleSoup {
+    /// Vertex positions.
+    pub positions: Vec<[f64; 3]>,
+    /// One colour scalar per vertex.
+    pub scalars: Vec<f64>,
+    /// Triangles as vertex indices.
+    pub tris: Vec<[u32; 3]>,
+}
+
+impl TriangleSoup {
+    /// Empty soup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triangles.
+    pub fn tri_count(&self) -> usize {
+        self.tris.len()
+    }
+
+    /// Append another soup (indices re-based).
+    pub fn append(&mut self, other: &TriangleSoup) {
+        let base = self.positions.len() as u32;
+        self.positions.extend_from_slice(&other.positions);
+        self.scalars.extend_from_slice(&other.scalars);
+        self.tris.extend(
+            other
+                .tris
+                .iter()
+                .map(|t| [t[0] + base, t[1] + base, t[2] + base]),
+        );
+    }
+
+    /// Merge vertices closer than `tol` (per axis) and drop degenerate
+    /// triangles. Used by tests checking surface closedness and by
+    /// anyone post-processing filter output.
+    pub fn dedup(&self, tol: f64) -> TriangleSoup {
+        use std::collections::HashMap;
+        let q = |v: f64| (v / tol).round() as i64;
+        let mut map: HashMap<[i64; 3], u32> = HashMap::new();
+        let mut remap = Vec::with_capacity(self.positions.len());
+        let mut out = TriangleSoup::new();
+        for (i, p) in self.positions.iter().enumerate() {
+            let key = [q(p[0]), q(p[1]), q(p[2])];
+            let idx = *map.entry(key).or_insert_with(|| {
+                out.positions.push(*p);
+                out.scalars.push(self.scalars[i]);
+                (out.positions.len() - 1) as u32
+            });
+            remap.push(idx);
+        }
+        for t in &self.tris {
+            let t2 = [
+                remap[t[0] as usize],
+                remap[t[1] as usize],
+                remap[t[2] as usize],
+            ];
+            if t2[0] != t2[1] && t2[1] != t2[2] && t2[0] != t2[2] {
+                out.tris.push(t2);
+            }
+        }
+        out
+    }
+
+    /// Scalar range `(min, max)` over all vertices, if any.
+    pub fn scalar_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.scalars.iter().copied().filter(|v| v.is_finite());
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for v in it {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some((min, max))
+    }
+}
+
+/// An oriented plane `n · p = d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Plane normal (need not be unit length).
+    pub normal: [f64; 3],
+    /// Offset: points with `n·p > d` are on the positive side.
+    pub d: f64,
+}
+
+impl Plane {
+    /// Plane with the given normal passing through `point`.
+    pub fn through(point: [f64; 3], normal: [f64; 3]) -> Self {
+        Plane {
+            normal,
+            d: normal[0] * point[0] + normal[1] * point[1] + normal[2] * point[2],
+        }
+    }
+
+    /// Signed distance-like value of `p` (not normalized).
+    pub fn eval(&self, p: [f64; 3]) -> f64 {
+        self.normal[0] * p[0] + self.normal[1] * p[1] + self.normal[2] * p[2] - self.d
+    }
+}
+
+fn check_scalars(mesh: &TetMesh, scalars: &[f64]) -> VizResult<()> {
+    mesh.check_node_field(scalars).map_err(VizError::Mesh)
+}
+
+/// Extract the mesh's outer boundary surface with per-vertex scalars —
+/// the cheapest Voyager operation ("surfaces").
+pub fn surface(mesh: &TetMesh, scalars: &[f64]) -> VizResult<TriangleSoup> {
+    check_scalars(mesh, scalars)?;
+    let faces = boundary_faces(mesh);
+    let mut soup = TriangleSoup::new();
+    for f in faces {
+        let base = soup.positions.len() as u32;
+        for &n in &f {
+            soup.positions.push(mesh.points[n as usize]);
+            soup.scalars.push(scalars[n as usize]);
+        }
+        soup.tris.push([base, base + 1, base + 2]);
+    }
+    Ok(soup)
+}
+
+/// Interpolated crossing of edge `(a, b)` where `field` hits `iso`.
+struct Crossing {
+    pos: [f64; 3],
+    scalar: f64,
+}
+
+fn edge_crossing(
+    mesh: &TetMesh,
+    color: &[f64],
+    field: impl Fn(u32) -> f64,
+    iso: f64,
+    a: u32,
+    b: u32,
+) -> Crossing {
+    let fa = field(a);
+    let fb = field(b);
+    let t = ((iso - fa) / (fb - fa)).clamp(0.0, 1.0);
+    let pa = mesh.points[a as usize];
+    let pb = mesh.points[b as usize];
+    Crossing {
+        pos: [
+            pa[0] + t * (pb[0] - pa[0]),
+            pa[1] + t * (pb[1] - pa[1]),
+            pa[2] + t * (pb[2] - pa[2]),
+        ],
+        scalar: color[a as usize] + t * (color[b as usize] - color[a as usize]),
+    }
+}
+
+/// Generic marching-tetrahedra contouring of `crossing_field` at `iso`,
+/// carrying `color` as the output scalar. The workhorse behind
+/// [`isosurface`] (crossing field = the scalar itself) and
+/// [`plane_slice`] (crossing field = plane distance).
+fn contour(
+    mesh: &TetMesh,
+    color: &[f64],
+    crossing_field: impl Fn(u32) -> f64,
+    iso: f64,
+) -> TriangleSoup {
+    let mut soup = TriangleSoup::new();
+    let mut push = |c: Crossing| -> u32 {
+        soup.positions.push(c.pos);
+        soup.scalars.push(c.scalar);
+        (soup.positions.len() - 1) as u32
+    };
+    let mut tris: Vec<[u32; 3]> = Vec::new();
+    for t in &mesh.tets {
+        let mut above: Vec<u32> = Vec::with_capacity(4);
+        let mut below: Vec<u32> = Vec::with_capacity(4);
+        for &v in t {
+            if crossing_field(v) >= iso {
+                above.push(v);
+            } else {
+                below.push(v);
+            }
+        }
+        match (above.len(), below.len()) {
+            (0, _) | (_, 0) => {}
+            (1, 3) | (3, 1) => {
+                let (lone, others) = if above.len() == 1 {
+                    (above[0], below)
+                } else {
+                    (below[0], above)
+                };
+                let i0 = push(edge_crossing(
+                    mesh,
+                    color,
+                    &crossing_field,
+                    iso,
+                    lone,
+                    others[0],
+                ));
+                let i1 = push(edge_crossing(
+                    mesh,
+                    color,
+                    &crossing_field,
+                    iso,
+                    lone,
+                    others[1],
+                ));
+                let i2 = push(edge_crossing(
+                    mesh,
+                    color,
+                    &crossing_field,
+                    iso,
+                    lone,
+                    others[2],
+                ));
+                tris.push([i0, i1, i2]);
+            }
+            (2, 2) => {
+                // Quad through edges (a0,b0)-(a0,b1)-(a1,b1)-(a1,b0):
+                // consecutive pairs share a tet face, so the order is
+                // cyclic and the fan split below is valid.
+                let (a0, a1) = (above[0], above[1]);
+                let (b0, b1) = (below[0], below[1]);
+                let q0 = push(edge_crossing(mesh, color, &crossing_field, iso, a0, b0));
+                let q1 = push(edge_crossing(mesh, color, &crossing_field, iso, a0, b1));
+                let q2 = push(edge_crossing(mesh, color, &crossing_field, iso, a1, b1));
+                let q3 = push(edge_crossing(mesh, color, &crossing_field, iso, a1, b0));
+                tris.push([q0, q1, q2]);
+                tris.push([q0, q2, q3]);
+            }
+            _ => unreachable!("4 vertices split between above and below"),
+        }
+    }
+    soup.tris = tris;
+    soup
+}
+
+/// Marching-tetrahedra isosurface of `scalars` at `iso`.
+pub fn isosurface(mesh: &TetMesh, scalars: &[f64], iso: f64) -> VizResult<TriangleSoup> {
+    check_scalars(mesh, scalars)?;
+    Ok(contour(mesh, scalars, |v| scalars[v as usize], iso))
+}
+
+/// Cross-section of the mesh along `plane`, coloured by `scalars`.
+pub fn plane_slice(mesh: &TetMesh, scalars: &[f64], plane: Plane) -> VizResult<TriangleSoup> {
+    check_scalars(mesh, scalars)?;
+    Ok(contour(
+        mesh,
+        scalars,
+        |v| plane.eval(mesh.points[v as usize]),
+        0.0,
+    ))
+}
+
+/// Cutting plane: the outer surface of the half of the mesh on the
+/// positive side of `plane` (elements kept by centroid), capped with the
+/// cross-section. This is Rocketeer's "cutting plane" view of the grain
+/// interior.
+pub fn clip_surface(mesh: &TetMesh, scalars: &[f64], plane: Plane) -> VizResult<TriangleSoup> {
+    check_scalars(mesh, scalars)?;
+    let kept: Vec<[u32; 4]> = mesh
+        .tets
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(e, _)| plane.eval(mesh.tet_centroid(e)) > 0.0)
+        .map(|(_, t)| t)
+        .collect();
+    let sub = TetMesh {
+        points: mesh.points.clone(),
+        tets: kept,
+    };
+    let mut soup = surface(&sub, scalars)?;
+    let cap = plane_slice(mesh, scalars, plane)?;
+    soup.append(&cap);
+    Ok(soup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_mesh::{annulus_mesh, box_tet_mesh};
+    use std::collections::HashMap;
+
+    fn radial_field(mesh: &TetMesh, center: [f64; 3]) -> Vec<f64> {
+        mesh.points
+            .iter()
+            .map(|p| {
+                ((p[0] - center[0]).powi(2)
+                    + (p[1] - center[1]).powi(2)
+                    + (p[2] - center[2]).powi(2))
+                .sqrt()
+            })
+            .collect()
+    }
+
+    fn edge_counts(soup: &TriangleSoup) -> HashMap<(u32, u32), usize> {
+        let mut edges = HashMap::new();
+        for t in &soup.tris {
+            for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                *edges.entry((a.min(b), a.max(b))).or_default() += 1;
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn surface_of_box_is_closed() {
+        let m = box_tet_mesh(3, 3, 3, 1.0, 1.0, 1.0);
+        let f = radial_field(&m, [0.5, 0.5, 0.5]);
+        let soup = surface(&m, &f).unwrap().dedup(1e-9);
+        assert!(soup.tri_count() > 0);
+        assert!(edge_counts(&soup).values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn surface_rejects_bad_field_length() {
+        let m = box_tet_mesh(1, 1, 1, 1.0, 1.0, 1.0);
+        assert!(surface(&m, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn interior_isosurface_is_closed() {
+        // Sphere of radius 0.3 strictly inside the unit box.
+        let m = box_tet_mesh(6, 6, 6, 1.0, 1.0, 1.0);
+        let f = radial_field(&m, [0.5, 0.5, 0.5]);
+        let soup = isosurface(&m, &f, 0.3).unwrap().dedup(1e-9);
+        assert!(soup.tri_count() > 20);
+        assert!(
+            edge_counts(&soup).values().all(|&c| c == 2),
+            "interior isosurface must be a closed 2-manifold"
+        );
+    }
+
+    #[test]
+    fn isosurface_vertices_lie_on_isovalue() {
+        let m = box_tet_mesh(4, 4, 4, 1.0, 1.0, 1.0);
+        // Linear field f = x: crossings at x = 0.37 exactly.
+        let f: Vec<f64> = m.points.iter().map(|p| p[0]).collect();
+        let soup = isosurface(&m, &f, 0.37).unwrap();
+        assert!(soup.tri_count() > 0);
+        for (p, &s) in soup.positions.iter().zip(&soup.scalars) {
+            assert!((p[0] - 0.37).abs() < 1e-9, "x = {}", p[0]);
+            assert!((s - 0.37).abs() < 1e-9, "scalar = {s}");
+        }
+    }
+
+    #[test]
+    fn isosurface_outside_range_is_empty() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let f: Vec<f64> = m.points.iter().map(|p| p[0]).collect();
+        assert_eq!(isosurface(&m, &f, 5.0).unwrap().tri_count(), 0);
+        assert_eq!(isosurface(&m, &f, -5.0).unwrap().tri_count(), 0);
+    }
+
+    #[test]
+    fn isosurface_area_approximates_sphere() {
+        let m = box_tet_mesh(10, 10, 10, 1.0, 1.0, 1.0);
+        let f = radial_field(&m, [0.5, 0.5, 0.5]);
+        let soup = isosurface(&m, &f, 0.35).unwrap();
+        let area: f64 = soup
+            .tris
+            .iter()
+            .map(|t| {
+                let a = soup.positions[t[0] as usize];
+                let b = soup.positions[t[1] as usize];
+                let c = soup.positions[t[2] as usize];
+                let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+                let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+                let cx = u[1] * v[2] - u[2] * v[1];
+                let cy = u[2] * v[0] - u[0] * v[2];
+                let cz = u[0] * v[1] - u[1] * v[0];
+                0.5 * (cx * cx + cy * cy + cz * cz).sqrt()
+            })
+            .sum();
+        let expect = 4.0 * std::f64::consts::PI * 0.35f64.powi(2);
+        assert!(
+            (area - expect).abs() / expect < 0.05,
+            "area {area} vs sphere {expect}"
+        );
+    }
+
+    #[test]
+    fn slice_of_box_has_expected_area() {
+        let m = box_tet_mesh(4, 4, 4, 2.0, 1.0, 1.0);
+        let f: Vec<f64> = m.points.iter().map(|p| p[2]).collect();
+        let plane = Plane::through([1.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        let soup = plane_slice(&m, &f, plane).unwrap();
+        let area: f64 = soup
+            .tris
+            .iter()
+            .map(|t| {
+                let a = soup.positions[t[0] as usize];
+                let b = soup.positions[t[1] as usize];
+                let c = soup.positions[t[2] as usize];
+                let u = [b[1] - a[1], b[2] - a[2]];
+                let v = [c[1] - a[1], c[2] - a[2]];
+                0.5 * (u[0] * v[1] - u[1] * v[0]).abs()
+            })
+            .sum();
+        assert!((area - 1.0).abs() < 1e-9, "slice area {area}");
+        // All slice vertices lie on the plane and carry interpolated z.
+        for (p, &s) in soup.positions.iter().zip(&soup.scalars) {
+            assert!((p[0] - 1.0).abs() < 1e-9);
+            assert!((s - p[2]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clip_keeps_positive_half() {
+        let m = box_tet_mesh(4, 4, 4, 1.0, 1.0, 1.0);
+        let f = radial_field(&m, [0.5, 0.5, 0.5]);
+        let plane = Plane::through([0.5, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        let soup = clip_surface(&m, &f, plane).unwrap();
+        assert!(soup.tri_count() > 0);
+        // No geometry should be deep on the negative side.
+        for p in &soup.positions {
+            assert!(p[0] >= 0.5 - 0.26, "point {p:?} far into clipped half");
+        }
+    }
+
+    #[test]
+    fn works_on_annulus_mesh() {
+        let m = annulus_mesh(2, 12, 3, 0.5, 1.0, 2.0);
+        let f: Vec<f64> = m
+            .points
+            .iter()
+            .map(|p| (p[0] * p[0] + p[1] * p[1]).sqrt())
+            .collect();
+        let surf = surface(&m, &f).unwrap();
+        assert!(surf.tri_count() > 0);
+        let iso = isosurface(&m, &f, 0.75).unwrap();
+        assert!(iso.tri_count() > 0);
+        for p in &iso.positions {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((r - 0.75).abs() < 0.05, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn append_rebases_indices() {
+        let mut a = TriangleSoup {
+            positions: vec![[0.0; 3]; 3],
+            scalars: vec![0.0; 3],
+            tris: vec![[0, 1, 2]],
+        };
+        let b = a.clone();
+        a.append(&b);
+        assert_eq!(a.tris, vec![[0, 1, 2], [3, 4, 5]]);
+        assert_eq!(a.positions.len(), 6);
+    }
+
+    #[test]
+    fn dedup_merges_and_drops_degenerates() {
+        let soup = TriangleSoup {
+            positions: vec![
+                [0.0; 3],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [1e-12, 0.0, 0.0],
+            ],
+            scalars: vec![1.0, 2.0, 3.0, 1.0],
+            tris: vec![[0, 1, 2], [0, 3, 1]], // second becomes degenerate
+        };
+        let d = soup.dedup(1e-9);
+        assert_eq!(d.positions.len(), 3);
+        assert_eq!(d.tris.len(), 1);
+    }
+
+    #[test]
+    fn scalar_range() {
+        let soup = TriangleSoup {
+            positions: vec![[0.0; 3]; 3],
+            scalars: vec![2.0, -1.0, f64::NAN],
+            tris: vec![],
+        };
+        assert_eq!(soup.scalar_range(), Some((-1.0, 2.0)));
+        assert_eq!(TriangleSoup::new().scalar_range(), None);
+    }
+
+    #[test]
+    fn plane_eval_signs() {
+        let p = Plane::through([1.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        assert!(p.eval([2.0, 5.0, 5.0]) > 0.0);
+        assert!(p.eval([0.0, 0.0, 0.0]) < 0.0);
+        assert_eq!(p.eval([1.0, 3.0, -2.0]), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Vector glyphs and threshold extraction — the remaining Rocketeer
+//! operation types (§4.1 shows velocity/stress visualizations; hedgehog
+//! glyphs and thresholding are the standard VTK tools for them).
+
+use crate::error::VizResult;
+use crate::filters::{surface, TriangleSoup};
+use godiva_mesh::TetMesh;
+
+fn norm(v: [f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+/// A vector perpendicular to `v` (any one).
+fn any_perpendicular(v: [f64; 3]) -> [f64; 3] {
+    // Cross with the axis least aligned with v.
+    let axis = if v[0].abs() <= v[1].abs() && v[0].abs() <= v[2].abs() {
+        [1.0, 0.0, 0.0]
+    } else if v[1].abs() <= v[2].abs() {
+        [0.0, 1.0, 0.0]
+    } else {
+        [0.0, 0.0, 1.0]
+    };
+    [
+        v[1] * axis[2] - v[2] * axis[1],
+        v[2] * axis[0] - v[0] * axis[2],
+        v[0] * axis[1] - v[1] * axis[0],
+    ]
+}
+
+/// Hedgehog glyphs: one arrow (a thin kite of two triangles) per node,
+/// oriented along the node's vector, length `scale * |v|`, coloured by
+/// `|v|`. `stride` draws every n-th node (dense meshes need thinning).
+///
+/// `vectors` is flat `[x0,y0,z0, x1,y1,z1, …]` like the GENx vector
+/// datasets.
+pub fn vector_glyphs(
+    mesh: &TetMesh,
+    vectors: &[f64],
+    scale: f64,
+    stride: usize,
+) -> VizResult<TriangleSoup> {
+    if vectors.len() != mesh.node_count() * 3 {
+        return Err(crate::error::VizError::Pipeline(format!(
+            "glyphs: {} vector components for {} nodes",
+            vectors.len(),
+            mesh.node_count()
+        )));
+    }
+    let stride = stride.max(1);
+    let mut soup = TriangleSoup::new();
+    for n in (0..mesh.node_count()).step_by(stride) {
+        let v = [vectors[3 * n], vectors[3 * n + 1], vectors[3 * n + 2]];
+        let mag = norm(v);
+        if mag == 0.0 || !mag.is_finite() {
+            continue;
+        }
+        let p = mesh.points[n];
+        let tip = [
+            p[0] + v[0] * scale,
+            p[1] + v[1] * scale,
+            p[2] + v[2] * scale,
+        ];
+        // Half-width 10 % of the arrow length, perpendicular to it.
+        let mut w = any_perpendicular(v);
+        let wn = norm(w);
+        if wn == 0.0 {
+            continue;
+        }
+        let half = 0.1 * mag * scale / wn;
+        w = [w[0] * half, w[1] * half, w[2] * half];
+        let base = soup.positions.len() as u32;
+        soup.positions.push([p[0] - w[0], p[1] - w[1], p[2] - w[2]]);
+        soup.positions.push([p[0] + w[0], p[1] + w[1], p[2] + w[2]]);
+        soup.positions.push(tip);
+        soup.scalars.extend_from_slice(&[mag, mag, mag]);
+        soup.tris.push([base, base + 1, base + 2]);
+    }
+    Ok(soup)
+}
+
+/// Threshold: the outer surface of the sub-mesh formed by elements whose
+/// *average nodal scalar* lies in `[lo, hi]`.
+pub fn threshold(mesh: &TetMesh, scalars: &[f64], lo: f64, hi: f64) -> VizResult<TriangleSoup> {
+    mesh.check_node_field(scalars)
+        .map_err(crate::error::VizError::Mesh)?;
+    let kept: Vec<[u32; 4]> = mesh
+        .tets
+        .iter()
+        .copied()
+        .filter(|t| {
+            let avg = t.iter().map(|&n| scalars[n as usize]).sum::<f64>() / 4.0;
+            avg >= lo && avg <= hi
+        })
+        .collect();
+    let sub = TetMesh {
+        points: mesh.points.clone(),
+        tets: kept,
+    };
+    surface(&sub, scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_mesh::box_tet_mesh;
+
+    #[test]
+    fn glyphs_one_triangle_per_strided_node() {
+        let m = box_tet_mesh(2, 2, 2, 1.0, 1.0, 1.0);
+        let vectors: Vec<f64> = (0..m.node_count()).flat_map(|_| [1.0, 0.5, 0.25]).collect();
+        let all = vector_glyphs(&m, &vectors, 0.1, 1).unwrap();
+        assert_eq!(all.tri_count(), m.node_count());
+        let thinned = vector_glyphs(&m, &vectors, 0.1, 3).unwrap();
+        assert_eq!(thinned.tri_count(), m.node_count().div_ceil(3));
+    }
+
+    #[test]
+    fn glyph_geometry_points_along_vector() {
+        let m = godiva_mesh::tet::unit_tet();
+        let mut vectors = vec![0.0; 12];
+        vectors[0] = 2.0; // node 0: v = (2, 0, 0)
+        let soup = vector_glyphs(&m, &vectors, 0.5, 1).unwrap();
+        assert_eq!(soup.tri_count(), 1, "zero vectors are skipped");
+        // The tip is at p + v*scale = (1, 0, 0).
+        let tip = soup.positions[2];
+        assert!((tip[0] - 1.0).abs() < 1e-12);
+        // Scalar carries the magnitude.
+        assert!((soup.scalars[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glyphs_skip_nan_and_zero() {
+        let m = godiva_mesh::tet::unit_tet();
+        let mut vectors = vec![0.0; 12];
+        vectors[3] = f64::NAN;
+        let soup = vector_glyphs(&m, &vectors, 1.0, 1).unwrap();
+        assert_eq!(soup.tri_count(), 0);
+    }
+
+    #[test]
+    fn glyphs_reject_bad_lengths() {
+        let m = godiva_mesh::tet::unit_tet();
+        assert!(vector_glyphs(&m, &[0.0; 7], 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn threshold_selects_band() {
+        // f = x over a 4-cell-long box: thresholding the middle half
+        // keeps a slab whose surface is closed and lies within x-range.
+        let m = box_tet_mesh(8, 2, 2, 1.0, 1.0, 1.0);
+        let f: Vec<f64> = m.points.iter().map(|p| p[0]).collect();
+        let soup = threshold(&m, &f, 0.25, 0.75).unwrap();
+        assert!(soup.tri_count() > 0);
+        for p in &soup.positions {
+            assert!(p[0] >= 0.25 - 1e-9 && p[0] <= 0.75 + 1e-9, "x = {}", p[0]);
+        }
+        // Empty band → empty surface.
+        assert_eq!(threshold(&m, &f, 5.0, 6.0).unwrap().tri_count(), 0);
+        // Full band → the whole boundary.
+        let full = threshold(&m, &f, -1.0, 2.0).unwrap();
+        let whole = surface(&m, &f).unwrap();
+        assert_eq!(full.tri_count(), whole.tri_count());
+    }
+
+    #[test]
+    fn threshold_checks_field_length() {
+        let m = box_tet_mesh(1, 1, 1, 1.0, 1.0, 1.0);
+        assert!(threshold(&m, &[0.0; 2], 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn perpendicular_is_perpendicular() {
+        for v in [
+            [1.0, 0.0, 0.0],
+            [0.0, 2.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.1, -3.0, 0.4],
+        ] {
+            let w = any_perpendicular(v);
+            let dot = v[0] * w[0] + v[1] * w[1] + v[2] * w[2];
+            assert!(dot.abs() < 1e-12);
+            assert!(norm(w) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Apollo/Houston — interactive client-server parallel rendering.
+//!
+//! The Rocketeer suite contains "an interactive tool with parallel
+//! processing in a client-server mode called Apollo/Houston" (§4.1).
+//! This module is that third tool: a [`HoustonServer`] owning worker
+//! threads, each with **its own GODIVA database** over a partition of
+//! the mesh blocks (§3.3: "Each processor has its own database, which
+//! manages its local data, and there is no need for any communication
+//! between the GBO objects on different processors"), answering render
+//! requests from an interactive client (Apollo).
+//!
+//! A request is served in two phases, the standard sort-last parallel
+//! rendering protocol:
+//!
+//! 1. every worker loads its blocks (GODIVA units, cached with
+//!    `finish_unit` across requests — revisits are hits) and reports its
+//!    local scalar range;
+//! 2. the server broadcasts the merged range (so all workers colour
+//!    identically), each worker rasterizes its blocks into a private
+//!    framebuffer, and the server depth-composites the partial images.
+
+use crate::backend::{GodivaBackend, GodivaBackendOptions, SnapshotSource};
+use crate::camera::Camera;
+use crate::color::{ColorMap, ColorScheme};
+use crate::error::{VizError, VizResult};
+use crate::raster::{rasterize, Framebuffer};
+use crate::spec::GraphicsOp;
+use crate::voyager::apply_op;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use godiva_genx::GenxConfig;
+use godiva_platform::Storage;
+use godiva_sdf::ReadOptions;
+use std::sync::Arc;
+
+/// A render request from the client.
+#[derive(Debug, Clone)]
+pub struct RenderRequest {
+    /// Snapshot to render.
+    pub snapshot: usize,
+    /// Graphics operations to apply (each names its variable).
+    pub ops: Vec<GraphicsOp>,
+    /// Output image size.
+    pub width: usize,
+    /// Output image height.
+    pub height: usize,
+}
+
+type RangeReply = Receiver<VizResult<Option<(f64, f64)>>>;
+
+enum WorkerMsg {
+    Range {
+        snapshot: usize,
+        var: String,
+        reply: Sender<VizResult<Option<(f64, f64)>>>,
+    },
+    Render {
+        request: RenderRequest,
+        ranges: Vec<(f64, f64)>,
+        reply: Sender<VizResult<Framebuffer>>,
+    },
+    Shutdown,
+}
+
+struct Worker {
+    tx: Sender<WorkerMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The parallel render server.
+pub struct HoustonServer {
+    workers: Vec<Worker>,
+    genx: GenxConfig,
+}
+
+fn worker_loop(
+    rx: Receiver<WorkerMsg>,
+    storage: Arc<dyn Storage>,
+    genx: GenxConfig,
+    vars: Vec<String>,
+    blocks: Vec<usize>,
+    mem_limit: u64,
+) {
+    let mut options = GodivaBackendOptions::interactive(vars, mem_limit);
+    options.block_subset = Some(blocks);
+    let mut backend = GodivaBackend::new(storage, genx.clone(), ReadOptions::new(), options);
+    let all: Vec<usize> = (0..genx.snapshots).collect();
+    // Interactive mode: units are read on demand (blocking) and cached.
+    if backend.begin_run(&all).is_err() {
+        return;
+    }
+    let bounds = (
+        [-genx.r_outer, -genx.r_outer, 0.0],
+        [genx.r_outer, genx.r_outer, genx.height],
+    );
+    let camera = Camera::framing(bounds.0, bounds.1);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Range {
+                snapshot,
+                var,
+                reply,
+            } => {
+                let result = backend.load_pass(snapshot, &var).map(|data| {
+                    let mut range: Option<(f64, f64)> = None;
+                    for d in &data {
+                        for &v in d.scalar.iter().filter(|v| v.is_finite()) {
+                            range = Some(match range {
+                                None => (v, v),
+                                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                            });
+                        }
+                    }
+                    range
+                });
+                let _ = reply.send(result);
+            }
+            WorkerMsg::Render {
+                request,
+                ranges,
+                reply,
+            } => {
+                let mut fb = Framebuffer::new(request.width, request.height);
+                let mut render = || -> VizResult<()> {
+                    for (op, &(lo, hi)) in request.ops.iter().zip(&ranges) {
+                        let data = backend.load_pass(request.snapshot, op.var())?;
+                        let cmap = ColorMap::new(lo, hi, ColorScheme::Rainbow);
+                        for d in &data {
+                            let soup = apply_op(op, d, bounds)?;
+                            rasterize(&mut fb, &camera, &cmap, &soup);
+                        }
+                    }
+                    // Keep the snapshot cached for revisits.
+                    backend.end_snapshot(request.snapshot)?;
+                    Ok(())
+                };
+                let result = render().map(|()| fb);
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+impl HoustonServer {
+    /// Start a server with `n_workers` worker databases over a
+    /// round-robin block partition. `vars` is the set of variables the
+    /// client may request.
+    pub fn start(
+        storage: Arc<dyn Storage>,
+        genx: GenxConfig,
+        vars: Vec<String>,
+        n_workers: usize,
+        mem_limit_per_worker: u64,
+    ) -> VizResult<HoustonServer> {
+        if n_workers == 0 {
+            return Err(VizError::Pipeline("need at least one worker".into()));
+        }
+        let workers = (0..n_workers)
+            .map(|w| {
+                let (tx, rx) = unbounded();
+                let storage = storage.clone();
+                let genx2 = genx.clone();
+                let vars = vars.clone();
+                let blocks: Vec<usize> = (0..genx.blocks).filter(|b| b % n_workers == w).collect();
+                let handle = std::thread::Builder::new()
+                    .name(format!("houston-{w}"))
+                    .spawn(move || {
+                        worker_loop(rx, storage, genx2, vars, blocks, mem_limit_per_worker)
+                    })
+                    .expect("spawn houston worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Ok(HoustonServer { workers, genx })
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Serve one render request: two-phase (range, then render +
+    /// composite). Blocks until the image is complete.
+    pub fn render(&self, request: RenderRequest) -> VizResult<Framebuffer> {
+        if request.snapshot >= self.genx.snapshots {
+            return Err(VizError::Pipeline(format!(
+                "snapshot {} out of range (dataset has {})",
+                request.snapshot, self.genx.snapshots
+            )));
+        }
+        // Phase 1: one global colour range per op.
+        let mut ranges = Vec::with_capacity(request.ops.len());
+        for op in &request.ops {
+            let replies: Vec<RangeReply> = self
+                .workers
+                .iter()
+                .map(|w| {
+                    let (tx, rx) = unbounded();
+                    w.tx.send(WorkerMsg::Range {
+                        snapshot: request.snapshot,
+                        var: op.var().to_string(),
+                        reply: tx,
+                    })
+                    .map_err(|_| VizError::Pipeline("worker died".into()))?;
+                    Ok::<_, VizError>(rx)
+                })
+                .collect::<VizResult<_>>()?;
+            let mut merged: Option<(f64, f64)> = None;
+            for rx in replies {
+                let local = rx
+                    .recv()
+                    .map_err(|_| VizError::Pipeline("worker died".into()))??;
+                if let Some((lo, hi)) = local {
+                    merged = Some(match merged {
+                        None => (lo, hi),
+                        Some((a, b)) => (a.min(lo), b.max(hi)),
+                    });
+                }
+            }
+            let (lo, hi) = merged.unwrap_or((0.0, 1.0));
+            ranges.push(if hi > lo { (lo, hi) } else { (lo, lo + 1.0) });
+        }
+        // Phase 2: parallel render, sort-last composite.
+        let replies: Vec<Receiver<VizResult<Framebuffer>>> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (tx, rx) = unbounded();
+                w.tx.send(WorkerMsg::Render {
+                    request: request.clone(),
+                    ranges: ranges.clone(),
+                    reply: tx,
+                })
+                .map_err(|_| VizError::Pipeline("worker died".into()))?;
+                Ok::<_, VizError>(rx)
+            })
+            .collect::<VizResult<_>>()?;
+        let mut composite: Option<Framebuffer> = None;
+        for rx in replies {
+            let partial = rx
+                .recv()
+                .map_err(|_| VizError::Pipeline("worker died".into()))??;
+            composite = Some(match composite {
+                None => partial,
+                Some(mut fb) => {
+                    fb.merge_nearer(&partial);
+                    fb
+                }
+            });
+        }
+        Ok(composite.expect("at least one worker"))
+    }
+
+    /// Stop all workers and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(WorkerMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for HoustonServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+
+    fn dataset() -> (Arc<dyn Storage>, GenxConfig) {
+        let fs = Arc::new(MemFs::new());
+        let config = GenxConfig::tiny();
+        godiva_genx::generate(fs.as_ref(), &config).unwrap();
+        (fs as Arc<dyn Storage>, config)
+    }
+
+    fn simple_request(snapshot: usize) -> RenderRequest {
+        RenderRequest {
+            snapshot,
+            ops: vec![GraphicsOp::Surface {
+                var: "stress_avg".into(),
+            }],
+            width: 96,
+            height: 72,
+        }
+    }
+
+    fn serial_reference(
+        storage: Arc<dyn Storage>,
+        genx: &GenxConfig,
+        request: &RenderRequest,
+    ) -> Framebuffer {
+        // One worker == serial rendering; use it as ground truth.
+        let server = HoustonServer::start(
+            storage,
+            genx.clone(),
+            vec!["stress_avg".into(), "velocity".into()],
+            1,
+            64 << 20,
+        )
+        .unwrap();
+        server.render(request.clone()).unwrap()
+    }
+
+    #[test]
+    fn parallel_compositing_matches_serial() {
+        let (fs, genx) = dataset();
+        let request = simple_request(0);
+        let reference = serial_reference(fs.clone(), &genx, &request);
+        for workers in [2, 3] {
+            let server = HoustonServer::start(
+                fs.clone(),
+                genx.clone(),
+                vec!["stress_avg".into(), "velocity".into()],
+                workers,
+                64 << 20,
+            )
+            .unwrap();
+            let fb = server.render(request.clone()).unwrap();
+            assert_eq!(
+                fb.checksum(),
+                reference.checksum(),
+                "{workers}-worker composite differs from serial"
+            );
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn revisits_are_cached_per_worker() {
+        let (fs, genx) = dataset();
+        let server =
+            HoustonServer::start(fs, genx, vec!["stress_avg".into()], 2, 64 << 20).unwrap();
+        let a = server.render(simple_request(0)).unwrap();
+        let b = server.render(simple_request(1)).unwrap();
+        let a2 = server.render(simple_request(0)).unwrap();
+        assert_eq!(a.checksum(), a2.checksum(), "revisit renders identically");
+        assert_ne!(a.checksum(), b.checksum(), "snapshots differ");
+    }
+
+    #[test]
+    fn multi_op_requests_work() {
+        let (fs, genx) = dataset();
+        let server = HoustonServer::start(
+            fs,
+            genx,
+            vec!["stress_avg".into(), "velocity".into()],
+            2,
+            64 << 20,
+        )
+        .unwrap();
+        let fb = server
+            .render(RenderRequest {
+                snapshot: 1,
+                ops: vec![
+                    GraphicsOp::Surface {
+                        var: "stress_avg".into(),
+                    },
+                    GraphicsOp::Isosurface {
+                        var: "velocity".into(),
+                        fraction: 0.5,
+                    },
+                ],
+                width: 64,
+                height: 64,
+            })
+            .unwrap();
+        assert!(fb.covered_pixels() > 0);
+    }
+
+    #[test]
+    fn bad_requests_are_errors() {
+        let (fs, genx) = dataset();
+        let snapshots = genx.snapshots;
+        let server =
+            HoustonServer::start(fs, genx, vec!["stress_avg".into()], 2, 64 << 20).unwrap();
+        assert!(server.render(simple_request(snapshots + 5)).is_err());
+        let err = server.render(RenderRequest {
+            snapshot: 0,
+            ops: vec![GraphicsOp::Surface {
+                var: "not_a_variable".into(),
+            }],
+            width: 32,
+            height: 32,
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected_and_drop_is_clean() {
+        let (fs, genx) = dataset();
+        assert!(HoustonServer::start(fs.clone(), genx.clone(), vec![], 0, 1 << 20).is_err());
+        let server =
+            HoustonServer::start(fs, genx, vec!["stress_avg".into()], 3, 64 << 20).unwrap();
+        assert_eq!(server.workers(), 3);
+        drop(server); // must join cleanly
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # godiva-viz — a Rocketeer/Voyager-like visualization pipeline
+//!
+//! The GODIVA paper evaluates with **Voyager**, the parallel batch-mode
+//! renderer of the **Rocketeer** suite (built on VTK, reading HDF4
+//! files): it *"takes as arguments a camera position file, a graphics
+//! operations file, and a list of HDF files to process"* and grinds
+//! through time-step snapshots producing one image each (§4.1).
+//!
+//! This crate is a from-scratch, dependency-free equivalent:
+//!
+//! - [`filters`] — boundary-surface extraction, marching-tetrahedra
+//!   isosurfaces, plane slices and clip/cut planes over tetrahedral
+//!   meshes, each producing a [`TriangleSoup`];
+//! - [`color`] — scalar→colour lookup tables;
+//! - [`camera`] + [`raster`] — a perspective camera and a z-buffered
+//!   software triangle rasterizer with Gouraud shading;
+//! - [`ppm`] — PPM (P6) image output;
+//! - [`backend`] — the two data-access paths the paper compares:
+//!   [`backend::DirectBackend`] (the original tightly coupled
+//!   read-and-process loop that re-reads mesh data for every variable
+//!   pass) and [`backend::GodivaBackend`] (records and units in a
+//!   [`godiva_core::Gbo`], mesh read once and reused);
+//! - [`spec`] — the *simple / medium / complex* visualization tests of
+//!   §4.2 as data;
+//! - [`voyager`] — the batch driver measuring computation vs. visible
+//!   I/O time exactly as the paper defines them.
+
+pub mod backend;
+pub mod camera;
+pub mod color;
+pub mod error;
+pub mod filters;
+pub mod glyphs;
+pub mod houston;
+pub mod png;
+pub mod ppm;
+pub mod raster;
+pub mod spec;
+pub mod specfile;
+pub mod voyager;
+
+pub use backend::{
+    BlockData, DirectBackend, GodivaBackend, GodivaBackendOptions, Granularity, SnapshotSource,
+};
+pub use camera::Camera;
+pub use color::{ColorMap, Rgb};
+pub use error::{VizError, VizResult};
+pub use filters::{clip_surface, isosurface, plane_slice, surface, Plane, TriangleSoup};
+pub use glyphs::{threshold, vector_glyphs};
+pub use houston::{HoustonServer, RenderRequest};
+pub use png::write_png;
+pub use raster::Framebuffer;
+pub use spec::{Axis, GraphicsOp, TestSpec};
+pub use voyager::{run_voyager, ImageFormat, Mode, VoyagerOptions, VoyagerReport};

@@ -1,0 +1,87 @@
+//! PPM (P6) image output.
+//!
+//! Voyager "periodically write[s] image files"; the paper notes output is
+//! small compared to input. PPM is the simplest portable truecolour
+//! format and keeps this crate dependency-free.
+
+use crate::raster::Framebuffer;
+use godiva_platform::Storage;
+use std::io;
+
+/// Write `fb` as a binary PPM to `path` on `storage`.
+pub fn write_ppm(storage: &dyn Storage, path: &str, fb: &Framebuffer) -> io::Result<()> {
+    let header = format!("P6\n{} {}\n255\n", fb.width, fb.height);
+    let mut bytes = Vec::with_capacity(header.len() + fb.width * fb.height * 3);
+    bytes.extend_from_slice(header.as_bytes());
+    bytes.extend_from_slice(&fb.rgb_bytes());
+    storage.write(path, &bytes)
+}
+
+/// Parse a binary PPM back into `(width, height, rgb_bytes)` — used by
+/// tests and the interactive example to verify output.
+pub fn read_ppm(storage: &dyn Storage, path: &str) -> io::Result<(usize, usize, Vec<u8>)> {
+    let bytes = storage.read(path)?;
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{path}: {m}"));
+    // Header: "P6\n<w> <h>\n255\n" as written by write_ppm.
+    let header_end = bytes
+        .windows(4)
+        .position(|w| w == b"255\n")
+        .ok_or_else(|| bad("no maxval"))?
+        + 4;
+    let header = std::str::from_utf8(&bytes[..header_end]).map_err(|_| bad("non-ascii header"))?;
+    let mut tokens = header.split_ascii_whitespace();
+    if tokens.next() != Some("P6") {
+        return Err(bad("not a P6 PPM"));
+    }
+    let w: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad width"))?;
+    let h: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad height"))?;
+    let data = bytes[header_end..].to_vec();
+    if data.len() != w * h * 3 {
+        return Err(bad(&format!(
+            "payload {} bytes, expected {}",
+            data.len(),
+            w * h * 3
+        )));
+    }
+    Ok((w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+
+    #[test]
+    fn roundtrip() {
+        let fs = MemFs::new();
+        let fb = Framebuffer::new(17, 9);
+        write_ppm(&fs, "img.ppm", &fb).unwrap();
+        let (w, h, data) = read_ppm(&fs, "img.ppm").unwrap();
+        assert_eq!((w, h), (17, 9));
+        assert_eq!(data, fb.rgb_bytes());
+    }
+
+    #[test]
+    fn header_is_standard() {
+        let fs = MemFs::new();
+        write_ppm(&fs, "img.ppm", &Framebuffer::new(3, 2)).unwrap();
+        let bytes = fs.read("img.ppm").unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 18);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let fs = MemFs::new();
+        fs.write("junk", b"hello world 255\n xx").unwrap();
+        assert!(read_ppm(&fs, "junk").is_err());
+        fs.write("short", b"P6\n4 4\n255\nxx").unwrap();
+        assert!(read_ppm(&fs, "short").is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Z-buffered software triangle rasterizer with Gouraud shading.
+//!
+//! Rocketeer renders through VTK; our stand-in is a small, deterministic
+//! scan-line rasterizer: project each triangle with the [`Camera`], shade
+//! vertices by a head-light diffuse term, interpolate colour scalar and
+//! depth across the triangle, and keep the nearest fragment per pixel.
+
+use crate::camera::Camera;
+use crate::color::{ColorMap, Rgb};
+use crate::filters::TriangleSoup;
+
+/// An RGB image with a depth buffer.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    pixels: Vec<Rgb>,
+    depth: Vec<f64>,
+}
+
+impl Framebuffer {
+    /// A cleared framebuffer (black background, infinite depth).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![Rgb::BLACK; width * height],
+            depth: vec![f64::INFINITY; width * height],
+        }
+    }
+
+    /// Reset to background.
+    pub fn clear(&mut self) {
+        self.pixels.fill(Rgb::BLACK);
+        self.depth.fill(f64::INFINITY);
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgb {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Number of pixels covered by any geometry.
+    pub fn covered_pixels(&self) -> usize {
+        self.depth.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Raw RGB bytes, row-major.
+    pub fn rgb_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(&[p.0, p.1, p.2]);
+        }
+        out
+    }
+
+    /// A cheap content signature for comparing renders in tests.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in &self.pixels {
+            for b in [p.0, p.1, p.2] {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Depth-composite `other` into `self`: per pixel, keep whichever
+    /// fragment is nearer. This is the classic sort-last parallel
+    /// rendering merge — the Houston server composites its workers'
+    /// partial images this way.
+    pub fn merge_nearer(&mut self, other: &Framebuffer) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "framebuffer sizes must match for compositing"
+        );
+        for i in 0..self.pixels.len() {
+            if other.depth[i] < self.depth[i] {
+                self.depth[i] = other.depth[i];
+                self.pixels[i] = other.pixels[i];
+            }
+        }
+    }
+
+    fn try_put(&mut self, x: usize, y: usize, depth: f64, color: Rgb) {
+        let i = y * self.width + x;
+        if depth < self.depth[i] {
+            self.depth[i] = depth;
+            self.pixels[i] = color;
+        }
+    }
+}
+
+fn normal_of(a: [f64; 3], b: [f64; 3], c: [f64; 3]) -> [f64; 3] {
+    let u = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+    let v = [c[0] - a[0], c[1] - a[1], c[2] - a[2]];
+    let n = [
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    ];
+    let len = (n[0] * n[0] + n[1] * n[1] + n[2] * n[2]).sqrt();
+    if len == 0.0 {
+        return [0.0, 0.0, 1.0];
+    }
+    [n[0] / len, n[1] / len, n[2] / len]
+}
+
+/// Rasterize `soup` into `fb` through `camera`, colouring scalars with
+/// `cmap`. Returns the number of triangles drawn (after clipping).
+pub fn rasterize(
+    fb: &mut Framebuffer,
+    camera: &Camera,
+    cmap: &ColorMap,
+    soup: &TriangleSoup,
+) -> usize {
+    let light = camera.view_dir();
+    let mut drawn = 0usize;
+    for t in &soup.tris {
+        let pa = soup.positions[t[0] as usize];
+        let pb = soup.positions[t[1] as usize];
+        let pc = soup.positions[t[2] as usize];
+        // Two-sided head-light diffuse shading with a little ambient.
+        let n = normal_of(pa, pb, pc);
+        let ndotl = (n[0] * light[0] + n[1] * light[1] + n[2] * light[2]).abs();
+        let shade = 0.25 + 0.75 * ndotl;
+
+        let (Some(a), Some(b), Some(c)) = (
+            camera.project(pa, fb.width, fb.height),
+            camera.project(pb, fb.width, fb.height),
+            camera.project(pc, fb.width, fb.height),
+        ) else {
+            continue; // crosses the near plane; drop it
+        };
+        let sa = soup.scalars[t[0] as usize];
+        let sb = soup.scalars[t[1] as usize];
+        let sc = soup.scalars[t[2] as usize];
+
+        // Screen-space bounding box clipped to the viewport.
+        let min_x = a.x.min(b.x).min(c.x).floor().max(0.0) as usize;
+        let max_x = (a.x.max(b.x).max(c.x).ceil() as isize).min(fb.width as isize - 1);
+        let min_y = a.y.min(b.y).min(c.y).floor().max(0.0) as usize;
+        let max_y = (a.y.max(b.y).max(c.y).ceil() as isize).min(fb.height as isize - 1);
+        if max_x < min_x as isize || max_y < min_y as isize {
+            continue;
+        }
+        let (max_x, max_y) = (max_x as usize, max_y as usize);
+
+        // Barycentric setup.
+        let det = (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
+        if det.abs() < 1e-12 {
+            continue; // degenerate on screen
+        }
+        drawn += 1;
+        for y in min_y..=max_y {
+            for x in min_x..=max_x {
+                let px = x as f64 + 0.5;
+                let py = y as f64 + 0.5;
+                let w1 = ((px - a.x) * (c.y - a.y) - (c.x - a.x) * (py - a.y)) / det;
+                let w2 = ((b.x - a.x) * (py - a.y) - (px - a.x) * (b.y - a.y)) / det;
+                let w0 = 1.0 - w1 - w2;
+                if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                    continue;
+                }
+                let depth = w0 * a.depth + w1 * b.depth + w2 * c.depth;
+                let scalar = w0 * sa + w1 * sb + w2 * sc;
+                fb.try_put(x, y, depth, cmap.map(scalar).scale(shade));
+            }
+        }
+    }
+    drawn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ColorScheme;
+
+    fn one_triangle(z: f64, scalar: f64) -> TriangleSoup {
+        TriangleSoup {
+            positions: vec![[-1.0, z, -1.0], [1.0, z, -1.0], [0.0, z, 1.0]],
+            scalars: vec![scalar; 3],
+            tris: vec![[0, 1, 2]],
+        }
+    }
+
+    fn test_camera() -> Camera {
+        Camera::looking_at([0.0, -5.0, 0.0], [0.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn triangle_covers_center() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        let drawn = rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(0.0, 1.0));
+        assert_eq!(drawn, 1);
+        assert!(fb.covered_pixels() > 100);
+        assert_ne!(fb.pixel(32, 32), Rgb::BLACK);
+        // Corners stay background.
+        assert_eq!(fb.pixel(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    fn nearer_triangle_wins_depth_test() {
+        let mut fb = Framebuffer::new(64, 64);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        // Far triangle scalar 0.2 (dark), near triangle scalar 1.0 (white).
+        rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(2.0, 0.2));
+        let far_pixel = fb.pixel(32, 32);
+        rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(-2.0, 1.0));
+        let near_pixel = fb.pixel(32, 32);
+        assert!(
+            near_pixel.0 > far_pixel.0,
+            "{near_pixel:?} vs {far_pixel:?}"
+        );
+        // Drawing the far one again must not overwrite.
+        rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(2.0, 0.2));
+        assert_eq!(fb.pixel(32, 32), near_pixel);
+    }
+
+    #[test]
+    fn behind_camera_dropped() {
+        let mut fb = Framebuffer::new(32, 32);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        let drawn = rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(-10.0, 1.0));
+        assert_eq!(drawn, 0);
+        assert_eq!(fb.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut fb = Framebuffer::new(32, 32);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(0.0, 1.0));
+        assert!(fb.covered_pixels() > 0);
+        fb.clear();
+        assert_eq!(fb.covered_pixels(), 0);
+        assert_eq!(fb.pixel(16, 16), Rgb::BLACK);
+    }
+
+    #[test]
+    fn deterministic_checksum() {
+        let render = || {
+            let mut fb = Framebuffer::new(48, 48);
+            let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Rainbow);
+            rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(0.0, 0.7));
+            fb.checksum()
+        };
+        assert_eq!(render(), render());
+        // Different scene → different checksum.
+        let mut fb = Framebuffer::new(48, 48);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Rainbow);
+        rasterize(&mut fb, &test_camera(), &cmap, &one_triangle(0.0, 0.2));
+        assert_ne!(fb.checksum(), render());
+    }
+
+    #[test]
+    fn rgb_bytes_layout() {
+        let fb = Framebuffer::new(2, 2);
+        let bytes = fb.rgb_bytes();
+        assert_eq!(bytes.len(), 12);
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn merge_nearer_composites_by_depth() {
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        let cam = test_camera();
+        // Render near and far triangles into separate buffers, merge in
+        // both orders: results must agree and match a single-buffer render.
+        let mut near = Framebuffer::new(64, 64);
+        rasterize(&mut near, &cam, &cmap, &one_triangle(-2.0, 1.0));
+        let mut far = Framebuffer::new(64, 64);
+        rasterize(&mut far, &cam, &cmap, &one_triangle(2.0, 0.2));
+        let mut single = Framebuffer::new(64, 64);
+        rasterize(&mut single, &cam, &cmap, &one_triangle(2.0, 0.2));
+        rasterize(&mut single, &cam, &cmap, &one_triangle(-2.0, 1.0));
+
+        let mut ab = near.clone();
+        ab.merge_nearer(&far);
+        let mut ba = far.clone();
+        ba.merge_nearer(&near);
+        assert_eq!(ab.checksum(), ba.checksum(), "merge is order-independent");
+        assert_eq!(
+            ab.checksum(),
+            single.checksum(),
+            "merge equals serial render"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = Framebuffer::new(8, 8);
+        let b = Framebuffer::new(9, 8);
+        a.merge_nearer(&b);
+    }
+
+    #[test]
+    fn gouraud_interpolates_scalar() {
+        // Scalar 0 on the left vertices, 1 on the right vertex: the
+        // pixel colour must increase left→right in a gray map.
+        let soup = TriangleSoup {
+            positions: vec![[-2.0, 0.0, -2.0], [-2.0, 0.0, 2.0], [2.0, 0.0, 0.0]],
+            scalars: vec![0.0, 0.0, 1.0],
+            tris: vec![[0, 1, 2]],
+        };
+        let mut fb = Framebuffer::new(64, 64);
+        let cmap = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        rasterize(&mut fb, &test_camera(), &cmap, &soup);
+        let left = fb.pixel(20, 32);
+        let right = fb.pixel(44, 32);
+        assert!(right.0 > left.0, "{right:?} vs {left:?}");
+    }
+}

@@ -1,0 +1,288 @@
+//! Graphics-operation specs: the paper's *simple / medium / complex*
+//! visualization tests as data.
+//!
+//! §4.2: *"we varied the relative amount of I/O by performing three
+//! visualization tests … The tests process different variables (e.g.,
+//! velocity and stress) or have different visualization features (such
+//! as the requested surfaces, slices, and cutting planes). The 'simple'
+//! test has the smallest ratio of computation work load to I/O load,
+//! while the 'complex' test has the largest."*
+//!
+//! Each op is one *pass*: the original Voyager reads the mesh anew for
+//! every pass (its reading and processing are coupled), which is the
+//! redundancy GODIVA's query interfaces remove.
+
+use crate::filters::Plane;
+use godiva_platform::Work;
+
+/// Axis selector for slice/clip planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// X axis.
+    X,
+    /// Y axis.
+    Y,
+    /// Z axis.
+    Z,
+}
+
+impl Axis {
+    /// Unit normal of the axis.
+    pub fn normal(self) -> [f64; 3] {
+        match self {
+            Axis::X => [1.0, 0.0, 0.0],
+            Axis::Y => [0.0, 1.0, 0.0],
+            Axis::Z => [0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Plane at `fraction` of the bounding box along this axis.
+    pub fn plane_at(self, min: [f64; 3], max: [f64; 3], fraction: f64) -> Plane {
+        let i = match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        };
+        let mut point = [
+            0.5 * (min[0] + max[0]),
+            0.5 * (min[1] + max[1]),
+            0.5 * (min[2] + max[2]),
+        ];
+        point[i] = min[i] + fraction * (max[i] - min[i]);
+        Plane::through(point, self.normal())
+    }
+}
+
+/// One rendering pass over one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphicsOp {
+    /// Outer mesh surface coloured by `var`.
+    Surface {
+        /// Variable to colour by.
+        var: String,
+    },
+    /// Isosurface of `var` at `fraction` of its data range.
+    Isosurface {
+        /// Variable to contour.
+        var: String,
+        /// Isovalue position inside the data range, in `[0,1]`.
+        fraction: f64,
+    },
+    /// Planar cross-section coloured by `var`.
+    Slice {
+        /// Variable to colour by.
+        var: String,
+        /// Plane axis.
+        axis: Axis,
+        /// Plane position along the axis, in `[0,1]` of the bounds.
+        fraction: f64,
+    },
+    /// Cutting plane: clipped outer surface plus section cap.
+    Clip {
+        /// Variable to colour by.
+        var: String,
+        /// Plane axis.
+        axis: Axis,
+        /// Plane position along the axis, in `[0,1]` of the bounds.
+        fraction: f64,
+    },
+    /// Hedgehog vector glyphs (vector variables only).
+    Glyphs {
+        /// Vector variable to draw arrows for.
+        var: String,
+        /// Arrow length per unit of magnitude, in world units.
+        scale: f64,
+        /// Draw every n-th node.
+        stride: usize,
+    },
+    /// Outer surface of the elements whose scalar falls in a band.
+    Threshold {
+        /// Variable to threshold and colour by.
+        var: String,
+        /// Band lower bound as a fraction of the data range.
+        lo: f64,
+        /// Band upper bound as a fraction of the data range.
+        hi: f64,
+    },
+}
+
+impl GraphicsOp {
+    /// The variable this pass reads.
+    pub fn var(&self) -> &str {
+        match self {
+            GraphicsOp::Surface { var }
+            | GraphicsOp::Isosurface { var, .. }
+            | GraphicsOp::Slice { var, .. }
+            | GraphicsOp::Clip { var, .. }
+            | GraphicsOp::Glyphs { var, .. }
+            | GraphicsOp::Threshold { var, .. } => var,
+        }
+    }
+}
+
+/// A named visualization test: passes plus a synthetic computation load.
+#[derive(Debug, Clone)]
+pub struct TestSpec {
+    /// Test name ("simple", "medium", "complex").
+    pub name: String,
+    /// Rendering passes applied to every snapshot.
+    pub ops: Vec<GraphicsOp>,
+    /// Synthetic CPU work per pass per snapshot, standing in for the
+    /// heavier VTK processing the real Voyager performs.
+    pub work_per_op: Work,
+}
+
+impl TestSpec {
+    /// Distinct variables the test reads, in first-use order.
+    pub fn distinct_vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for op in &self.ops {
+            if !out.contains(&op.var()) {
+                out.push(op.var());
+            }
+        }
+        out
+    }
+
+    /// The "simple" test: smallest computation : I/O ratio. Two passes,
+    /// two variables.
+    pub fn simple() -> TestSpec {
+        TestSpec {
+            name: "simple".into(),
+            ops: vec![
+                GraphicsOp::Surface {
+                    var: "stress_avg".into(),
+                },
+                GraphicsOp::Isosurface {
+                    var: "velocity".into(),
+                    fraction: 0.55,
+                },
+            ],
+            work_per_op: Work::from_micros(16_000),
+        }
+    }
+
+    /// The "medium" test: the largest total data size and the most
+    /// record fields (four passes, four variables).
+    pub fn medium() -> TestSpec {
+        TestSpec {
+            name: "medium".into(),
+            ops: vec![
+                GraphicsOp::Surface {
+                    var: "stress_avg".into(),
+                },
+                GraphicsOp::Isosurface {
+                    var: "stress_xx".into(),
+                    fraction: 0.5,
+                },
+                GraphicsOp::Slice {
+                    var: "velocity".into(),
+                    axis: Axis::Z,
+                    fraction: 0.5,
+                },
+                GraphicsOp::Clip {
+                    var: "displacement".into(),
+                    axis: Axis::X,
+                    fraction: 0.5,
+                },
+            ],
+            work_per_op: Work::from_micros(24_000),
+        }
+    }
+
+    /// The "complex" test: the largest computation : I/O ratio (heavy
+    /// passes over few variables, smallest input volume).
+    pub fn complex() -> TestSpec {
+        TestSpec {
+            name: "complex".into(),
+            ops: vec![
+                GraphicsOp::Isosurface {
+                    var: "stress_avg".into(),
+                    fraction: 0.45,
+                },
+                GraphicsOp::Clip {
+                    var: "stress_xx".into(),
+                    axis: Axis::X,
+                    fraction: 0.5,
+                },
+            ],
+            work_per_op: Work::from_micros(54_000),
+        }
+    }
+
+    /// All three paper tests.
+    pub fn all() -> Vec<TestSpec> {
+        vec![Self::simple(), Self::medium(), Self::complex()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_vars_deduplicate_in_order() {
+        let spec = TestSpec {
+            name: "t".into(),
+            ops: vec![
+                GraphicsOp::Surface { var: "a".into() },
+                GraphicsOp::Isosurface {
+                    var: "b".into(),
+                    fraction: 0.5,
+                },
+                GraphicsOp::Slice {
+                    var: "a".into(),
+                    axis: Axis::Z,
+                    fraction: 0.5,
+                },
+            ],
+            work_per_op: Work::ZERO,
+        };
+        assert_eq!(spec.distinct_vars(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn paper_tests_have_expected_structure() {
+        let simple = TestSpec::simple();
+        let medium = TestSpec::medium();
+        let complex = TestSpec::complex();
+        // medium reads the most variables (largest data size, §4.2).
+        assert!(medium.distinct_vars().len() > simple.distinct_vars().len());
+        assert!(medium.distinct_vars().len() > complex.distinct_vars().len());
+        // complex has the largest per-pass computation.
+        assert!(complex.work_per_op > medium.work_per_op);
+        assert!(medium.work_per_op > simple.work_per_op);
+        // every variable must exist in the GENx inventory
+        for spec in TestSpec::all() {
+            for v in spec.distinct_vars() {
+                assert!(
+                    godiva_genx::fields::variable(v).is_some(),
+                    "unknown variable {v} in {}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axis_planes() {
+        let p = Axis::X.plane_at([0.0; 3], [2.0, 4.0, 6.0], 0.25);
+        assert!(p.eval([0.5, 2.0, 3.0]).abs() < 1e-12);
+        assert!(p.eval([1.0, 0.0, 0.0]) > 0.0);
+        let p = Axis::Z.plane_at([0.0; 3], [2.0, 4.0, 6.0], 0.5);
+        assert!(p.eval([0.0, 0.0, 3.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_var_accessor() {
+        assert_eq!(
+            GraphicsOp::Clip {
+                var: "x".into(),
+                axis: Axis::Y,
+                fraction: 0.1
+            }
+            .var(),
+            "x"
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Text formats for the Voyager CLI's two input files.
+//!
+//! §4.1: Voyager "takes as arguments a camera position file, a graphics
+//! operations file, and a list of HDF files to process. The camera
+//! position and graphics operations files are generated during an
+//! interactive session". These are those files, as simple line-oriented
+//! text:
+//!
+//! ```text
+//! # graphics operations file
+//! name = my_test
+//! work_per_op_us = 20000
+//! surface    var=stress_avg
+//! isosurface var=velocity fraction=0.5
+//! slice      var=stress_xx axis=z fraction=0.5
+//! clip       var=displacement axis=x fraction=0.5
+//! glyphs     var=velocity scale=0.002 stride=4
+//! threshold  var=stress_avg lo=0.3 hi=0.8
+//! ```
+//!
+//! ```text
+//! # camera position file
+//! position = 4.0 3.2 45.0
+//! look_at  = 0.0 0.0 20.0
+//! up       = 0 0 1
+//! fov      = 45
+//! ```
+
+use crate::camera::Camera;
+use crate::error::{VizError, VizResult};
+use crate::spec::{Axis, GraphicsOp, TestSpec};
+use godiva_platform::Work;
+use std::collections::HashMap;
+
+fn bad(line_no: usize, msg: impl std::fmt::Display) -> VizError {
+    VizError::Pipeline(format!("line {line_no}: {msg}"))
+}
+
+/// Split `k=v` parameters of an op line into a map.
+fn params(line_no: usize, parts: &[&str]) -> VizResult<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    for p in parts {
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| bad(line_no, format!("expected key=value, got '{p}'")))?;
+        map.insert(k.trim().to_string(), v.trim().to_string());
+    }
+    Ok(map)
+}
+
+fn get<'a>(line_no: usize, map: &'a HashMap<String, String>, key: &str) -> VizResult<&'a str> {
+    map.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| bad(line_no, format!("missing '{key}='")))
+}
+
+fn get_f64(line_no: usize, map: &HashMap<String, String>, key: &str) -> VizResult<f64> {
+    get(line_no, map, key)?
+        .parse()
+        .map_err(|_| bad(line_no, format!("'{key}' is not a number")))
+}
+
+fn get_axis(line_no: usize, map: &HashMap<String, String>) -> VizResult<Axis> {
+    match get(line_no, map, "axis")? {
+        "x" | "X" => Ok(Axis::X),
+        "y" | "Y" => Ok(Axis::Y),
+        "z" | "Z" => Ok(Axis::Z),
+        other => Err(bad(line_no, format!("unknown axis '{other}'"))),
+    }
+}
+
+/// Parse a graphics operations file into a [`TestSpec`].
+pub fn parse_ops(text: &str) -> VizResult<TestSpec> {
+    let mut name = "custom".to_string();
+    let mut work = Work::from_micros(20_000);
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            // Directive lines use spaces around '=', op params do not;
+            // disambiguate by the first token.
+            let k = k.trim();
+            if k == "name" {
+                name = v.trim().to_string();
+                continue;
+            }
+            if k == "work_per_op_us" {
+                let us: u64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(line_no, "work_per_op_us is not an integer"))?;
+                work = Work::from_micros(us);
+                continue;
+            }
+        }
+        let mut parts = line.split_whitespace();
+        let op_kind = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        let map = params(line_no, &rest)?;
+        let var = || get(line_no, &map, "var").map(str::to_string);
+        let op = match op_kind {
+            "surface" => GraphicsOp::Surface { var: var()? },
+            "isosurface" => GraphicsOp::Isosurface {
+                var: var()?,
+                fraction: get_f64(line_no, &map, "fraction")?,
+            },
+            "slice" => GraphicsOp::Slice {
+                var: var()?,
+                axis: get_axis(line_no, &map)?,
+                fraction: get_f64(line_no, &map, "fraction")?,
+            },
+            "clip" => GraphicsOp::Clip {
+                var: var()?,
+                axis: get_axis(line_no, &map)?,
+                fraction: get_f64(line_no, &map, "fraction")?,
+            },
+            "glyphs" => GraphicsOp::Glyphs {
+                var: var()?,
+                scale: get_f64(line_no, &map, "scale")?,
+                stride: get_f64(line_no, &map, "stride")? as usize,
+            },
+            "threshold" => GraphicsOp::Threshold {
+                var: var()?,
+                lo: get_f64(line_no, &map, "lo")?,
+                hi: get_f64(line_no, &map, "hi")?,
+            },
+            other => return Err(bad(line_no, format!("unknown operation '{other}'"))),
+        };
+        ops.push(op);
+    }
+    if ops.is_empty() {
+        return Err(VizError::Pipeline(
+            "graphics operations file contains no operations".into(),
+        ));
+    }
+    Ok(TestSpec {
+        name,
+        ops,
+        work_per_op: work,
+    })
+}
+
+/// Render a [`TestSpec`] back to the ops-file format.
+pub fn format_ops(spec: &TestSpec) -> String {
+    let axis = |a: &Axis| match a {
+        Axis::X => "x",
+        Axis::Y => "y",
+        Axis::Z => "z",
+    };
+    let mut out = format!(
+        "name = {}\nwork_per_op_us = {}\n",
+        spec.name, spec.work_per_op.0
+    );
+    for op in &spec.ops {
+        let line = match op {
+            GraphicsOp::Surface { var } => format!("surface var={var}"),
+            GraphicsOp::Isosurface { var, fraction } => {
+                format!("isosurface var={var} fraction={fraction}")
+            }
+            GraphicsOp::Slice {
+                var,
+                axis: a,
+                fraction,
+            } => {
+                format!("slice var={var} axis={} fraction={fraction}", axis(a))
+            }
+            GraphicsOp::Clip {
+                var,
+                axis: a,
+                fraction,
+            } => {
+                format!("clip var={var} axis={} fraction={fraction}", axis(a))
+            }
+            GraphicsOp::Glyphs { var, scale, stride } => {
+                format!("glyphs var={var} scale={scale} stride={stride}")
+            }
+            GraphicsOp::Threshold { var, lo, hi } => {
+                format!("threshold var={var} lo={lo} hi={hi}")
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_vec3(line_no: usize, v: &str) -> VizResult<[f64; 3]> {
+    let parts: Vec<f64> = v
+        .split_whitespace()
+        .map(|t| t.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad(line_no, "expected three numbers"))?;
+    if parts.len() != 3 {
+        return Err(bad(
+            line_no,
+            format!("expected 3 numbers, got {}", parts.len()),
+        ));
+    }
+    Ok([parts[0], parts[1], parts[2]])
+}
+
+/// Parse a camera position file.
+pub fn parse_camera(text: &str) -> VizResult<Camera> {
+    let mut camera = Camera::looking_at([1.0, 1.0, 1.0], [0.0, 0.0, 0.0]);
+    let mut saw_position = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| bad(line_no, "expected 'key = value'"))?;
+        match k.trim() {
+            "position" => {
+                camera.position = parse_vec3(line_no, v)?;
+                saw_position = true;
+            }
+            "look_at" => camera.look_at = parse_vec3(line_no, v)?,
+            "up" => camera.up = parse_vec3(line_no, v)?,
+            "fov" => {
+                camera.fov_y_deg = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(line_no, "fov is not a number"))?
+            }
+            other => return Err(bad(line_no, format!("unknown camera key '{other}'"))),
+        }
+    }
+    if !saw_position {
+        return Err(VizError::Pipeline("camera file must set 'position'".into()));
+    }
+    Ok(camera)
+}
+
+/// Render a camera back to the camera-file format.
+pub fn format_camera(camera: &Camera) -> String {
+    format!(
+        "position = {} {} {}\nlook_at = {} {} {}\nup = {} {} {}\nfov = {}\n",
+        camera.position[0],
+        camera.position[1],
+        camera.position[2],
+        camera.look_at[0],
+        camera.look_at[1],
+        camera.look_at[2],
+        camera.up[0],
+        camera.up[1],
+        camera.up[2],
+        camera.fov_y_deg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip_all_kinds() {
+        let text = "\
+# a comment
+name = everything
+work_per_op_us = 1234
+surface var=stress_avg
+isosurface var=velocity fraction=0.5
+slice var=stress_xx axis=z fraction=0.25   # trailing comment
+clip var=displacement axis=x fraction=0.5
+glyphs var=velocity scale=0.002 stride=4
+threshold var=stress_avg lo=0.3 hi=0.8
+";
+        let spec = parse_ops(text).unwrap();
+        assert_eq!(spec.name, "everything");
+        assert_eq!(spec.work_per_op, Work::from_micros(1234));
+        assert_eq!(spec.ops.len(), 6);
+        // Round-trip through the formatter.
+        let spec2 = parse_ops(&format_ops(&spec)).unwrap();
+        assert_eq!(spec2.ops, spec.ops);
+        assert_eq!(spec2.name, spec.name);
+    }
+
+    #[test]
+    fn paper_specs_roundtrip() {
+        for spec in TestSpec::all() {
+            let back = parse_ops(&format_ops(&spec)).unwrap();
+            assert_eq!(back.ops, spec.ops, "{}", spec.name);
+            assert_eq!(back.work_per_op, spec.work_per_op);
+        }
+    }
+
+    #[test]
+    fn ops_errors_name_the_line() {
+        let err = parse_ops("surface var=x\nwibble var=y\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_ops("slice var=x axis=w fraction=0.5\n").unwrap_err();
+        assert!(err.to_string().contains("axis"), "{err}");
+        let err = parse_ops("isosurface var=x\n").unwrap_err();
+        assert!(err.to_string().contains("fraction"), "{err}");
+        assert!(parse_ops("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn camera_roundtrip() {
+        let cam = Camera {
+            position: [4.0, 3.25, 45.0],
+            look_at: [0.0, 0.0, 20.0],
+            up: [0.0, 0.0, 1.0],
+            fov_y_deg: 50.0,
+            near: 1e-3,
+        };
+        let back = parse_camera(&format_camera(&cam)).unwrap();
+        assert_eq!(back.position, cam.position);
+        assert_eq!(back.look_at, cam.look_at);
+        assert_eq!(back.up, cam.up);
+        assert_eq!(back.fov_y_deg, cam.fov_y_deg);
+    }
+
+    #[test]
+    fn camera_errors() {
+        assert!(
+            parse_camera("look_at = 0 0 0\n").is_err(),
+            "position required"
+        );
+        assert!(parse_camera("position = 1 2\n").is_err(), "3 numbers");
+        assert!(parse_camera("position = 1 2 3\nwarp = 9\n").is_err());
+        assert!(parse_camera("position = a b c\n").is_err());
+    }
+}

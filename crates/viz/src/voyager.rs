@@ -1,0 +1,426 @@
+//! The Voyager batch driver.
+//!
+//! §4.1: *"Voyager is a command line tool that takes as arguments a
+//! camera position file, a graphics operations file, and a list of HDF
+//! files to process"* and renders one image per time-step snapshot.
+//! [`run_voyager`] is that loop, instrumented the way §4.2 measures it:
+//!
+//! - **visible I/O time** — blocking dataset reads plus unit waits,
+//! - **computation time** — total execution time minus visible I/O.
+
+use crate::backend::{DirectBackend, GodivaBackend, Granularity, SnapshotSource};
+use crate::camera::Camera;
+use crate::color::{ColorMap, ColorScheme};
+use crate::error::{VizError, VizResult};
+use crate::filters::{clip_surface, isosurface, plane_slice, surface, TriangleSoup};
+use crate::ppm::write_ppm;
+use crate::raster::{rasterize, Framebuffer};
+use crate::spec::{GraphicsOp, TestSpec};
+use godiva_core::GboStats;
+use godiva_genx::GenxConfig;
+use godiva_platform::{CpuPool, Storage};
+use godiva_sdf::ReadOptions;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which Voyager build to run — the paper's O / G / TG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Original implementation, no GODIVA (O).
+    Original,
+    /// Single-thread GODIVA library (G).
+    GodivaSingle,
+    /// Multi-thread GODIVA library with background I/O (TG).
+    GodivaMulti,
+}
+
+impl Mode {
+    /// Short label used in reports ("O", "G", "TG").
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Original => "O",
+            Mode::GodivaSingle => "G",
+            Mode::GodivaMulti => "TG",
+        }
+    }
+}
+
+/// Everything a Voyager run needs.
+pub struct VoyagerOptions {
+    /// Storage holding the GENx snapshot files.
+    pub storage: Arc<dyn Storage>,
+    /// CPU pool of the platform (compute and decode run under its
+    /// core tokens).
+    pub cpu: CpuPool,
+    /// Dataset geometry/paths.
+    pub genx: GenxConfig,
+    /// Snapshots to process, in order.
+    pub snapshots: Vec<usize>,
+    /// The visualization test to run.
+    pub spec: TestSpec,
+    /// Which build to use.
+    pub mode: Mode,
+    /// GODIVA memory budget in bytes (ignored for `Mode::Original`;
+    /// paper: 384 MB).
+    pub mem_limit: u64,
+    /// Synthetic decode cost charged per KiB read (the HDF
+    /// interpretation overhead; runs on whichever thread reads).
+    pub decode_work_per_kib: u64,
+    /// GODIVA unit granularity.
+    pub granularity: Granularity,
+    /// Output image size.
+    pub image_size: (usize, usize),
+    /// Where to write PPM images (`None` = render but don't store).
+    pub images_out: Option<(Arc<dyn Storage>, String)>,
+    /// Explicit camera (`None` = auto-frame the dataset bounds). The
+    /// CLI passes the camera position file's contents here.
+    pub camera: Option<Camera>,
+    /// Image file format for `images_out`.
+    pub image_format: ImageFormat,
+}
+
+/// Output image encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImageFormat {
+    /// Binary PPM (P6).
+    #[default]
+    Ppm,
+    /// Uncompressed-deflate PNG.
+    Png,
+}
+
+impl ImageFormat {
+    /// File extension (without the dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            ImageFormat::Ppm => "ppm",
+            ImageFormat::Png => "png",
+        }
+    }
+}
+
+impl VoyagerOptions {
+    /// Reasonable defaults for the given storage, CPU, dataset and test.
+    pub fn new(
+        storage: Arc<dyn Storage>,
+        cpu: CpuPool,
+        genx: GenxConfig,
+        spec: TestSpec,
+        mode: Mode,
+    ) -> Self {
+        let snapshots = (0..genx.snapshots).collect();
+        VoyagerOptions {
+            storage,
+            cpu,
+            genx,
+            snapshots,
+            spec,
+            mode,
+            mem_limit: 384 << 20,
+            decode_work_per_kib: 25,
+            granularity: Granularity::Snapshot,
+            image_size: (192, 144),
+            images_out: None,
+            camera: None,
+            image_format: ImageFormat::Ppm,
+        }
+    }
+}
+
+/// Results of one Voyager run, in the paper's terms.
+#[derive(Debug, Clone)]
+pub struct VoyagerReport {
+    /// Test name ("simple" / "medium" / "complex").
+    pub test: String,
+    /// Build label ("O" / "G" / "TG").
+    pub mode: &'static str,
+    /// Total execution time.
+    pub total: Duration,
+    /// Visible I/O time (blocking reads + unit waits).
+    pub visible_io: Duration,
+    /// Computation time = total − visible I/O.
+    pub computation: Duration,
+    /// Images rendered.
+    pub images: usize,
+    /// Per-snapshot framebuffer checksums (identical across modes for
+    /// the same test and dataset).
+    pub image_checksums: Vec<u64>,
+    /// GODIVA statistics (absent for `Mode::Original`).
+    pub gbo_stats: Option<GboStats>,
+}
+
+/// Apply one graphics op to one block's data.
+pub(crate) fn apply_op(
+    op: &GraphicsOp,
+    data: &crate::backend::BlockData,
+    bounds: ([f64; 3], [f64; 3]),
+) -> VizResult<TriangleSoup> {
+    match op {
+        GraphicsOp::Surface { .. } => surface(&data.mesh, &data.scalar),
+        GraphicsOp::Isosurface { fraction, .. } => {
+            // Isovalue from the *block's* range keeps every block
+            // contributing geometry; the fraction is the spec's knob.
+            let (min, max) = match data
+                .scalar
+                .iter()
+                .copied()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+                    (lo.min(v), hi.max(v))
+                }) {
+                (lo, hi) if lo.is_finite() && hi > lo => (lo, hi),
+                _ => return Ok(TriangleSoup::new()),
+            };
+            let iso = min + fraction * (max - min);
+            isosurface(&data.mesh, &data.scalar, iso)
+        }
+        GraphicsOp::Slice { axis, fraction, .. } => {
+            let plane = axis.plane_at(bounds.0, bounds.1, *fraction);
+            plane_slice(&data.mesh, &data.scalar, plane)
+        }
+        GraphicsOp::Clip { axis, fraction, .. } => {
+            let plane = axis.plane_at(bounds.0, bounds.1, *fraction);
+            clip_surface(&data.mesh, &data.scalar, plane)
+        }
+        GraphicsOp::Glyphs { scale, stride, .. } => {
+            crate::glyphs::vector_glyphs(&data.mesh, &data.raw, *scale, *stride)
+        }
+        GraphicsOp::Threshold { lo, hi, .. } => {
+            let (min, max) = match data
+                .scalar
+                .iter()
+                .copied()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), v| {
+                    (a.min(v), b.max(v))
+                }) {
+                (a, b) if a.is_finite() && b > a => (a, b),
+                _ => return Ok(TriangleSoup::new()),
+            };
+            crate::glyphs::threshold(
+                &data.mesh,
+                &data.scalar,
+                min + lo * (max - min),
+                min + hi * (max - min),
+            )
+        }
+    }
+}
+
+/// World bounds of the generated annulus dataset (known from the
+/// config, so every mode uses identical planes and camera).
+fn dataset_bounds(genx: &GenxConfig) -> ([f64; 3], [f64; 3]) {
+    (
+        [-genx.r_outer, -genx.r_outer, 0.0],
+        [genx.r_outer, genx.r_outer, genx.height],
+    )
+}
+
+/// Run one Voyager configuration to completion.
+pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
+    if opts.snapshots.is_empty() {
+        return Err(VizError::Pipeline("no snapshots to process".into()));
+    }
+    let read_options = ReadOptions::new().with_cpu(opts.cpu.clone(), opts.decode_work_per_kib);
+    let mut backend: Box<dyn SnapshotSource> = match opts.mode {
+        Mode::Original => Box::new(DirectBackend::new(
+            opts.storage.clone(),
+            opts.genx.clone(),
+            read_options,
+        )),
+        Mode::GodivaSingle | Mode::GodivaMulti => {
+            let mut boptions = crate::backend::GodivaBackendOptions::batch(
+                opts.spec
+                    .distinct_vars()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                opts.mode == Mode::GodivaMulti,
+                opts.mem_limit,
+            );
+            boptions.granularity = opts.granularity;
+            Box::new(GodivaBackend::new(
+                opts.storage.clone(),
+                opts.genx.clone(),
+                read_options,
+                boptions,
+            ))
+        }
+    };
+
+    let bounds = dataset_bounds(&opts.genx);
+    let camera = opts
+        .camera
+        .clone()
+        .unwrap_or_else(|| Camera::framing(bounds.0, bounds.1));
+    let (w, h) = opts.image_size;
+    let mut fb = Framebuffer::new(w, h);
+    let mut checksums = Vec::with_capacity(opts.snapshots.len());
+
+    let started = Instant::now();
+    backend.begin_run(&opts.snapshots)?;
+    for &s in &opts.snapshots {
+        fb.clear();
+        for op in &opts.spec.ops {
+            let data = backend.load_pass(s, op.var())?;
+            // Shared colour map per pass, fitted over all blocks so the
+            // image is identical no matter which backend produced the
+            // buffers.
+            let mut all: Vec<f64> = Vec::new();
+            for d in &data {
+                all.extend_from_slice(&d.scalar);
+            }
+            let cmap = ColorMap::fit(&all, ColorScheme::Rainbow);
+            // Real geometry + rasterization work…
+            for d in &data {
+                let soup = apply_op(op, d, bounds)?;
+                rasterize(&mut fb, &camera, &cmap, &soup);
+            }
+            // …plus the synthetic VTK-scale processing load, run under a
+            // core token so it contends like real computation.
+            opts.cpu
+                .compute_sliced(opts.spec.work_per_op, Duration::from_millis(2));
+        }
+        if let Some((out, prefix)) = &opts.images_out {
+            let path = format!("{prefix}/snap_{s:04}.{}", opts.image_format.extension());
+            match opts.image_format {
+                ImageFormat::Ppm => write_ppm(out.as_ref(), &path, &fb),
+                ImageFormat::Png => crate::png::write_png(out.as_ref(), &path, &fb),
+            }
+            .map_err(godiva_sdf::SdfError::Io)?;
+        }
+        checksums.push(fb.checksum());
+        backend.end_snapshot(s)?;
+    }
+    let total = started.elapsed();
+    let visible_io = backend.visible_io();
+    Ok(VoyagerReport {
+        test: opts.spec.name.clone(),
+        mode: opts.mode.label(),
+        total,
+        visible_io,
+        computation: total.saturating_sub(visible_io),
+        images: checksums.len(),
+        image_checksums: checksums,
+        gbo_stats: backend.gbo_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use godiva_platform::MemFs;
+
+    fn dataset() -> (Arc<dyn Storage>, GenxConfig) {
+        let fs = Arc::new(MemFs::new());
+        let config = GenxConfig::tiny();
+        godiva_genx::generate(fs.as_ref(), &config).unwrap();
+        (fs as Arc<dyn Storage>, config)
+    }
+
+    fn run(mode: Mode, spec: TestSpec) -> VoyagerReport {
+        let (fs, config) = dataset();
+        let mut opts = VoyagerOptions::new(fs, CpuPool::new(2, 4.0), config, spec, mode);
+        opts.decode_work_per_kib = 0;
+        opts.spec.work_per_op = godiva_platform::Work::from_micros(100);
+        run_voyager(opts).unwrap()
+    }
+
+    #[test]
+    fn all_modes_render_identical_images() {
+        let o = run(Mode::Original, TestSpec::simple());
+        let g = run(Mode::GodivaSingle, TestSpec::simple());
+        let tg = run(Mode::GodivaMulti, TestSpec::simple());
+        assert_eq!(o.images, 3);
+        assert_eq!(o.image_checksums, g.image_checksums, "O vs G images differ");
+        assert_eq!(
+            o.image_checksums, tg.image_checksums,
+            "O vs TG images differ"
+        );
+        assert!(o.gbo_stats.is_none());
+        assert!(g.gbo_stats.is_some());
+    }
+
+    #[test]
+    fn images_are_nonempty_and_vary_across_time() {
+        let r = run(Mode::Original, TestSpec::simple());
+        // Snapshots have different fields, so at least two frames differ.
+        let distinct: std::collections::HashSet<u64> = r.image_checksums.iter().copied().collect();
+        assert!(distinct.len() >= 2, "frames should not all be identical");
+    }
+
+    #[test]
+    fn glyph_and_threshold_ops_render() {
+        use crate::spec::GraphicsOp;
+        let spec = TestSpec {
+            name: "extras".into(),
+            ops: vec![
+                GraphicsOp::Glyphs {
+                    var: "velocity".into(),
+                    scale: 2e-3,
+                    stride: 2,
+                },
+                GraphicsOp::Threshold {
+                    var: "stress_avg".into(),
+                    lo: 0.3,
+                    hi: 0.8,
+                },
+            ],
+            work_per_op: godiva_platform::Work::ZERO,
+        };
+        let o = run(Mode::Original, spec.clone());
+        let tg = run(Mode::GodivaMulti, spec);
+        assert_eq!(o.images, 3);
+        assert_eq!(o.image_checksums, tg.image_checksums);
+    }
+
+    #[test]
+    fn all_paper_specs_run_in_every_mode() {
+        for spec in TestSpec::all() {
+            for mode in [Mode::Original, Mode::GodivaSingle, Mode::GodivaMulti] {
+                let r = run(mode, spec.clone());
+                assert_eq!(r.images, 3, "{} {}", spec.name, r.mode);
+                assert!(r.total >= r.visible_io);
+            }
+        }
+    }
+
+    #[test]
+    fn images_written_when_requested() {
+        let (fs, config) = dataset();
+        let out = Arc::new(MemFs::new());
+        let mut opts = VoyagerOptions::new(
+            fs,
+            CpuPool::new(2, 4.0),
+            config,
+            TestSpec::simple(),
+            Mode::Original,
+        );
+        opts.decode_work_per_kib = 0;
+        opts.spec.work_per_op = godiva_platform::Work::from_micros(100);
+        opts.images_out = Some((out.clone() as Arc<dyn Storage>, "frames".into()));
+        let r = run_voyager(opts).unwrap();
+        assert_eq!(out.list("frames/").len(), r.images);
+        let (w, h, _) = crate::ppm::read_ppm(out.as_ref(), "frames/snap_0000.ppm").unwrap();
+        assert_eq!((w, h), (192, 144));
+    }
+
+    #[test]
+    fn empty_snapshot_list_rejected() {
+        let (fs, config) = dataset();
+        let mut opts = VoyagerOptions::new(
+            fs,
+            CpuPool::new(1, 4.0),
+            config,
+            TestSpec::simple(),
+            Mode::Original,
+        );
+        opts.snapshots.clear();
+        assert!(run_voyager(opts).is_err());
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::Original.label(), "O");
+        assert_eq!(Mode::GodivaSingle.label(), "G");
+        assert_eq!(Mode::GodivaMulti.label(), "TG");
+    }
+}

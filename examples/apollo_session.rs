@@ -1,0 +1,107 @@
+//! Apollo/Houston — an interactive client-server session (§4.1's third
+//! Rocketeer tool: "an interactive tool with parallel processing in a
+//! client-server mode").
+//!
+//! A [`HoustonServer`] runs worker threads, each owning a GODIVA
+//! database over a partition of the mesh blocks; this "Apollo" client
+//! sends render requests — switching variables, views and snapshots the
+//! way a user would — and saves the composited images. Because workers
+//! keep finished units cached, revisiting a snapshot is served from
+//! memory.
+//!
+//! Run with: `cargo run --release --example apollo_session`
+
+use godiva::genx::GenxConfig;
+use godiva::platform::{DiskModel, RealFs, SimFs, Storage};
+use godiva::viz::ppm::write_ppm;
+use godiva::viz::{Axis, GraphicsOp, HoustonServer, RenderRequest};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut genx = GenxConfig::paper_scaled();
+    genx.snapshots = 8;
+    genx.blocks = 24;
+    genx.files_per_snapshot = 4;
+    let storage: Arc<dyn Storage> =
+        Arc::new(SimFs::new(DiskModel::cluster_scsi().scaled(0.02)).with_free_writes());
+    godiva::genx::generate(storage.as_ref(), &genx)?;
+
+    let server = HoustonServer::start(
+        storage,
+        genx.clone(),
+        vec!["stress_avg".into(), "velocity".into(), "stress_xx".into()],
+        3, // three worker databases, round-robin block partition
+        64 << 20,
+    )?;
+    println!(
+        "Houston up with {} workers; starting Apollo session\n",
+        server.workers()
+    );
+
+    let session: Vec<(&str, RenderRequest)> = vec![
+        (
+            "surface of average stress, t=0",
+            RenderRequest {
+                snapshot: 0,
+                ops: vec![GraphicsOp::Surface {
+                    var: "stress_avg".into(),
+                }],
+                width: 256,
+                height: 192,
+            },
+        ),
+        (
+            "velocity isosurface, t=3",
+            RenderRequest {
+                snapshot: 3,
+                ops: vec![GraphicsOp::Isosurface {
+                    var: "velocity".into(),
+                    fraction: 0.5,
+                }],
+                width: 256,
+                height: 192,
+            },
+        ),
+        (
+            "cut plane through sxx, t=3",
+            RenderRequest {
+                snapshot: 3,
+                ops: vec![GraphicsOp::Clip {
+                    var: "stress_xx".into(),
+                    axis: Axis::X,
+                    fraction: 0.5,
+                }],
+                width: 256,
+                height: 192,
+            },
+        ),
+        (
+            "back to the first view (cached)",
+            RenderRequest {
+                snapshot: 0,
+                ops: vec![GraphicsOp::Surface {
+                    var: "stress_avg".into(),
+                }],
+                width: 256,
+                height: 192,
+            },
+        ),
+    ];
+
+    let out = RealFs::new("target/apollo_session")?;
+    for (i, (what, request)) in session.into_iter().enumerate() {
+        let t = Instant::now();
+        let fb = server.render(request)?;
+        let ms = t.elapsed().as_secs_f64() * 1000.0;
+        let path = format!("view_{i}.ppm");
+        write_ppm(&out, &path, &fb)?;
+        println!(
+            "{what:<38} {ms:>8.2} ms  ({} px covered) -> target/apollo_session/{path}",
+            fb.covered_pixels()
+        );
+    }
+    server.shutdown();
+    println!("\nsession over; workers joined cleanly.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the paper's Table 1 / Figure 2 walkthrough.
+//!
+//! Builds the "fluid" record type of Table 1 (a structured 2-D mesh
+//! block with string keys and double arrays), creates the exact record
+//! instance of Figure 2 (a 100 × 100 block: 808-byte coordinate buffers,
+//! 80 000-byte element variables), commits it, and answers the paper's
+//! example query: *"give me the address of the pressure data buffer of
+//! the block with ID block_0003 from the time-step with ID 0.000075"*.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use godiva::core::{DeclaredSize, FieldKind, Gbo, GboConfig, Key};
+use godiva::mesh::StructuredBlock2D;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // new GBO(400): a database with a 400 MB budget (§3.3).
+    let godiva = Gbo::with_config(GboConfig {
+        mem_limit: 400 << 20,
+        ..Default::default()
+    });
+
+    // --- Table 1: define field types and the "fluid" record type -------
+    godiva.define_field("block id", FieldKind::Str, DeclaredSize::Known(11))?;
+    godiva.define_field("time-step id", FieldKind::Str, DeclaredSize::Known(9))?;
+    for array in ["x coordinates", "y coordinates", "pressure", "temperature"] {
+        godiva.define_field(array, FieldKind::F64, DeclaredSize::Unknown)?;
+    }
+    godiva.define_record("fluid", 2)?; // two key fields
+    godiva.insert_field("fluid", "block id", true)?;
+    godiva.insert_field("fluid", "time-step id", true)?;
+    for array in ["x coordinates", "y coordinates", "pressure", "temperature"] {
+        godiva.insert_field("fluid", array, false)?;
+    }
+    godiva.commit_record_type("fluid")?;
+    println!("record type 'fluid' committed (2 key fields + 4 arrays)");
+
+    // --- Figure 2: one record instance ---------------------------------
+    // A 100×100 structured block: 101 coordinates per axis (808 bytes),
+    // 10 000 elements with two element-based variables (80 000 bytes).
+    let block = StructuredBlock2D::uniform(100, 100, 1.0, 1.0);
+    let record = godiva.new_record("fluid")?;
+    record.set_str("block id", "block_0003")?;
+    record.set_str("time-step id", "0.000075")?;
+    record.set_f64("x coordinates", block.x.clone())?;
+    record.set_f64("y coordinates", block.y.clone())?;
+    record.set_f64(
+        "pressure",
+        block.sample_elem_field(|c| 101_325.0 * (1.0 + 0.05 * (8.0 * c[0]).sin() * c[1])),
+    )?;
+    record.set_f64(
+        "temperature",
+        block.sample_elem_field(|c| 300.0 + 2200.0 * (-3.0 * c[0]).exp()),
+    )?;
+    record.commit()?;
+
+    for field in ["x coordinates", "pressure"] {
+        let size = record.field(field)?.byte_len();
+        println!("field '{field}': {size} bytes");
+    }
+
+    // --- The paper's example query --------------------------------------
+    let keys = [Key::from("block_0003"), Key::from("0.000075")];
+    let pressure = godiva.get_field_buffer("fluid", "pressure", &keys)?;
+    let values = pressure.f64s()?;
+    println!(
+        "query answered: pressure buffer has {} values, p[0] = {:.1} Pa, max = {:.1} Pa",
+        values.len(),
+        values[0],
+        values.iter().cloned().fold(f64::MIN, f64::max),
+    );
+    assert_eq!(values.len(), 10_000);
+
+    let size = godiva.get_field_buffer_size("fluid", "pressure", &keys)?;
+    assert_eq!(size, 80_000, "Figure 2's pressure buffer is 80 000 bytes");
+    println!("getFieldBufferSize agrees with Figure 2: {size} bytes");
+
+    let stats = godiva.stats();
+    println!(
+        "database: {} record(s) committed, {} bytes in buffers, {} queries answered",
+        stats.records_committed, stats.mem_used, stats.queries
+    );
+    Ok(())
+}

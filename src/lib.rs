@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # GODIVA
+//!
+//! Facade crate for the GODIVA workspace: a reproduction of
+//! *"GODIVA: Lightweight Data Management for Scientific Visualization
+//! Applications"* (ICDE 2004).
+//!
+//! The sub-crates are re-exported here so that examples, tests, and
+//! downstream users can depend on a single crate:
+//!
+//! - [`core`] — the GODIVA in-memory buffer database (the paper's
+//!   contribution): field/record schemas, key-indexed records, processing
+//!   units, background-prefetching I/O thread, memory-bounded caching.
+//! - [`sdf`] — a self-describing scientific file format (HDF4-like
+//!   substrate).
+//! - [`mesh`] — structured and unstructured tetrahedral mesh structures.
+//! - [`genx`] — a synthetic rocket-simulation snapshot generator.
+//! - [`viz`] — a Rocketeer/Voyager-like visualization pipeline.
+//! - [`platform`] — simulated disk + CPU platform models used by the
+//!   benchmark harness.
+
+pub use godiva_core as core;
+pub use godiva_genx as genx;
+pub use godiva_mesh as mesh;
+pub use godiva_platform as platform;
+pub use godiva_sdf as sdf;
+pub use godiva_viz as viz;

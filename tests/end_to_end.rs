@@ -1,0 +1,204 @@
+//! Cross-crate integration: generate a synthetic GENx dataset, run the
+//! Voyager driver under all three library builds on a simulated
+//! platform, and check the paper's qualitative claims hold end to end.
+
+use godiva::genx::GenxConfig;
+use godiva::platform::Platform;
+use godiva::viz::{run_voyager, Mode, TestSpec, VoyagerOptions};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Timing-sensitive tests must not run concurrently with each other —
+/// they measure wall-clock overlap between threads, which other tests'
+/// load would distort (especially on small CI hosts).
+fn timing_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn small_genx() -> GenxConfig {
+    let mut c = GenxConfig::paper_scaled();
+    c.snapshots = 6;
+    c.blocks = 24;
+    c.files_per_snapshot = 4;
+    c
+}
+
+fn options(platform: &Platform, genx: &GenxConfig, mode: Mode) -> VoyagerOptions {
+    VoyagerOptions::new(
+        platform.storage(),
+        platform.cpu().clone(),
+        genx.clone(),
+        TestSpec::simple(),
+        mode,
+    )
+}
+
+#[test]
+fn voyager_o_g_tg_agree_on_images_and_order_on_time() {
+    let _serial = timing_lock();
+    let genx = small_genx();
+    let platform = Platform::engle(0.01);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+
+    let o = run_voyager(options(&platform, &genx, Mode::Original)).unwrap();
+    platform.storage().reset_stats();
+    let g = run_voyager(options(&platform, &genx, Mode::GodivaSingle)).unwrap();
+    let g_bytes = platform.storage().stats().bytes_read;
+    platform.storage().reset_stats();
+    let tg = run_voyager(options(&platform, &genx, Mode::GodivaMulti)).unwrap();
+    let tg_bytes = platform.storage().stats().bytes_read;
+
+    // Identical pixels from all three builds.
+    assert_eq!(o.image_checksums, g.image_checksums);
+    assert_eq!(o.image_checksums, tg.image_checksums);
+
+    // G and TG read the same (reduced) volume.
+    assert_eq!(g_bytes, tg_bytes, "G and TG perform the same I/O volume");
+
+    // The paper's headline ordering.
+    assert!(
+        g.visible_io < o.visible_io,
+        "redundant-read elimination must cut visible I/O: {:?} vs {:?}",
+        g.visible_io,
+        o.visible_io
+    );
+    assert!(
+        tg.visible_io < g.visible_io,
+        "prefetching must hide I/O: {:?} vs {:?}",
+        tg.visible_io,
+        g.visible_io
+    );
+    assert!(tg.total < o.total, "TG must beat O end to end");
+}
+
+// Debug builds make the *real* (untokenized) render work 10–50× slower,
+// drowning the modelled costs this test compares; only release-mode
+// timings are representative of the simulated platforms.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "timing-shape comparison requires release-mode compute costs (run with --release)"
+)]
+#[test]
+fn dual_cpu_hides_more_than_single_cpu() {
+    let _serial = timing_lock();
+    let genx = small_genx();
+    let run = |platform: &Platform| {
+        godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+        let g = run_voyager(options(platform, &genx, Mode::GodivaSingle)).unwrap();
+        let tg = run_voyager(options(platform, &genx, Mode::GodivaMulti)).unwrap();
+        // fraction of I/O hidden, the paper's §4.2 formula
+        (g.total.as_secs_f64() - tg.total.as_secs_f64()) / g.visible_io.as_secs_f64()
+    };
+    let engle = run(&Platform::engle(0.02));
+    let turing = run(&Platform::turing(0.02));
+    assert!(
+        turing > engle,
+        "a second CPU must hide more I/O (engle {engle:.2} vs turing {turing:.2})"
+    );
+    assert!(turing > 0.5, "turing should hide most I/O: {turing:.2}");
+}
+
+#[test]
+fn deadlock_detection_surfaces_through_the_stack() {
+    use godiva::core::GodivaError;
+    use godiva::sdf::ReadOptions;
+    use godiva::viz::{GodivaBackend, GodivaBackendOptions, SnapshotSource};
+
+    let genx = small_genx();
+    let platform = Platform::instant(2);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+
+    // A budget that fits roughly one snapshot, and an "application bug":
+    // snapshots never finished/deleted.
+    let mut be = GodivaBackend::new(
+        platform.storage(),
+        genx.clone(),
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], true, 600_000),
+    );
+    be.begin_run(&[0, 1, 2]).unwrap();
+    be.load_pass(0, "stress_avg").unwrap();
+    // Intentionally no end_snapshot(0): unit 0 stays pinned.
+    let err = be.load_pass(1, "stress_avg").unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        matches!(
+            err,
+            godiva::viz::VizError::Godiva(GodivaError::Deadlock { .. })
+        ),
+        "expected deadlock, got: {msg}"
+    );
+}
+
+#[test]
+fn images_match_between_granularities() {
+    let genx = small_genx();
+    let platform = Platform::instant(2);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+    let mut snapshot_units = options(&platform, &genx, Mode::GodivaMulti);
+    snapshot_units.granularity = godiva::viz::Granularity::Snapshot;
+    let a = run_voyager(snapshot_units).unwrap();
+    let mut file_units = options(&platform, &genx, Mode::GodivaMulti);
+    file_units.granularity = godiva::viz::Granularity::File;
+    let b = run_voyager(file_units).unwrap();
+    assert_eq!(a.image_checksums, b.image_checksums);
+}
+
+#[test]
+fn memory_budget_respected_during_batch_run() {
+    let genx = small_genx();
+    let platform = Platform::instant(2);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+    let mut opts = options(&platform, &genx, Mode::GodivaMulti);
+    opts.mem_limit = 3 << 20; // a few snapshots' worth
+    let report = run_voyager(opts).unwrap();
+    let stats = report.gbo_stats.expect("gbo stats");
+    assert!(
+        stats.mem_peak <= 3 << 20,
+        "peak {} exceeded the budget",
+        stats.mem_peak
+    );
+    assert_eq!(stats.deadlocks_detected, 0);
+}
+
+#[test]
+fn all_three_tests_run_on_all_platforms() {
+    let genx = small_genx();
+    for platform in [Platform::instant(1), Platform::instant(2)] {
+        godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+        for spec in TestSpec::all() {
+            for mode in [Mode::Original, Mode::GodivaSingle, Mode::GodivaMulti] {
+                let mut opts = VoyagerOptions::new(
+                    platform.storage(),
+                    platform.cpu().clone(),
+                    genx.clone(),
+                    spec.clone(),
+                    mode,
+                );
+                opts.decode_work_per_kib = 0;
+                opts.spec.work_per_op = godiva::platform::Work::ZERO;
+                let report = run_voyager(opts).unwrap();
+                assert_eq!(report.images, genx.snapshots);
+            }
+        }
+    }
+}
+
+#[test]
+fn frames_can_be_written_and_reread() {
+    use godiva::platform::{MemFs, Storage};
+    let genx = small_genx();
+    let platform = Platform::instant(2);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+    let out = Arc::new(MemFs::new());
+    let mut opts = options(&platform, &genx, Mode::GodivaMulti);
+    opts.images_out = Some((out.clone() as Arc<dyn Storage>, "movie".into()));
+    let report = run_voyager(opts).unwrap();
+    let frames = out.list("movie/");
+    assert_eq!(frames.len(), report.images);
+    for f in frames {
+        let (w, h, data) = godiva::viz::ppm::read_ppm(out.as_ref(), &f).unwrap();
+        assert_eq!((w, h), (192, 144));
+        assert!(data.iter().any(|&b| b != 0), "{f} should not be all black");
+    }
+}

@@ -1,0 +1,156 @@
+//! Failure injection across the whole stack: storage faults must
+//! surface as failed units / clean errors — never hangs, panics, or
+//! silently wrong data (the SDF checksums catch corruption).
+
+use godiva::core::GodivaError;
+use godiva::genx::GenxConfig;
+use godiva::platform::{FaultyFs, MemFs, Storage};
+use godiva::sdf::ReadOptions;
+use godiva::viz::{
+    run_voyager, GodivaBackend, GodivaBackendOptions, Mode, SnapshotSource, TestSpec,
+    VoyagerOptions,
+};
+use std::sync::Arc;
+
+fn faulty_dataset() -> (Arc<FaultyFs>, GenxConfig) {
+    let mem = Arc::new(MemFs::new());
+    let mut genx = GenxConfig::tiny();
+    genx.snapshots = 4;
+    godiva::genx::generate(mem.as_ref(), &genx).unwrap();
+    (Arc::new(FaultyFs::new(mem)), genx)
+}
+
+#[test]
+fn failing_unit_reports_and_other_units_survive() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("snap_0001");
+    let mut be = GodivaBackend::new(
+        fs.clone() as Arc<dyn Storage>,
+        genx.clone(),
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], true, 64 << 20),
+    );
+    be.begin_run(&[0, 1, 2, 3]).unwrap();
+    // Healthy snapshots before and after the bad one load fine.
+    assert!(be.load_pass(0, "stress_avg").is_ok());
+    be.end_snapshot(0).unwrap();
+    let err = be.load_pass(1, "stress_avg").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            godiva::viz::VizError::Godiva(GodivaError::ReadFailed { .. })
+        ),
+        "got: {err}"
+    );
+    assert!(be.load_pass(2, "stress_avg").is_ok());
+    be.end_snapshot(2).unwrap();
+    assert!(fs.injected() > 0);
+    let stats = be.gbo_stats().unwrap();
+    assert_eq!(stats.units_failed, 1);
+}
+
+#[test]
+fn failed_unit_recovers_after_fault_clears() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("snap_0000");
+    let db = godiva::core::Gbo::with_config(godiva::core::GboConfig {
+        mem_limit: 64 << 20,
+        background_io: true,
+        ..Default::default()
+    });
+    let storage = fs.clone() as Arc<dyn Storage>;
+    let genx2 = genx.clone();
+    let reader = move |s: &godiva::core::UnitSession| {
+        // Minimal read function touching the faulty file.
+        let path = genx2.file_path(0, 0);
+        let file = godiva::sdf::SdfFile::open(storage.clone(), path)
+            .map_err(|e| GodivaError::UnitError(e.to_string()))?;
+        s.define_field(
+            "t",
+            godiva::core::FieldKind::F64,
+            godiva::core::DeclaredSize::Unknown,
+        )?;
+        s.define_record("meta", 0)?;
+        s.insert_field("meta", "t", false)?;
+        s.commit_record_type("meta")?;
+        let rec = s.new_record("meta")?;
+        rec.set_f64(
+            "t",
+            file.read("meta.time")
+                .map_err(|e| GodivaError::UnitError(e.to_string()))?,
+        )?;
+        rec.commit()
+    };
+    db.add_unit("u", reader.clone()).unwrap();
+    assert!(db.wait_unit("u").is_err(), "fault must fail the unit");
+    // Clear the fault, reset the unit, retry.
+    fs.clear_faults();
+    db.delete_unit("u").unwrap();
+    db.add_unit("u", reader).unwrap();
+    db.wait_unit("u").unwrap();
+}
+
+#[test]
+fn corruption_is_caught_by_checksums_not_rendered() {
+    let (fs, genx) = faulty_dataset();
+    fs.corrupt_paths_with("snap_0002");
+    let mut be = GodivaBackend::new(
+        fs as Arc<dyn Storage>,
+        genx,
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+    );
+    be.begin_run(&[2]).unwrap();
+    let err = be.load_pass(2, "stress_avg").unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("checksum") || msg.contains("corrupt") || msg.contains("truncated"),
+        "corruption must be detected, got: {msg}"
+    );
+}
+
+#[test]
+fn voyager_run_fails_cleanly_under_faults() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("file_1");
+    for mode in [Mode::Original, Mode::GodivaSingle, Mode::GodivaMulti] {
+        let mut opts = VoyagerOptions::new(
+            fs.clone() as Arc<dyn Storage>,
+            godiva::platform::CpuPool::new(2, 4.0),
+            genx.clone(),
+            TestSpec::simple(),
+            mode,
+        );
+        opts.decode_work_per_kib = 0;
+        opts.spec.work_per_op = godiva::platform::Work::ZERO;
+        let err = run_voyager(opts);
+        assert!(err.is_err(), "{mode:?} must propagate the fault");
+    }
+}
+
+#[test]
+fn transient_single_read_fault_hits_exactly_one_mode_run() {
+    let (fs, genx) = faulty_dataset();
+    // Fault on the 5th read only: the first run trips it, a rerun works.
+    fs.fail_nth_read(5);
+    let mut opts = VoyagerOptions::new(
+        fs.clone() as Arc<dyn Storage>,
+        godiva::platform::CpuPool::new(2, 4.0),
+        genx.clone(),
+        TestSpec::simple(),
+        Mode::Original,
+    );
+    opts.decode_work_per_kib = 0;
+    opts.spec.work_per_op = godiva::platform::Work::ZERO;
+    assert!(run_voyager(opts).is_err());
+    let mut opts2 = VoyagerOptions::new(
+        fs as Arc<dyn Storage>,
+        godiva::platform::CpuPool::new(2, 4.0),
+        genx,
+        TestSpec::simple(),
+        Mode::Original,
+    );
+    opts2.decode_work_per_kib = 0;
+    opts2.spec.work_per_op = godiva::platform::Work::ZERO;
+    assert!(run_voyager(opts2).is_ok(), "fault was transient");
+}

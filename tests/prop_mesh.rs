@@ -1,0 +1,147 @@
+//! Property tests: mesh generation, partitioning and the contouring
+//! filters maintain their geometric invariants over random parameters.
+
+use godiva::mesh::{annulus_mesh, boundary_faces, box_tet_mesh, partition_mesh};
+use godiva::viz::{isosurface, plane_slice, surface, Plane};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn edge_counts(tris: &[[u32; 3]]) -> HashMap<(u32, u32), usize> {
+    let mut edges = HashMap::new();
+    for t in tris {
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            *edges.entry((a.min(b), a.max(b))).or_default() += 1;
+        }
+    }
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn box_meshes_always_valid_and_exact_volume(
+        nx in 1usize..5, ny in 1usize..5, nz in 1usize..5,
+        lx in 0.1f64..10.0, ly in 0.1f64..10.0, lz in 0.1f64..10.0,
+    ) {
+        let m = box_tet_mesh(nx, ny, nz, lx, ly, lz);
+        m.validate().unwrap();
+        prop_assert_eq!(m.elem_count(), nx * ny * nz * 6);
+        let expect = lx * ly * lz;
+        prop_assert!((m.total_volume() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn annulus_meshes_always_valid(
+        nr in 1usize..4, nt in 3usize..16, nz in 1usize..4,
+        r0 in 0.1f64..1.0, dr in 0.1f64..2.0, h in 0.1f64..5.0,
+    ) {
+        let m = annulus_mesh(nr, nt, nz, r0, r0 + dr, h);
+        m.validate().unwrap();
+        // Boundary is a closed 2-manifold.
+        let faces = boundary_faces(&m);
+        prop_assert!(edge_counts(&faces).values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn partition_covers_exactly_and_conserves_volume(
+        nx in 1usize..5, ny in 1usize..5, nz in 1usize..5,
+        k in 1usize..9,
+    ) {
+        let m = box_tet_mesh(nx, ny, nz, 1.0, 1.0, 1.0);
+        let blocks = partition_mesh(&m, k);
+        prop_assert_eq!(blocks.len(), k);
+        let mut seen = vec![false; m.elem_count()];
+        let mut vol = 0.0;
+        for b in &blocks {
+            b.mesh.validate().unwrap();
+            vol += b.mesh.total_volume();
+            for &e in &b.global_elems {
+                prop_assert!(!seen[e as usize]);
+                seen[e as usize] = true;
+            }
+            // Local→global mapping is consistent.
+            for (le, t) in b.mesh.tets.iter().enumerate() {
+                let gt = m.tets[b.global_elems[le] as usize];
+                for (i, &ln) in t.iter().enumerate() {
+                    prop_assert_eq!(b.global_nodes[ln as usize], gt[i]);
+                    let lp = b.mesh.points[ln as usize];
+                    let gp = m.points[gt[i] as usize];
+                    prop_assert_eq!(lp, gp);
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert!((vol - m.total_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_isosurfaces_are_closed(
+        res in 3usize..7,
+        iso in 0.15f64..0.45,
+        cx in 0.4f64..0.6, cy in 0.4f64..0.6, cz in 0.4f64..0.6,
+    ) {
+        let m = box_tet_mesh(res, res, res, 1.0, 1.0, 1.0);
+        let f: Vec<f64> = m
+            .points
+            .iter()
+            .map(|p| ((p[0] - cx).powi(2) + (p[1] - cy).powi(2) + (p[2] - cz).powi(2)).sqrt())
+            .collect();
+        // Keep the sphere strictly interior.
+        prop_assume!(iso < cx.min(1.0 - cx).min(cy.min(1.0 - cy)).min(cz.min(1.0 - cz)));
+        let soup = isosurface(&m, &f, iso).unwrap().dedup(1e-9);
+        if soup.tri_count() > 0 {
+            prop_assert!(
+                edge_counts(&soup.tris).values().all(|&c| c == 2),
+                "open isosurface at iso {iso}"
+            );
+        }
+    }
+
+    #[test]
+    fn slice_vertices_lie_on_the_plane(
+        res in 2usize..6,
+        frac in 0.05f64..0.95,
+        nx in -1.0f64..1.0, ny in -1.0f64..1.0,
+    ) {
+        prop_assume!(nx.abs() + ny.abs() > 0.1);
+        let m = box_tet_mesh(res, res, res, 1.0, 1.0, 1.0);
+        let f: Vec<f64> = m.points.iter().map(|p| p[2]).collect();
+        let plane = Plane::through([frac, frac, 0.0], [nx, ny, 0.3]);
+        let soup = plane_slice(&m, &f, plane).unwrap();
+        for p in &soup.positions {
+            prop_assert!(plane.eval(*p).abs() < 1e-9, "off-plane point {p:?}");
+        }
+        // Colour scalars stay within the field's range.
+        for &s in &soup.scalars {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn surface_scalars_subset_of_field(
+        res in 1usize..5,
+        values in prop::collection::vec(-1e3f64..1e3, 8..216),
+    ) {
+        let m = box_tet_mesh(res, res, res, 1.0, 1.0, 1.0);
+        prop_assume!(values.len() >= m.node_count());
+        let f = &values[..m.node_count()];
+        let soup = surface(&m, f).unwrap();
+        for &s in &soup.scalars {
+            prop_assert!(f.contains(&s), "surface scalar {s} not a nodal value");
+        }
+    }
+
+    #[test]
+    fn interpolation_exact_for_linear_fields(
+        a in -2.0f64..2.0, b in -2.0f64..2.0, c in -2.0f64..2.0, d in -2.0f64..2.0,
+        px in 0.05f64..0.3, py in 0.05f64..0.3, pz in 0.05f64..0.3,
+    ) {
+        let m = godiva::mesh::tet::unit_tet();
+        let f = |p: [f64; 3]| a * p[0] + b * p[1] + c * p[2] + d;
+        let field: Vec<f64> = m.points.iter().map(|&p| f(p)).collect();
+        let q = [px, py, pz]; // strictly inside the unit tet
+        let v = m.interpolate_in_tet(0, q, &field).unwrap();
+        prop_assert!((v - f(q)).abs() < 1e-9);
+    }
+}

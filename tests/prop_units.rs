@@ -1,0 +1,186 @@
+//! Property tests: unit lifecycle, memory accounting and eviction under
+//! randomized workloads — the §3.2/§3.3 machinery must keep its
+//! invariants for any interleaving of adds, waits, finishes and deletes.
+
+use godiva::core::{
+    DeclaredSize, EvictionPolicy, FieldKind, Gbo, GboConfig, Key, UnitSession, UnitState,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One step of a randomized single-threaded driver program.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u8),
+    Wait(u8),
+    Finish(u8),
+    Delete(u8),
+    Query(u8),
+    SetMem(u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Add),
+        (0u8..8).prop_map(Op::Wait),
+        (0u8..8).prop_map(Op::Finish),
+        (0u8..8).prop_map(Op::Delete),
+        (0u8..8).prop_map(Op::Query),
+        (2_000u32..200_000).prop_map(Op::SetMem),
+    ]
+}
+
+fn reader(bytes: usize) -> impl Fn(&UnitSession) -> godiva::core::Result<()> + Send + Sync {
+    move |s: &UnitSession| {
+        s.define_field("id", FieldKind::Str, DeclaredSize::Unknown)?;
+        s.define_field("payload", FieldKind::F64, DeclaredSize::Unknown)?;
+        s.define_record("rec", 1)?;
+        s.insert_field("rec", "id", true)?;
+        s.insert_field("rec", "payload", false)?;
+        s.commit_record_type("rec")?;
+        let r = s.new_record("rec")?;
+        r.set_str("id", s.unit())?;
+        r.set_f64("payload", vec![1.0; bytes / 8])?;
+        r.commit()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unit_state_machine_never_wedges(
+        ops in prop::collection::vec(op(), 1..60),
+        policy in prop_oneof![Just(EvictionPolicy::Lru), Just(EvictionPolicy::Fifo)],
+        unit_kb in 1usize..8,
+    ) {
+        // Single-threaded mode: every transition is deterministic and
+        // synchronous, so we can model pins exactly.
+        let db = Gbo::with_config(GboConfig {
+            mem_limit: 20_000,
+            background_io: false,
+            eviction: policy,
+        });
+        let bytes = unit_kb * 1024;
+        let mut pins: HashMap<u8, usize> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Add(u) => {
+                    let r = db.add_unit(&format!("u{u}"), reader(bytes));
+                    // Double-add of an active unit is an error; add of a
+                    // new/registered unit succeeds.
+                    let _ = r;
+                }
+                Op::Wait(u) => {
+                    let name = format!("u{u}");
+                    match db.wait_unit(&name) {
+                        Ok(()) => {
+                            *pins.entry(*u).or_default() += 1;
+                            prop_assert_eq!(db.unit_state(&name), Some(UnitState::Ready));
+                        }
+                        Err(e) => {
+                            // Only legitimate failures: unknown unit, or
+                            // nothing evictable for an oversized load.
+                            let msg = e.to_string();
+                            prop_assert!(
+                                msg.contains("unknown unit") || msg.contains("out of memory") || msg.contains("read function"),
+                                "unexpected wait failure: {msg}"
+                            );
+                        }
+                    }
+                }
+                Op::Finish(u) => {
+                    let name = format!("u{u}");
+                    match db.finish_unit(&name) {
+                        Ok(()) => {
+                            let p = pins.entry(*u).or_default();
+                            *p = p.saturating_sub(1);
+                            if *p == 0 {
+                                prop_assert_eq!(db.unit_state(&name), Some(UnitState::Finished));
+                            }
+                        }
+                        Err(_) => {
+                            // not loaded / unknown — fine.
+                        }
+                    }
+                }
+                Op::Delete(u) => {
+                    if db.delete_unit(&format!("u{u}")).is_ok() {
+                        pins.insert(*u, 0);
+                    }
+                }
+                Op::Query(u) => {
+                    let name = format!("u{u}");
+                    let loaded = db
+                        .unit_state(&name)
+                        .map(|s| s.is_loaded())
+                        .unwrap_or(false);
+                    let hit = db
+                        .get_field_buffer("rec", "payload", &[Key::from(name.as_str())])
+                        .is_ok();
+                    // Loaded units are always queryable; unloaded never.
+                    if db.unit_state(&name).is_some() {
+                        prop_assert_eq!(hit, loaded, "query vs state mismatch for {}", name);
+                    }
+                }
+                Op::SetMem(m) => db.set_mem_space(*m as u64),
+            }
+            // Global invariant: pinned units are never evicted.
+            for (u, &p) in &pins {
+                if p > 0 {
+                    prop_assert_eq!(
+                        db.unit_state(&format!("u{u}")),
+                        Some(UnitState::Ready),
+                        "pinned unit u{} lost its data", u
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_respects_budget_when_possible(
+        n_units in 2usize..10,
+        unit_kb in 1usize..6,
+        budget_units in 1usize..4,
+    ) {
+        let bytes = unit_kb * 1024 + 16; // payload + key
+        let db = Gbo::with_config(GboConfig {
+            mem_limit: (bytes * budget_units) as u64,
+            background_io: false,
+            eviction: EvictionPolicy::Lru,
+        });
+        for u in 0..n_units {
+            let name = format!("u{u}");
+            db.add_unit(&name, reader(unit_kb * 1024)).unwrap();
+            db.wait_unit(&name).unwrap();
+            db.finish_unit(&name).unwrap();
+            prop_assert!(
+                db.mem_used() <= db.mem_limit(),
+                "{} used of {} after loading {} finished units",
+                db.mem_used(), db.mem_limit(), u + 1
+            );
+        }
+        // The most recently finished unit must still be resident.
+        let last = format!("u{}", n_units - 1);
+        prop_assert_eq!(db.unit_state(&last), Some(UnitState::Finished));
+    }
+
+    #[test]
+    fn delete_always_returns_memory(
+        loads in prop::collection::vec(1usize..8, 1..12),
+    ) {
+        let db = Gbo::with_config(GboConfig {
+            mem_limit: 1 << 30,
+            background_io: false,
+            ..Default::default()
+        });
+        for (i, kb) in loads.iter().enumerate() {
+            let name = format!("u{i}");
+            db.add_unit(&name, reader(kb * 1024)).unwrap();
+            db.wait_unit(&name).unwrap();
+            db.delete_unit(&name).unwrap();
+        }
+        prop_assert_eq!(db.mem_used(), 0, "all deleted, nothing may remain charged");
+    }
+}

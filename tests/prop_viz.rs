@@ -1,0 +1,159 @@
+//! Property tests for the visualization layer: spec-file round-trips,
+//! colour-map invariants, triangle-soup operations.
+
+use godiva::platform::Work;
+use godiva::viz::color::ColorScheme;
+use godiva::viz::specfile::{format_camera, format_ops, parse_camera, parse_ops};
+use godiva::viz::{Axis, Camera, ColorMap, GraphicsOp, TestSpec, TriangleSoup};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+fn axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![Just(Axis::X), Just(Axis::Y), Just(Axis::Z)]
+}
+
+fn frac() -> impl Strategy<Value = f64> {
+    // Values that survive the float→text→float round trip exactly.
+    (0u32..=1000).prop_map(|n| n as f64 / 1000.0)
+}
+
+fn op() -> impl Strategy<Value = GraphicsOp> {
+    prop_oneof![
+        var_name().prop_map(|var| GraphicsOp::Surface { var }),
+        (var_name(), frac()).prop_map(|(var, fraction)| GraphicsOp::Isosurface { var, fraction }),
+        (var_name(), axis(), frac()).prop_map(|(var, axis, fraction)| GraphicsOp::Slice {
+            var,
+            axis,
+            fraction
+        }),
+        (var_name(), axis(), frac()).prop_map(|(var, axis, fraction)| GraphicsOp::Clip {
+            var,
+            axis,
+            fraction
+        }),
+        (var_name(), frac(), 1usize..64).prop_map(|(var, scale, stride)| GraphicsOp::Glyphs {
+            var,
+            scale,
+            stride
+        }),
+        (var_name(), frac(), frac()).prop_map(|(var, lo, hi)| GraphicsOp::Threshold {
+            var,
+            lo,
+            hi
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ops_file_roundtrip(
+        name in "[a-z][a-z0-9_-]{0,16}",
+        work_us in 0u64..1_000_000,
+        ops in prop::collection::vec(op(), 1..10),
+    ) {
+        let spec = TestSpec {
+            name,
+            ops,
+            work_per_op: Work::from_micros(work_us),
+        };
+        let text = format_ops(&spec);
+        let back = parse_ops(&text).unwrap();
+        prop_assert_eq!(back.name, spec.name);
+        prop_assert_eq!(back.work_per_op, spec.work_per_op);
+        prop_assert_eq!(back.ops, spec.ops);
+    }
+
+    #[test]
+    fn camera_file_roundtrip(
+        px in -100.0f64..100.0, py in -100.0f64..100.0, pz in -100.0f64..100.0,
+        lx in -10.0f64..10.0, ly in -10.0f64..10.0, lz in -10.0f64..10.0,
+        fov in 10.0f64..120.0,
+    ) {
+        let cam = Camera {
+            position: [px, py, pz],
+            look_at: [lx, ly, lz],
+            up: [0.0, 0.0, 1.0],
+            fov_y_deg: fov,
+            near: 1e-3,
+        };
+        let back = parse_camera(&format_camera(&cam)).unwrap();
+        prop_assert_eq!(back.position, cam.position);
+        prop_assert_eq!(back.look_at, cam.look_at);
+        prop_assert_eq!(back.fov_y_deg, cam.fov_y_deg);
+    }
+
+    #[test]
+    fn colormaps_total_and_clamped(
+        lo in -1e6f64..1e6,
+        span in 1e-6f64..1e6,
+        values in prop::collection::vec(prop::num::f64::ANY, 0..64),
+    ) {
+        for scheme in [ColorScheme::Rainbow, ColorScheme::Gray, ColorScheme::Heat] {
+            let m = ColorMap::new(lo, lo + span, scheme);
+            for &v in &values {
+                let _ = m.map(v); // total: no panic on any input incl. NaN/inf
+            }
+            // Endpoints are the extreme colours of each scheme.
+            let a = m.map(lo);
+            let b = m.map(lo + span);
+            prop_assert_eq!(m.map(lo - 1e9), a, "below range clamps to low end");
+            prop_assert_eq!(m.map(lo + span + 1e9), b, "above range clamps to high end");
+        }
+    }
+
+    #[test]
+    fn gray_map_is_monotone(samples in prop::collection::vec(0.0f64..1.0, 2..32)) {
+        let m = ColorMap::new(0.0, 1.0, ColorScheme::Gray);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let greys: Vec<u8> = sorted.iter().map(|&v| m.map(v).0).collect();
+        prop_assert!(greys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn soup_append_preserves_counts(
+        n1 in 0usize..20,
+        n2 in 0usize..20,
+    ) {
+        let mk = |n: usize| TriangleSoup {
+            positions: vec![[0.0; 3]; n * 3],
+            scalars: vec![1.0; n * 3],
+            tris: (0..n).map(|t| [3 * t as u32, 3 * t as u32 + 1, 3 * t as u32 + 2]).collect(),
+        };
+        let mut a = mk(n1);
+        let b = mk(n2);
+        a.append(&b);
+        prop_assert_eq!(a.tri_count(), n1 + n2);
+        prop_assert_eq!(a.positions.len(), (n1 + n2) * 3);
+        // All indices in range.
+        for t in &a.tris {
+            for &v in t {
+                prop_assert!((v as usize) < a.positions.len());
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent(
+        coords in prop::collection::vec(-10.0f64..10.0, 9..60),
+    ) {
+        let n = coords.len() / 9; // whole triangles
+        let soup = TriangleSoup {
+            positions: coords[..n * 9]
+                .chunks_exact(3)
+                .map(|c| [c[0], c[1], c[2]])
+                .collect(),
+            scalars: vec![0.0; n * 3],
+            tris: (0..n).map(|t| [3 * t as u32, 3 * t as u32 + 1, 3 * t as u32 + 2]).collect(),
+        };
+        let once = soup.dedup(1e-9);
+        let twice = once.dedup(1e-9);
+        prop_assert_eq!(once.positions.len(), twice.positions.len());
+        prop_assert_eq!(once.tris, twice.tris);
+    }
+}
