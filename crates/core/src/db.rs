@@ -24,11 +24,78 @@ use crate::stats::GboStats;
 use crate::unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Identifier of a record inside one database.
 pub type RecordId = u64;
+
+/// How the database re-runs a read function whose failure is transient
+/// (see [`GodivaError::is_transient`]).
+///
+/// Attempt *n* (1-based) that fails transiently sleeps
+/// `min(base_backoff × 2^(n−1), max_backoff)` before attempt *n + 1*.
+/// Partial records created by the failed attempt are rolled back first,
+/// so a retried read function always starts from a clean unit. The
+/// default policy makes a single attempt — no retries — preserving the
+/// paper library's behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first). `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, any failure is final.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Retry up to `max_attempts` total attempts with exponential
+    /// backoff starting at `base_backoff`, capped at `max_backoff`.
+    pub fn new(max_attempts: u32, base_backoff: Duration, max_backoff: Duration) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_backoff,
+            max_backoff,
+        }
+    }
+
+    /// Effective attempt budget (at least one).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Backoff to sleep after failed attempt `attempt` (1-based).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(31);
+        self.base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff)
+    }
+
+    /// Upper bound on the total time spent sleeping between attempts.
+    pub fn max_total_backoff(&self) -> Duration {
+        (1..self.attempts()).fold(Duration::ZERO, |acc, a| {
+            acc.saturating_add(self.backoff_for(a))
+        })
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
 
 /// Construction-time configuration of a [`Gbo`].
 #[derive(Debug, Clone)]
@@ -42,6 +109,9 @@ pub struct GboConfig {
     pub background_io: bool,
     /// Eviction policy for finished units (paper: LRU).
     pub eviction: EvictionPolicy,
+    /// Retry policy for transiently failing read functions, applied by
+    /// both the background I/O thread and inline reads. Default: none.
+    pub retry: RetryPolicy,
 }
 
 impl Default for GboConfig {
@@ -50,6 +120,7 @@ impl Default for GboConfig {
             mem_limit: 256 * 1024 * 1024,
             background_io: true,
             eviction: EvictionPolicy::Lru,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -113,6 +184,12 @@ struct State {
     clock: u64,
     next_record: RecordId,
     io_blocked_on_memory: bool,
+    /// Bytes the blocked I/O thread is waiting for. The deadlock check
+    /// re-verifies the shortage against this, so a stale
+    /// `io_blocked_on_memory` (set_mem_space raised the budget but the
+    /// I/O thread has not yet woken to clear the flag) is never reported
+    /// as a deadlock.
+    io_blocked_need: u64,
     shutdown: bool,
     stats: GboStats,
 }
@@ -141,6 +218,7 @@ struct Inner {
     work_cv: Condvar,
     background_io: bool,
     eviction: EvictionPolicy,
+    retry: RetryPolicy,
 }
 
 /// The GODIVA database object. See the [module docs](self).
@@ -199,6 +277,7 @@ impl Inner {
                 }
                 AllocCtx::Background => {
                     st.io_blocked_on_memory = true;
+                    st.io_blocked_need = bytes;
                     // Wake any `wait_unit` callers so they can run the
                     // deadlock check (§3.3).
                     self.unit_cv.notify_all();
@@ -545,9 +624,17 @@ impl Inner {
         Ok(())
     }
 
-    /// Run a unit's reader inline on the calling thread. The state lock
-    /// must *not* be held; the unit must already be marked `Reading`.
-    fn run_inline(self: &Arc<Self>, name: &str) -> Result<()> {
+    /// Invoke `name`'s read function under `ctx`, with panic isolation
+    /// and the configured retry policy. The unit must already be marked
+    /// `Reading`; the state lock must *not* be held.
+    ///
+    /// A panicking read function is caught (`catch_unwind`) and reported
+    /// as a failed read, so it can never kill the background I/O thread
+    /// or unwind into application code. A *transient* error
+    /// ([`GodivaError::is_transient`]) is retried up to the policy's
+    /// attempt budget, rolling back the failed attempt's partial records
+    /// before each retry so the read function always starts clean.
+    fn run_reader(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<()> {
         let reader = {
             let st = self.state.lock();
             st.units
@@ -555,12 +642,54 @@ impl Inner {
                 .and_then(|u| u.reader.clone())
                 .ok_or_else(|| GodivaError::UnitError(format!("unit '{name}' has no reader")))?
         };
-        let session = UnitSession {
-            inner: Arc::clone(self),
-            unit: name.to_string(),
-            ctx: AllocCtx::Inline,
-        };
-        let result = reader.read(&session);
+        let mut attempt = 1u32;
+        loop {
+            let session = UnitSession {
+                inner: Arc::clone(self),
+                unit: name.to_string(),
+                ctx,
+            };
+            let err = match catch_unwind(AssertUnwindSafe(|| reader.read(&session))) {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    self.state.lock().stats.panics_caught += 1;
+                    return Err(GodivaError::ReadFailed {
+                        unit: name.to_string(),
+                        message: format!("panicked: {}", panic_message(&payload)),
+                    });
+                }
+            };
+            if attempt >= self.retry.attempts() || !err.is_transient() {
+                return Err(err);
+            }
+            let backoff = self.retry.backoff_for(attempt);
+            {
+                let mut st = self.state.lock();
+                if st.shutdown {
+                    return Err(err);
+                }
+                // Roll back the failed attempt's partial records so the
+                // retry starts from an empty unit (drop_unit_data parks
+                // the unit in Registered; restore Reading).
+                self.drop_unit_data(&mut st, name);
+                if let Some(u) = st.units.get_mut(name) {
+                    u.state = UnitState::Reading;
+                }
+                st.stats.units_retried += 1;
+                st.stats.retry_backoff_total += backoff;
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Run a unit's reader inline on the calling thread. The state lock
+    /// must *not* be held; the unit must already be marked `Reading`.
+    fn run_inline(self: &Arc<Self>, name: &str) -> Result<()> {
+        let result = self.run_reader(name, AllocCtx::Inline);
         let mut st = self.state.lock();
         st.clock += 1;
         let clock = st.clock;
@@ -578,9 +707,12 @@ impl Inner {
             }
         }
         self.unit_cv.notify_all();
-        result.map_err(|e| GodivaError::ReadFailed {
-            unit: name.to_string(),
-            message: e.to_string(),
+        result.map_err(|e| match e {
+            already @ GodivaError::ReadFailed { .. } => already,
+            other => GodivaError::ReadFailed {
+                unit: name.to_string(),
+                message: other.to_string(),
+            },
         })
     }
 
@@ -592,9 +724,17 @@ impl Inner {
     }
 
     /// Block until `name` is loaded; pin it. Core of `wait_unit` and the
-    /// tail of `read_unit`.
-    fn wait_loaded(self: &Arc<Self>, name: &str, explicit_read: bool) -> Result<()> {
+    /// tail of `read_unit`. With a `timeout`, give up waiting on the
+    /// background thread after that long (inline reads performed on the
+    /// calling thread are not interruptible and ignore the timeout).
+    fn wait_loaded(
+        self: &Arc<Self>,
+        name: &str,
+        explicit_read: bool,
+        timeout: Option<Duration>,
+    ) -> Result<()> {
         let started = Instant::now();
+        let deadline = timeout.map(|t| started + t);
         let mut blocked = false;
         let result = loop {
             let mut st = self.state.lock();
@@ -646,8 +786,13 @@ impl Inner {
                 UnitState::Queued | UnitState::Reading => {
                     // Deadlock detection (§3.3): we are blocked on this
                     // unit while the I/O thread is blocked on memory and
-                    // nothing can be evicted.
-                    if st.io_blocked_on_memory && !st.has_evictable() {
+                    // nothing can be evicted. Re-verify the shortage so a
+                    // stale flag (budget raised, I/O thread not yet woken)
+                    // is not misreported as a deadlock.
+                    if st.io_blocked_on_memory
+                        && st.mem_used.saturating_add(st.io_blocked_need) > st.mem_limit
+                        && !st.has_evictable()
+                    {
                         st.stats.deadlocks_detected += 1;
                         break Err(GodivaError::Deadlock {
                             unit: name.to_string(),
@@ -656,7 +801,27 @@ impl Inner {
                         });
                     }
                     blocked = true;
-                    self.unit_cv.wait(&mut st);
+                    match deadline {
+                        None => self.unit_cv.wait(&mut st),
+                        Some(d) => {
+                            if self.unit_cv.wait_until(&mut st, d).timed_out() {
+                                // Re-check under the lock: the unit may
+                                // have loaded in the race with the clock.
+                                let loaded = st
+                                    .units
+                                    .get(name)
+                                    .map(|u| u.state.is_loaded())
+                                    .unwrap_or(false);
+                                if !loaded {
+                                    st.stats.wait_timeouts += 1;
+                                    break Err(GodivaError::WaitTimeout {
+                                        unit: name.to_string(),
+                                        waited: started.elapsed(),
+                                    });
+                                }
+                            }
+                        }
+                    }
                 }
             }
         };
@@ -714,6 +879,40 @@ impl Inner {
         Ok(())
     }
 
+    /// Re-queue a `Failed` unit for another load attempt with its
+    /// existing read function, dropping any partial records first.
+    fn reset_unit(&self, name: &str) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.shutdown {
+            return Err(GodivaError::Shutdown);
+        }
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        match entry.state {
+            UnitState::Failed(_) => {}
+            ref other => {
+                return Err(GodivaError::UnitError(format!(
+                    "unit '{name}' is not failed (state {other:?}) and cannot be reset"
+                )))
+            }
+        }
+        if entry.reader.is_none() {
+            return Err(GodivaError::UnitError(format!(
+                "unit '{name}' has no reader to retry with"
+            )));
+        }
+        entry.refcount = 0;
+        self.drop_unit_data(&mut st, name);
+        let entry = st.units.get_mut(name).expect("still present");
+        entry.state = UnitState::Queued;
+        st.queue.push_back(name.to_string());
+        st.stats.units_reset += 1;
+        self.work_cv.notify_all();
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // background I/O thread
     // ------------------------------------------------------------------
@@ -735,8 +934,10 @@ impl Inner {
                             continue;
                         }
                         // Memory full, nothing evictable: block, flagged
-                        // for deadlock detection.
+                        // for deadlock detection. Needing "1 byte" makes
+                        // the shortage test `mem_used >= mem_limit`.
                         st.io_blocked_on_memory = true;
+                        st.io_blocked_need = 1;
                         self.unit_cv.notify_all();
                         self.work_cv.wait(&mut st);
                         st.io_blocked_on_memory = false;
@@ -751,23 +952,10 @@ impl Inner {
                 name
             };
 
-            let reader = {
-                let st = self.state.lock();
-                st.units.get(&name).and_then(|u| u.reader.clone())
-            };
-            let result = match reader {
-                Some(r) => {
-                    let session = UnitSession {
-                        inner: Arc::clone(&self),
-                        unit: name.clone(),
-                        ctx: AllocCtx::Background,
-                    };
-                    r.read(&session)
-                }
-                None => Err(GodivaError::UnitError(format!(
-                    "unit '{name}' lost its reader"
-                ))),
-            };
+            // Panic isolation + retry live inside run_reader: a
+            // panicking or transiently failing read function can never
+            // kill this thread — the unit just ends up Failed.
+            let result = self.run_reader(&name, AllocCtx::Background);
 
             let mut st = self.state.lock();
             st.clock += 1;
@@ -816,6 +1004,7 @@ impl Gbo {
                 clock: 0,
                 next_record: 1,
                 io_blocked_on_memory: false,
+                io_blocked_need: 0,
                 shutdown: false,
                 stats: GboStats::default(),
             }),
@@ -823,6 +1012,7 @@ impl Gbo {
             work_cv: Condvar::new(),
             background_io: config.background_io,
             eviction: config.eviction,
+            retry: config.retry,
         });
         let io_thread = if config.background_io {
             let inner2 = Arc::clone(&inner);
@@ -956,13 +1146,32 @@ impl Gbo {
                 }
             }
         }
-        self.inner.wait_loaded(name, true)
+        self.inner.wait_loaded(name, true, None)
     }
 
     /// `waitUnit(name)`: block until the unit is in the database, then
     /// pin it (unit-level reference count, §3.3).
     pub fn wait_unit(&self, name: &str) -> Result<()> {
-        self.inner.wait_loaded(name, false)
+        self.inner.wait_loaded(name, false, None)
+    }
+
+    /// Like [`Gbo::wait_unit`], but give up after `timeout` if the unit
+    /// is still loading on the background thread, returning
+    /// [`GodivaError::WaitTimeout`]. The unit is *not* failed by a
+    /// timeout — it keeps loading, and a later wait can still succeed.
+    /// A read performed inline on the calling thread (single-thread
+    /// mode, or a revisit after eviction) is not interruptible and runs
+    /// to completion regardless of `timeout`.
+    pub fn wait_unit_timeout(&self, name: &str, timeout: Duration) -> Result<()> {
+        self.inner.wait_loaded(name, false, Some(timeout))
+    }
+
+    /// Re-queue a `Failed` unit for another load attempt with its
+    /// existing read function. Partial records from the failed attempt
+    /// are dropped first, so the read function starts clean — no
+    /// `delete_unit` + `add_unit` dance required after a fault clears.
+    pub fn reset_unit(&self, name: &str) -> Result<()> {
+        self.inner.reset_unit(name)
     }
 
     /// Like [`Gbo::wait_unit`], but returns an RAII guard that calls
@@ -971,7 +1180,7 @@ impl Gbo {
     /// §3.3 "forgot to finish" deadlock unrepresentable in code that
     /// uses guards.
     pub fn wait_unit_guard(&self, name: &str) -> Result<UnitGuard> {
-        self.inner.wait_loaded(name, false)?;
+        self.inner.wait_loaded(name, false, None)?;
         Ok(UnitGuard {
             inner: Arc::clone(&self.inner),
             name: name.to_string(),
@@ -1063,6 +1272,17 @@ impl Drop for Gbo {
         if let Some(h) = self.io_thread.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -1,6 +1,14 @@
 //! Error type for the GODIVA database.
+//!
+//! The taxonomy distinguishes **transient** failures (an I/O error that
+//! may succeed on a later attempt — see [`GodivaError::is_transient`])
+//! from **permanent** ones (schema misuse, missing files, corruption).
+//! The retry machinery in [`crate::db`] only re-runs a read function
+//! whose error is transient.
 
 use std::fmt;
+use std::io;
+use std::time::Duration;
 
 /// Everything the GODIVA database can refuse to do.
 #[derive(Debug)]
@@ -37,6 +45,23 @@ pub enum GodivaError {
     NotFound(String),
     /// Unit-level misuse (unknown unit, double add, …).
     UnitError(String),
+    /// An I/O failure inside a read function, with the underlying
+    /// [`io::ErrorKind`] preserved so the retry machinery can decide
+    /// whether the failure is transient.
+    Io {
+        /// The underlying I/O error kind.
+        kind: io::ErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+    /// `wait_unit_timeout` gave up before the unit loaded. The unit is
+    /// *not* failed — it may still be loading; a later wait can succeed.
+    WaitTimeout {
+        /// Unit the caller was waiting for.
+        unit: String,
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
     /// A developer-supplied read function failed.
     ReadFailed {
         /// Unit whose read function failed.
@@ -86,6 +111,12 @@ impl fmt::Display for GodivaError {
             GodivaError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
             GodivaError::NotFound(m) => write!(f, "no record found: {m}"),
             GodivaError::UnitError(m) => write!(f, "unit error: {m}"),
+            GodivaError::Io { kind, message } => write!(f, "I/O error ({kind:?}): {message}"),
+            GodivaError::WaitTimeout { unit, waited } => write!(
+                f,
+                "timed out after {:.3}s waiting for unit '{unit}'",
+                waited.as_secs_f64()
+            ),
             GodivaError::ReadFailed { unit, message } => {
                 write!(f, "read function for unit '{unit}' failed: {message}")
             }
@@ -109,6 +140,41 @@ impl fmt::Display for GodivaError {
                  and nothing evictable"
             ),
             GodivaError::Shutdown => write!(f, "database is shutting down"),
+        }
+    }
+}
+
+impl GodivaError {
+    /// Whether a retry of the failed operation could plausibly succeed.
+    ///
+    /// Only [`GodivaError::Io`] failures are candidates, and of those
+    /// only the kinds that do not signal a persistent condition: a file
+    /// that does not exist, a permission problem, or corrupt/invalid
+    /// data will not be cured by reading again, while timeouts,
+    /// interrupted calls, dropped connections and unclassified
+    /// (`ErrorKind::Other`) failures may be.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            GodivaError::Io { kind, .. } => !matches!(
+                kind,
+                io::ErrorKind::NotFound
+                    | io::ErrorKind::PermissionDenied
+                    | io::ErrorKind::AlreadyExists
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::InvalidData
+                    | io::ErrorKind::Unsupported
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+}
+
+impl From<io::Error> for GodivaError {
+    fn from(e: io::Error) -> Self {
+        GodivaError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
         }
     }
 }
@@ -158,9 +224,54 @@ mod tests {
                 mem_used: 2,
                 mem_limit: 3,
             },
+            GodivaError::Io {
+                kind: io::ErrorKind::TimedOut,
+                message: "m".into(),
+            },
+            GodivaError::WaitTimeout {
+                unit: "u".into(),
+                waited: Duration::from_millis(5),
+            },
             GodivaError::Shutdown,
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn transient_split_follows_io_kind() {
+        let io_err = |kind| GodivaError::Io {
+            kind,
+            message: "x".into(),
+        };
+        // Retryable kinds.
+        assert!(io_err(io::ErrorKind::TimedOut).is_transient());
+        assert!(io_err(io::ErrorKind::Interrupted).is_transient());
+        assert!(io_err(io::ErrorKind::Other).is_transient());
+        // Persistent conditions.
+        assert!(!io_err(io::ErrorKind::NotFound).is_transient());
+        assert!(!io_err(io::ErrorKind::PermissionDenied).is_transient());
+        assert!(!io_err(io::ErrorKind::InvalidData).is_transient());
+        // Non-I/O errors are never transient.
+        assert!(!GodivaError::Shutdown.is_transient());
+        assert!(!GodivaError::UnitError("x".into()).is_transient());
+        assert!(!GodivaError::ReadFailed {
+            unit: "u".into(),
+            message: "m".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn io_error_conversion_keeps_kind() {
+        let e: GodivaError = io::Error::new(io::ErrorKind::TimedOut, "slow disk").into();
+        match &e {
+            GodivaError::Io { kind, message } => {
+                assert_eq!(*kind, io::ErrorKind::TimedOut);
+                assert!(message.contains("slow disk"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(e.is_transient());
     }
 }

@@ -64,6 +64,12 @@
 //!   documents that hazard and asks developers to avoid it).
 //! - Deadlocks (§3.3) are *returned* as [`GodivaError::Deadlock`] from
 //!   `wait_unit` rather than aborting the process.
+//! - Failures in read functions are contained: panics are caught and
+//!   reported as failed units (the I/O thread survives), transient I/O
+//!   errors are retried per a configurable [`RetryPolicy`] with
+//!   exponential backoff, waits can be bounded (`wait_unit_timeout`),
+//!   and a failed unit can be re-queued in place (`reset_unit`). The
+//!   2004 library offered only "limited integrity guarantees" here.
 
 pub mod buffer;
 pub mod db;
@@ -73,7 +79,7 @@ pub mod stats;
 pub mod unit;
 
 pub use buffer::{FieldBuffer, FieldData, FieldRef, Key};
-pub use db::{Gbo, GboConfig, RecordHandle, RecordId, UnitGuard, UnitSession};
+pub use db::{Gbo, GboConfig, RecordHandle, RecordId, RetryPolicy, UnitGuard, UnitSession};
 pub use error::{GodivaError, Result};
 pub use schema::{DeclaredSize, FieldKind, FieldSlot, FieldTypeDef, RecordTypeDef, Schema};
 pub use stats::GboStats;

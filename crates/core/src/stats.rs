@@ -48,6 +48,17 @@ pub struct GboStats {
     /// Cumulative time callers spent blocked in `wait_unit`/`read_unit` —
     /// the paper's "visible I/O time" as seen by the library.
     pub wait_time: Duration,
+    /// Read-function attempts that were retried after a transient
+    /// failure (one per retry, so a unit needing two retries counts 2).
+    pub units_retried: u64,
+    /// Cumulative backoff slept between retry attempts.
+    pub retry_backoff_total: Duration,
+    /// Read-function panics caught and converted into failed units.
+    pub panics_caught: u64,
+    /// `wait_unit_timeout` calls that gave up before the unit loaded.
+    pub wait_timeouts: u64,
+    /// Failed units re-queued via `reset_unit`.
+    pub units_reset: u64,
 }
 
 impl GboStats {
@@ -92,6 +103,15 @@ impl std::fmt::Display for GboStats {
             self.over_budget_allocs,
             self.deadlocks_detected
         )?;
+        writeln!(
+            f,
+            "faults: {} retries ({:.3}s backoff), {} panics caught, {} wait timeouts, {} resets",
+            self.units_retried,
+            self.retry_backoff_total.as_secs_f64(),
+            self.panics_caught,
+            self.wait_timeouts,
+            self.units_reset
+        )?;
         write!(f, "blocked in waits: {:.3}s", self.wait_time.as_secs_f64())
     }
 }
@@ -113,6 +133,9 @@ mod tests {
             cache_hits: 5,
             mem_peak: 2 << 20,
             deadlocks_detected: 1,
+            units_retried: 4,
+            panics_caught: 2,
+            wait_timeouts: 1,
             ..Default::default()
         };
         let text = s.to_string();
@@ -120,6 +143,9 @@ mod tests {
         assert!(text.contains("5 cache hits"));
         assert!(text.contains("2.00 MB peak"));
         assert!(text.contains("1 deadlocks"));
+        assert!(text.contains("4 retries"));
+        assert!(text.contains("2 panics caught"));
+        assert!(text.contains("1 wait timeouts"));
         assert!(text.contains("blocked in waits"));
     }
 

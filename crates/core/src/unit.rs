@@ -26,6 +26,14 @@ use std::sync::Arc;
 /// Read functions run on the background I/O thread in multi-thread mode
 /// and on the calling thread in single-thread mode; they must therefore
 /// be `Send + Sync`.
+///
+/// The database isolates failures in read functions: a returned error
+/// marks the unit [`UnitState::Failed`]; a *panic* is caught
+/// (`catch_unwind`) and likewise marks the unit failed — it can never
+/// kill the background I/O thread or unwind into application code. A
+/// transient I/O error (see [`GodivaError::is_transient`]) is retried
+/// per the database's [`crate::db::RetryPolicy`], with the attempt's
+/// partial records rolled back first.
 pub trait ReadFunction: Send + Sync {
     /// Read the unit's records into the database.
     fn read(&self, session: &UnitSession) -> Result<(), GodivaError>;
@@ -59,7 +67,9 @@ pub enum UnitState {
     /// pressure but still queryable until evicted — this is what makes
     /// revisits cheap in interactive mode.
     Finished,
-    /// Its read function returned an error.
+    /// Its read function returned an error (or panicked — the message
+    /// then starts after a "panicked:" marker). A failed unit can be
+    /// re-queued with its existing reader via `Gbo::reset_unit`.
     Failed(String),
 }
 

@@ -59,6 +59,7 @@ fn small_db(mem: u64, background: bool) -> Gbo {
         mem_limit: mem,
         background_io: background,
         eviction: EvictionPolicy::Lru,
+        ..Default::default()
     })
 }
 
@@ -148,6 +149,12 @@ fn wait_blocks_until_slow_read_finishes() {
 fn finished_units_stay_queryable_until_pressure() {
     let db = small_db(1 << 20, true);
     db.add_unit("u0", unit_reader(10, Duration::ZERO)).unwrap();
+    // Let the prefetch win the race so the first wait is a cache hit.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.unit_state("u0") != Some(UnitState::Ready) {
+        assert!(Instant::now() < deadline, "prefetch never completed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
     db.wait_unit("u0").unwrap();
     db.finish_unit("u0").unwrap();
     assert_eq!(db.unit_state("u0"), Some(UnitState::Finished));
@@ -189,6 +196,7 @@ fn fifo_eviction_policy_differs_from_lru() {
             mem_limit: 2600, // fits three 808-byte units
             background_io: false,
             eviction: policy,
+            ..Default::default()
         });
         for i in 0..3 {
             db.add_unit(&format!("u{i}"), unit_reader(100, Duration::ZERO))

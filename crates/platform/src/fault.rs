@@ -6,21 +6,44 @@
 //! [`FaultyFs`] wraps any [`Storage`] and injects deterministic,
 //! schedule-independent failures so tests can exercise those paths:
 //!
-//! - fail the *n*-th read operation (`fail_nth_read`),
+//! - fail the *n*-th read operation globally (`fail_nth_read`) or the
+//!   *n*-th read *of one path* (`fail_nth_read_of` — schedule-independent,
+//!   unlike the global counter),
 //! - fail every read whose path matches a substring (`fail_paths_with`),
-//! - corrupt (bit-flip) payloads instead of erroring (`corrupt_reads`).
+//! - fail only the first *k* reads of matching paths, then recover
+//!   (`fail_first_k_reads_of` — models transient faults for retry tests),
+//! - fail a seeded pseudo-random fraction of reads (`fail_randomly`),
+//! - corrupt (bit-flip) payloads instead of erroring (`corrupt_reads`),
+//! - delay every read by a fixed latency (`set_read_latency`).
+//!
+//! Injected errors use [`io::ErrorKind::Other`], which the core error
+//! taxonomy classifies as *transient* (retryable); corruption surfaces
+//! through format checksums as a *permanent* error.
 
 use crate::storage::{Storage, StorageStats};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A "fail the first `remaining` matching reads, then succeed" rule.
+struct TransientFault {
+    substring: String,
+    remaining: u64,
+}
 
 #[derive(Default)]
 struct FaultPlan {
     fail_reads_at: Vec<u64>,
+    fail_path_at: Vec<(String, u64)>,
     fail_substring: Option<String>,
+    transient: Vec<TransientFault>,
+    random: Option<(u64, f64)>,
     corrupt_substring: Option<String>,
+    read_latency: Option<Duration>,
+    reads_of_path: HashMap<String, u64>,
 }
 
 /// A storage wrapper injecting failures per a configurable plan.
@@ -43,13 +66,47 @@ impl FaultyFs {
     }
 
     /// Fail the `n`-th read operation (1-based) with an I/O error.
+    ///
+    /// The counter is global across all paths, so which *file* fails
+    /// depends on the read schedule. For a schedule-independent fault,
+    /// use [`FaultyFs::fail_nth_read_of`].
     pub fn fail_nth_read(&self, n: u64) {
         self.plan.lock().fail_reads_at.push(n);
+    }
+
+    /// Fail the `n`-th read (1-based) of exactly `path`, regardless of
+    /// how reads of other paths interleave.
+    pub fn fail_nth_read_of(&self, path: impl Into<String>, n: u64) {
+        self.plan.lock().fail_path_at.push((path.into(), n));
     }
 
     /// Fail every read of a path containing `substr`.
     pub fn fail_paths_with(&self, substr: impl Into<String>) {
         self.plan.lock().fail_substring = Some(substr.into());
+    }
+
+    /// Fail the first `k` reads of paths containing `substr`, then let
+    /// subsequent reads succeed — a transient fault that a retrying
+    /// caller recovers from and a single-shot caller does not.
+    pub fn fail_first_k_reads_of(&self, substr: impl Into<String>, k: u64) {
+        self.plan.lock().transient.push(TransientFault {
+            substring: substr.into(),
+            remaining: k,
+        });
+    }
+
+    /// Fail a pseudo-random fraction `rate` (0.0–1.0) of reads. The
+    /// decision is a pure function of `seed`, the path, and that path's
+    /// attempt number, so a given run is reproducible and a *retry* of a
+    /// failed read re-rolls rather than failing forever.
+    pub fn fail_randomly(&self, seed: u64, rate: f64) {
+        self.plan.lock().random = Some((seed, rate.clamp(0.0, 1.0)));
+    }
+
+    /// Delay every read by `latency` before any fault check — models a
+    /// slow device for wait-timeout and prefetch-overlap tests.
+    pub fn set_read_latency(&self, latency: Duration) {
+        self.plan.lock().read_latency = Some(latency);
     }
 
     /// Flip a byte in every read of a path containing `substr`
@@ -70,17 +127,58 @@ impl FaultyFs {
 
     fn check_read(&self, path: &str) -> io::Result<bool> {
         let seq = self.reads_seen.fetch_add(1, Ordering::Relaxed) + 1;
-        let plan = self.plan.lock();
+        let mut plan = self.plan.lock();
+        let path_seq = {
+            let count = plan.reads_of_path.entry(path.to_string()).or_insert(0);
+            *count += 1;
+            *count
+        };
+        if let Some(latency) = plan.read_latency {
+            // Sleep outside the lock so a slow read does not serialize
+            // fault bookkeeping for concurrent readers.
+            drop(plan);
+            std::thread::sleep(latency);
+            plan = self.plan.lock();
+        }
         if plan.fail_reads_at.contains(&seq) {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(io::Error::other(format!(
                 "injected fault: read #{seq} of {path}"
             )));
         }
+        if plan
+            .fail_path_at
+            .iter()
+            .any(|(p, n)| p == path && *n == path_seq)
+        {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected fault: read #{path_seq} of path {path}"
+            )));
+        }
         if let Some(s) = &plan.fail_substring {
             if path.contains(s.as_str()) {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 return Err(io::Error::other(format!("injected fault: {path}")));
+            }
+        }
+        if let Some(fault) = plan
+            .transient
+            .iter_mut()
+            .find(|f| f.remaining > 0 && path.contains(f.substring.as_str()))
+        {
+            fault.remaining -= 1;
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected transient fault: {path} (attempt {path_seq})"
+            )));
+        }
+        if let Some((seed, rate)) = plan.random {
+            if splitmix_unit(seed, path, path_seq) < rate {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::other(format!(
+                    "injected random fault: {path} (attempt {path_seq})"
+                )));
             }
         }
         if let Some(s) = &plan.corrupt_substring {
@@ -99,6 +197,18 @@ impl FaultyFs {
         }
         data
     }
+}
+
+/// Deterministic uniform value in `[0, 1)` from (seed, path, attempt).
+fn splitmix_unit(seed: u64, path: &str, attempt: u64) -> f64 {
+    let mut h = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in path.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl Storage for FaultyFs {
@@ -192,6 +302,67 @@ mod tests {
         assert_ne!(data, b"hello");
         assert_eq!(data.len(), 5);
         assert_eq!(fs.injected(), 1);
+    }
+
+    #[test]
+    fn nth_read_of_path_ignores_schedule() {
+        let fs = faulty();
+        fs.fail_nth_read_of("b/file2", 2);
+        // Interleave reads of another path: the global sequence moves,
+        // the per-path one doesn't.
+        assert!(fs.read("a/file1").is_ok());
+        assert!(fs.read("b/file2").is_ok()); // b's read #1
+        assert!(fs.read("a/file1").is_ok());
+        assert!(fs.read("b/file2").is_err()); // b's read #2 — injected
+        assert!(fs.read("b/file2").is_ok()); // b's read #3
+        assert_eq!(fs.injected(), 1);
+    }
+
+    #[test]
+    fn transient_fault_clears_after_k_attempts() {
+        let fs = faulty();
+        fs.fail_first_k_reads_of("file1", 2);
+        assert!(fs.read("a/file1").is_err());
+        assert!(fs.read_at("a/file1", 0, 2).is_err());
+        assert!(fs.read("a/file1").is_ok()); // third attempt recovers
+        assert!(fs.read("b/file2").is_ok()); // other paths never faulted
+        assert_eq!(fs.injected(), 2);
+    }
+
+    #[test]
+    fn random_faults_are_seed_deterministic() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let fs = faulty();
+            fs.fail_randomly(seed, 0.5);
+            (0..32).map(|_| fs.read("a/file1").is_err()).collect()
+        };
+        assert_eq!(outcomes(7), outcomes(7));
+        assert_ne!(outcomes(7), outcomes(8), "different seed, different plan");
+        let failures = outcomes(7).iter().filter(|&&f| f).count();
+        assert!(
+            (4..=28).contains(&failures),
+            "rate wildly off: {failures}/32"
+        );
+    }
+
+    #[test]
+    fn random_rate_extremes() {
+        let fs = faulty();
+        fs.fail_randomly(1, 0.0);
+        assert!((0..8).all(|_| fs.read("a/file1").is_ok()));
+        fs.fail_randomly(1, 1.0);
+        assert!((0..8).all(|_| fs.read("a/file1").is_err()));
+    }
+
+    #[test]
+    fn read_latency_delays_reads() {
+        let fs = faulty();
+        fs.set_read_latency(Duration::from_millis(15));
+        let start = std::time::Instant::now();
+        assert!(fs.read("a/file1").is_ok());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        fs.clear_faults();
+        assert!(fs.read("a/file1").is_ok());
     }
 
     #[test]

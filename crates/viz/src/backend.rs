@@ -17,14 +17,16 @@
 //! [`GodivaBackend`] implements both G and TG (construction flag).
 
 use crate::error::{VizError, VizResult};
-use godiva_core::{DeclaredSize, FieldKind, Gbo, GboConfig, GboStats, Key, UnitSession};
+use godiva_core::{
+    DeclaredSize, FieldKind, Gbo, GboConfig, GboStats, Key, RetryPolicy, UnitSession,
+};
 use godiva_genx::fields::{components, variable, VarKind};
 use godiva_genx::manifest::{conn_dataset, points_dataset, var_dataset};
 use godiva_genx::GenxConfig;
 use godiva_mesh::{node_to_elem, TetMesh};
 use godiva_platform::{Stopwatch, Storage};
 use godiva_sdf::{ReadOptions, SdfFile};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +47,75 @@ pub struct BlockData {
     pub raw: Arc<Vec<f64>>,
 }
 
+/// How a backend responds to a unit or block whose read ultimately
+/// failed (after any [`RetryPolicy`] retries were exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// Propagate the failure and abort the run — the long-standing
+    /// behavior, and still the default.
+    #[default]
+    Abort,
+    /// Skip the failed file or snapshot, render whatever loaded, and
+    /// record the skipped work in a [`FaultReport`].
+    Degrade,
+}
+
+/// What one degraded run skipped and absorbed.
+///
+/// `blocks_skipped` is the authoritative list: every `(snapshot,
+/// block)` pair that could not be rendered. `snapshots_skipped` is
+/// derived convenience — the snapshots in which *no* block rendered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Snapshots that produced no renderable blocks at all.
+    pub snapshots_skipped: Vec<usize>,
+    /// Every `(snapshot, block)` pair skipped, in sorted order.
+    pub blocks_skipped: Vec<(usize, usize)>,
+    /// Units that needed at least one retry (from GBO stats; 0 for
+    /// the direct backend).
+    pub units_retried: u64,
+    /// Read-function panics absorbed by the database (from GBO stats;
+    /// 0 for the direct backend).
+    pub panics_caught: u64,
+}
+
+impl FaultReport {
+    /// `true` when nothing was skipped or retried.
+    pub fn is_clean(&self) -> bool {
+        self.snapshots_skipped.is_empty()
+            && self.blocks_skipped.is_empty()
+            && self.units_retried == 0
+            && self.panics_caught == 0
+    }
+}
+
+/// Skip bookkeeping shared by both backends (sets so a pass re-run in
+/// a later op does not double-count a block).
+#[derive(Debug, Default)]
+struct SkipLog {
+    blocks: BTreeSet<(usize, usize)>,
+    snapshots: BTreeSet<usize>,
+}
+
+impl SkipLog {
+    fn skip_block(&mut self, snapshot: usize, block: usize) {
+        self.blocks.insert((snapshot, block));
+    }
+
+    fn skip_snapshot(&mut self, snapshot: usize) {
+        self.snapshots.insert(snapshot);
+    }
+
+    fn report(&self, units_retried: u64, panics_caught: u64) -> FaultReport {
+        FaultReport {
+            snapshots_skipped: self.snapshots.iter().copied().collect(),
+            blocks_skipped: self.blocks.iter().copied().collect(),
+            units_retried,
+            panics_caught,
+        }
+    }
+}
+
 /// How a Voyager run obtains snapshot data.
 pub trait SnapshotSource {
     /// Called once with the snapshot processing order (prefetch hints).
@@ -58,6 +129,11 @@ pub trait SnapshotSource {
     /// GODIVA statistics, if this source uses a GODIVA database.
     fn gbo_stats(&self) -> Option<GboStats> {
         None
+    }
+    /// What this run skipped and absorbed so far (empty unless the
+    /// source runs under [`FaultMode::Degrade`] and faults occurred).
+    fn fault_report(&self) -> FaultReport {
+        FaultReport::default()
     }
 }
 
@@ -133,6 +209,8 @@ pub struct DirectBackend {
     config: GenxConfig,
     read_options: ReadOptions,
     io: Stopwatch,
+    fault_mode: FaultMode,
+    skips: SkipLog,
 }
 
 impl DirectBackend {
@@ -143,7 +221,37 @@ impl DirectBackend {
             config,
             read_options,
             io: Stopwatch::new(),
+            fault_mode: FaultMode::Abort,
+            skips: SkipLog::default(),
         }
+    }
+
+    /// Select what happens when a file or block fails to read.
+    pub fn with_fault_mode(mut self, fault_mode: FaultMode) -> Self {
+        self.fault_mode = fault_mode;
+        self
+    }
+
+    /// Read one block's buffers, converting them to [`BlockData`].
+    fn read_block(&mut self, file: &SdfFile, var: &str, b: usize) -> VizResult<BlockData> {
+        self.io.start();
+        let read = (|| -> VizResult<_> {
+            let points: Vec<f64> = file.read(&points_dataset(b))?;
+            let conn: Vec<i32> = file.read(&conn_dataset(b))?;
+            let raw: Vec<f64> = file.read(&var_dataset(b, var))?;
+            Ok((points, conn, raw))
+        })();
+        self.io.stop();
+        let (points, conn, raw) = read?;
+        // Interpreting the buffers is computation, not I/O.
+        let mesh = mesh_from_buffers(&points, &conn)?;
+        let scalar = to_node_scalar(&mesh, var, &raw)?;
+        Ok(BlockData {
+            block: b,
+            mesh: Arc::new(mesh),
+            scalar: Arc::new(scalar),
+            raw: Arc::new(raw),
+        })
     }
 }
 
@@ -153,30 +261,39 @@ impl SnapshotSource for DirectBackend {
     }
 
     fn load_pass(&mut self, snapshot: usize, var: &str) -> VizResult<Vec<BlockData>> {
+        let degrade = self.fault_mode == FaultMode::Degrade;
         let mut out = Vec::with_capacity(self.config.blocks);
         for f in 0..self.config.files_per_snapshot {
             let path = self.config.file_path(snapshot, f);
             // Blocking reads on the calling thread; all of it is visible
             // I/O time in the paper's accounting.
             self.io.start();
-            let file = SdfFile::open_with(self.storage.clone(), path, self.read_options.clone())?;
+            let file = SdfFile::open_with(self.storage.clone(), path, self.read_options.clone());
             self.io.stop();
+            let file = match file {
+                Ok(file) => file,
+                Err(_) if degrade => {
+                    // The whole file is unreadable: skip its blocks.
+                    for b in self.config.blocks_in_file(f) {
+                        self.skips.skip_block(snapshot, b);
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             for b in self.config.blocks_in_file(f) {
-                self.io.start();
-                let points: Vec<f64> = file.read(&points_dataset(b))?;
-                let conn: Vec<i32> = file.read(&conn_dataset(b))?;
-                let raw: Vec<f64> = file.read(&var_dataset(b, var))?;
-                self.io.stop();
-                // Interpreting the buffers is computation, not I/O.
-                let mesh = mesh_from_buffers(&points, &conn)?;
-                let scalar = to_node_scalar(&mesh, var, &raw)?;
-                out.push(BlockData {
-                    block: b,
-                    mesh: Arc::new(mesh),
-                    scalar: Arc::new(scalar),
-                    raw: Arc::new(raw),
-                });
+                match self.read_block(&file, var, b) {
+                    Ok(data) => out.push(data),
+                    // Pipeline errors (unknown variable, bad shapes) are
+                    // bugs, not faults — they abort even under Degrade.
+                    Err(VizError::Pipeline(m)) => return Err(VizError::Pipeline(m)),
+                    Err(_) if degrade => self.skips.skip_block(snapshot, b),
+                    Err(e) => return Err(e),
+                }
             }
+        }
+        if degrade && out.is_empty() {
+            self.skips.skip_snapshot(snapshot);
         }
         Ok(out)
     }
@@ -187,6 +304,10 @@ impl SnapshotSource for DirectBackend {
 
     fn visible_io(&self) -> Duration {
         self.io.elapsed()
+    }
+
+    fn fault_report(&self) -> FaultReport {
+        self.skips.report(0, 0)
     }
 }
 
@@ -231,6 +352,10 @@ pub struct GodivaBackendOptions {
     /// this way; each worker's read functions then only read its own
     /// blocks from the shared files.
     pub block_subset: Option<Vec<usize>>,
+    /// Retry policy applied by the database to failing read functions.
+    pub retry: RetryPolicy,
+    /// What to do when a unit's read ultimately fails.
+    pub fault_mode: FaultMode,
 }
 
 impl GodivaBackendOptions {
@@ -244,6 +369,8 @@ impl GodivaBackendOptions {
             delete_after_use: true,
             eviction: godiva_core::EvictionPolicy::Lru,
             block_subset: None,
+            retry: RetryPolicy::none(),
+            fault_mode: FaultMode::Abort,
         }
     }
 
@@ -274,6 +401,10 @@ pub struct GodivaBackend {
     /// Delete units after processing (batch mode) or keep them cached
     /// for revisits (interactive mode).
     delete_after_use: bool,
+    fault_mode: FaultMode,
+    /// Units whose read ultimately failed (Degrade mode only).
+    failed_units: HashSet<String>,
+    skips: SkipLog,
 }
 
 /// The record type name used in the GODIVA database.
@@ -322,8 +453,16 @@ fn read_file_into_db(
         return Ok(());
     }
     let path = config.file_path(snapshot, file_index);
-    let to_db_err =
-        |e: godiva_sdf::SdfError| godiva_core::GodivaError::UnitError(format!("{path}: {e}"));
+    // Preserve the io::ErrorKind so the database's retry policy can
+    // tell transient faults from permanent ones; format-level errors
+    // (bad magic, checksum mismatch, …) stay permanent `UnitError`s.
+    let to_db_err = |e: godiva_sdf::SdfError| match e {
+        godiva_sdf::SdfError::Io(io) => godiva_core::GodivaError::Io {
+            kind: io.kind(),
+            message: format!("{path}: {io}"),
+        },
+        other => godiva_core::GodivaError::UnitError(format!("{path}: {other}")),
+    };
     let file = SdfFile::open_with(storage.clone(), path.clone(), read_options.clone())
         .map_err(to_db_err)?;
     for b in wanted {
@@ -355,6 +494,7 @@ impl GodivaBackend {
             mem_limit: options.mem_limit,
             background_io: options.background_io,
             eviction: options.eviction,
+            retry: options.retry,
         });
         let blocks = options
             .block_subset
@@ -372,6 +512,9 @@ impl GodivaBackend {
             mesh_cache: HashMap::new(),
             scalar_cache: HashMap::new(),
             delete_after_use: options.delete_after_use,
+            fault_mode: options.fault_mode,
+            failed_units: HashSet::new(),
+            skips: SkipLog::default(),
         }
     }
 
@@ -386,6 +529,17 @@ impl GodivaBackend {
             Granularity::File => (0..self.config.files_per_snapshot)
                 .map(|f| self.config.file_path(snapshot, f))
                 .collect(),
+        }
+    }
+
+    /// The unit whose read function carries `block` for `snapshot`.
+    fn unit_of_block(&self, snapshot: usize, block: usize) -> String {
+        match self.granularity {
+            Granularity::Snapshot => self.config.snapshot_name(snapshot),
+            Granularity::File => {
+                let f = self.config.file_of_block(block);
+                self.config.file_path(snapshot, f)
+            }
         }
     }
 
@@ -438,10 +592,24 @@ impl GodivaBackend {
         self.scalar_cache.clear();
         let names = self.unit_names(snapshot);
         self.io.start();
+        let mut result = Ok(());
         for name in &names {
-            self.db.wait_unit(name)?;
+            match self.db.wait_unit(name) {
+                Ok(()) => {}
+                Err(_) if self.fault_mode == FaultMode::Degrade => {
+                    // The unit failed for good (retries exhausted);
+                    // remember it so its blocks are skipped, and keep
+                    // waiting for the snapshot's healthy units.
+                    self.failed_units.insert(name.clone());
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
         }
         self.io.stop();
+        result?;
         self.current = Some(snapshot);
         Ok(())
     }
@@ -483,8 +651,13 @@ impl SnapshotSource for GodivaBackend {
 
     fn load_pass(&mut self, snapshot: usize, var: &str) -> VizResult<Vec<BlockData>> {
         self.ensure_snapshot(snapshot)?;
+        let degrade = self.fault_mode == FaultMode::Degrade;
         let mut out = Vec::with_capacity(self.blocks.len());
         for b in self.blocks.clone() {
+            if degrade && self.failed_units.contains(&self.unit_of_block(snapshot, b)) {
+                self.skips.skip_block(snapshot, b);
+                continue;
+            }
             let mesh = self.block_mesh(snapshot, b)?;
             let key = (b, var.to_string());
             let (scalar, raw) = match self.scalar_cache.get(&key) {
@@ -506,12 +679,20 @@ impl SnapshotSource for GodivaBackend {
                 raw,
             });
         }
+        if degrade && out.is_empty() && !self.blocks.is_empty() {
+            self.skips.skip_snapshot(snapshot);
+        }
         Ok(out)
     }
 
     fn end_snapshot(&mut self, snapshot: usize) -> VizResult<()> {
         for name in self.unit_names(snapshot) {
-            if self.delete_after_use {
+            if self.fault_mode == FaultMode::Degrade && self.failed_units.contains(&name) {
+                // The unit never loaded; delete it so partial records
+                // are dropped. An error here is not worth aborting a
+                // degraded run — the skip is already recorded.
+                let _ = self.db.delete_unit(&name);
+            } else if self.delete_after_use {
                 // Batch mode knows the data will not be needed again.
                 self.db.delete_unit(&name)?;
             } else {
@@ -533,6 +714,11 @@ impl SnapshotSource for GodivaBackend {
 
     fn gbo_stats(&self) -> Option<GboStats> {
         Some(self.db.stats())
+    }
+
+    fn fault_report(&self) -> FaultReport {
+        let stats = self.db.stats();
+        self.skips.report(stats.units_retried, stats.panics_caught)
     }
 }
 

@@ -10,21 +10,24 @@
 //! voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]
 //! voyager render   --data DIR --ops OPS.txt [--camera CAM.txt]
 //!                  [--mode O|G|TG] [--mem MB] [--out DIR]
+//!                  [--retries N] [--fault-mode abort|degrade]
 //! voyager example-specs DIR       # write sample ops/camera files
 //! ```
 
 use godiva_genx::GenxConfig;
 use godiva_platform::{CpuPool, RealFs, Storage};
 use godiva_viz::specfile::{format_camera, format_ops, parse_camera, parse_ops};
-use godiva_viz::{run_voyager, Camera, ImageFormat, Mode, TestSpec, VoyagerOptions};
+use godiva_viz::{run_voyager, Camera, FaultMode, ImageFormat, Mode, TestSpec, VoyagerOptions};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]\n  \
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
-         [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png]\n  \
+         [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png] \
+         [--retries N] [--fault-mode abort|degrade]\n  \
          voyager example-specs DIR"
     );
     ExitCode::from(2)
@@ -175,6 +178,29 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     };
     opts.decode_work_per_kib = 0; // real machine: no synthetic costs
     opts.spec.work_per_op = godiva_platform::Work::ZERO;
+    let retries: u32 = args
+        .value_or("--retries", "1")
+        .parse()
+        .map_err(|_| "--retries must be an integer (total attempts per unit)")?;
+    if retries == 0 {
+        return Err("--retries must be at least 1".into());
+    }
+    if retries > 1 {
+        opts.retry = godiva_core::RetryPolicy::new(
+            retries,
+            Duration::from_millis(10),
+            Duration::from_secs(1),
+        );
+    }
+    opts.fault_mode = match args.value_or("--fault-mode", "abort") {
+        "abort" => FaultMode::Abort,
+        "degrade" => FaultMode::Degrade,
+        other => {
+            return Err(format!(
+                "unknown fault mode '{other}' (use abort or degrade)"
+            ))
+        }
+    };
     if let Some(out) = args.value("--out") {
         let fs = RealFs::new(out).map_err(|e| e.to_string())?;
         opts.images_out = Some((Arc::new(fs) as Arc<dyn Storage>, "frames".into()));
@@ -197,6 +223,16 @@ fn cmd_render(args: &Args) -> Result<(), String> {
             stats.blocking_reads,
             stats.cache_hits,
             stats.mem_peak as f64 / (1024.0 * 1024.0)
+        );
+    }
+    let faults = &report.fault_report;
+    if !faults.is_clean() {
+        println!(
+            "faults: {} blocks skipped, {} snapshots skipped entirely, {} unit retries, {} panics caught",
+            faults.blocks_skipped.len(),
+            faults.snapshots_skipped.len(),
+            faults.units_retried,
+            faults.panics_caught
         );
     }
     if args.value("--out").is_some() {

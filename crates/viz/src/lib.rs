@@ -42,7 +42,8 @@ pub mod specfile;
 pub mod voyager;
 
 pub use backend::{
-    BlockData, DirectBackend, GodivaBackend, GodivaBackendOptions, Granularity, SnapshotSource,
+    BlockData, DirectBackend, FaultMode, FaultReport, GodivaBackend, GodivaBackendOptions,
+    Granularity, SnapshotSource,
 };
 pub use camera::Camera;
 pub use color::{ColorMap, Rgb};

@@ -8,7 +8,9 @@
 //! - **visible I/O time** — blocking dataset reads plus unit waits,
 //! - **computation time** — total execution time minus visible I/O.
 
-use crate::backend::{DirectBackend, GodivaBackend, Granularity, SnapshotSource};
+use crate::backend::{
+    DirectBackend, FaultMode, FaultReport, GodivaBackend, Granularity, SnapshotSource,
+};
 use crate::camera::Camera;
 use crate::color::{ColorMap, ColorScheme};
 use crate::error::{VizError, VizResult};
@@ -77,6 +79,11 @@ pub struct VoyagerOptions {
     pub camera: Option<Camera>,
     /// Image file format for `images_out`.
     pub image_format: ImageFormat,
+    /// Retry policy for failing reads (applies to the GODIVA modes).
+    pub retry: godiva_core::RetryPolicy,
+    /// Abort on read failures (default) or degrade: skip the failed
+    /// file/snapshot, render the rest, and report what was skipped.
+    pub fault_mode: FaultMode,
 }
 
 /// Output image encodings.
@@ -123,6 +130,8 @@ impl VoyagerOptions {
             images_out: None,
             camera: None,
             image_format: ImageFormat::Ppm,
+            retry: godiva_core::RetryPolicy::none(),
+            fault_mode: FaultMode::Abort,
         }
     }
 }
@@ -147,6 +156,9 @@ pub struct VoyagerReport {
     pub image_checksums: Vec<u64>,
     /// GODIVA statistics (absent for `Mode::Original`).
     pub gbo_stats: Option<GboStats>,
+    /// What the run skipped and absorbed (empty unless
+    /// [`FaultMode::Degrade`] was selected and faults occurred).
+    pub fault_report: FaultReport,
 }
 
 /// Apply one graphics op to one block's data.
@@ -221,11 +233,10 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
     }
     let read_options = ReadOptions::new().with_cpu(opts.cpu.clone(), opts.decode_work_per_kib);
     let mut backend: Box<dyn SnapshotSource> = match opts.mode {
-        Mode::Original => Box::new(DirectBackend::new(
-            opts.storage.clone(),
-            opts.genx.clone(),
-            read_options,
-        )),
+        Mode::Original => Box::new(
+            DirectBackend::new(opts.storage.clone(), opts.genx.clone(), read_options)
+                .with_fault_mode(opts.fault_mode),
+        ),
         Mode::GodivaSingle | Mode::GodivaMulti => {
             let mut boptions = crate::backend::GodivaBackendOptions::batch(
                 opts.spec
@@ -237,6 +248,8 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
                 opts.mem_limit,
             );
             boptions.granularity = opts.granularity;
+            boptions.retry = opts.retry;
+            boptions.fault_mode = opts.fault_mode;
             Box::new(GodivaBackend::new(
                 opts.storage.clone(),
                 opts.genx.clone(),
@@ -259,8 +272,10 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
     backend.begin_run(&opts.snapshots)?;
     for &s in &opts.snapshots {
         fb.clear();
+        let mut rendered_blocks = 0usize;
         for op in &opts.spec.ops {
             let data = backend.load_pass(s, op.var())?;
+            rendered_blocks += data.len();
             // Shared colour map per pass, fitted over all blocks so the
             // image is identical no matter which backend produced the
             // buffers.
@@ -279,15 +294,20 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             opts.cpu
                 .compute_sliced(opts.spec.work_per_op, Duration::from_millis(2));
         }
-        if let Some((out, prefix)) = &opts.images_out {
-            let path = format!("{prefix}/snap_{s:04}.{}", opts.image_format.extension());
-            match opts.image_format {
-                ImageFormat::Ppm => write_ppm(out.as_ref(), &path, &fb),
-                ImageFormat::Png => crate::png::write_png(out.as_ref(), &path, &fb),
+        // A snapshot every block of which was skipped under Degrade
+        // produces no image — the skip is in the fault report instead.
+        let fully_skipped = opts.fault_mode == FaultMode::Degrade && rendered_blocks == 0;
+        if !fully_skipped {
+            if let Some((out, prefix)) = &opts.images_out {
+                let path = format!("{prefix}/snap_{s:04}.{}", opts.image_format.extension());
+                match opts.image_format {
+                    ImageFormat::Ppm => write_ppm(out.as_ref(), &path, &fb),
+                    ImageFormat::Png => crate::png::write_png(out.as_ref(), &path, &fb),
+                }
+                .map_err(godiva_sdf::SdfError::Io)?;
             }
-            .map_err(godiva_sdf::SdfError::Io)?;
+            checksums.push(fb.checksum());
         }
-        checksums.push(fb.checksum());
         backend.end_snapshot(s)?;
     }
     let total = started.elapsed();
@@ -301,6 +321,7 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
         images: checksums.len(),
         image_checksums: checksums,
         gbo_stats: backend.gbo_stats(),
+        fault_report: backend.fault_report(),
     })
 }
 

@@ -2,15 +2,16 @@
 //! surface as failed units / clean errors — never hangs, panics, or
 //! silently wrong data (the SDF checksums catch corruption).
 
-use godiva::core::GodivaError;
+use godiva::core::{GodivaError, RetryPolicy};
 use godiva::genx::GenxConfig;
 use godiva::platform::{FaultyFs, MemFs, Storage};
 use godiva::sdf::ReadOptions;
 use godiva::viz::{
-    run_voyager, GodivaBackend, GodivaBackendOptions, Mode, SnapshotSource, TestSpec,
-    VoyagerOptions,
+    run_voyager, FaultMode, GodivaBackend, GodivaBackendOptions, Granularity, Mode, SnapshotSource,
+    TestSpec, VoyagerOptions,
 };
 use std::sync::Arc;
+use std::time::Duration;
 
 fn faulty_dataset() -> (Arc<FaultyFs>, GenxConfig) {
     let mem = Arc::new(MemFs::new());
@@ -110,6 +111,115 @@ fn corruption_is_caught_by_checksums_not_rendered() {
 }
 
 #[test]
+fn retry_policy_recovers_transient_fault() {
+    let (fs, genx) = faulty_dataset();
+    // The first two reads touching snapshot 0 fail, then the fault
+    // clears — within a 3-attempt budget.
+    fs.fail_first_k_reads_of("snap_0000", 2);
+    let mut options = GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20);
+    options.retry = RetryPolicy::new(3, Duration::from_millis(1), Duration::from_millis(4));
+    let mut be = GodivaBackend::new(
+        fs.clone() as Arc<dyn Storage>,
+        genx.clone(),
+        ReadOptions::new(),
+        options,
+    );
+    be.begin_run(&[0]).unwrap();
+    be.db().wait_unit(&genx.snapshot_name(0)).unwrap();
+    assert!(be.load_pass(0, "stress_avg").is_ok());
+    let stats = be.gbo_stats().unwrap();
+    assert!(stats.units_retried >= 1, "retries must be counted");
+    assert_eq!(stats.units_failed, 0);
+    assert!(fs.injected() >= 2);
+}
+
+#[test]
+fn transient_fault_without_retries_fails_unit() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_first_k_reads_of("snap_0000", 2);
+    // Default options: RetryPolicy::none().
+    let mut be = GodivaBackend::new(
+        fs as Arc<dyn Storage>,
+        genx.clone(),
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+    );
+    be.begin_run(&[0]).unwrap();
+    let err = be.db().wait_unit(&genx.snapshot_name(0)).unwrap_err();
+    assert!(matches!(err, GodivaError::ReadFailed { .. }), "got: {err}");
+    assert_eq!(be.gbo_stats().unwrap().units_retried, 0);
+}
+
+#[test]
+fn panicking_read_function_is_contained() {
+    let db = godiva::core::Gbo::with_config(godiva::core::GboConfig {
+        mem_limit: 64 << 20,
+        background_io: true,
+        ..Default::default()
+    });
+    db.add_unit(
+        "boom",
+        |_s: &godiva::core::UnitSession| -> godiva::core::Result<()> {
+            panic!("read function exploded")
+        },
+    )
+    .unwrap();
+    let err = db.wait_unit("boom").unwrap_err();
+    assert!(matches!(err, GodivaError::ReadFailed { .. }), "got: {err}");
+    assert!(err.to_string().contains("panicked"), "got: {err}");
+    // The background I/O thread survived the panic: a healthy unit
+    // added afterwards still loads.
+    db.add_unit("ok", |_s: &godiva::core::UnitSession| Ok(()))
+        .unwrap();
+    db.wait_unit("ok").unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.panics_caught, 1);
+}
+
+#[test]
+fn reset_unit_requeues_after_fault_clears() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("snap_0000");
+    let mut be = GodivaBackend::new(
+        fs.clone() as Arc<dyn Storage>,
+        genx.clone(),
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+    );
+    be.begin_run(&[0]).unwrap();
+    let name = genx.snapshot_name(0);
+    assert!(be.db().wait_unit(&name).is_err());
+    // The fault clears; no delete/re-add dance needed any more.
+    fs.clear_faults();
+    be.db().reset_unit(&name).unwrap();
+    be.db().wait_unit(&name).unwrap();
+    assert!(be.load_pass(0, "stress_avg").is_ok());
+    assert_eq!(be.gbo_stats().unwrap().units_reset, 1);
+}
+
+#[test]
+fn wait_unit_timeout_expires_then_unit_arrives() {
+    let (fs, genx) = faulty_dataset();
+    fs.set_read_latency(Duration::from_millis(60));
+    let mut be = GodivaBackend::new(
+        fs as Arc<dyn Storage>,
+        genx.clone(),
+        ReadOptions::new(),
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], true, 64 << 20),
+    );
+    be.begin_run(&[0]).unwrap();
+    let name = genx.snapshot_name(0);
+    let err = be
+        .db()
+        .wait_unit_timeout(&name, Duration::from_millis(1))
+        .unwrap_err();
+    assert!(matches!(err, GodivaError::WaitTimeout { .. }), "got: {err}");
+    // A patient wait still gets the unit.
+    be.db().wait_unit(&name).unwrap();
+    assert_eq!(be.gbo_stats().unwrap().wait_timeouts, 1);
+}
+
+#[test]
 fn voyager_run_fails_cleanly_under_faults() {
     let (fs, genx) = faulty_dataset();
     fs.fail_paths_with("file_1");
@@ -153,4 +263,79 @@ fn transient_single_read_fault_hits_exactly_one_mode_run() {
     opts2.decode_work_per_kib = 0;
     opts2.spec.work_per_op = godiva::platform::Work::ZERO;
     assert!(run_voyager(opts2).is_ok(), "fault was transient");
+}
+
+fn degrade_opts(fs: Arc<FaultyFs>, genx: GenxConfig, mode: Mode) -> VoyagerOptions {
+    let mut opts = VoyagerOptions::new(
+        fs as Arc<dyn Storage>,
+        godiva::platform::CpuPool::new(2, 4.0),
+        genx,
+        TestSpec::simple(),
+        mode,
+    );
+    opts.decode_work_per_kib = 0;
+    opts.spec.work_per_op = godiva::platform::Work::ZERO;
+    opts.fault_mode = FaultMode::Degrade;
+    opts
+}
+
+/// Every (snapshot, block) pair stored in file 1, for all 4 snapshots.
+fn file1_blocks(genx: &GenxConfig) -> Vec<(usize, usize)> {
+    (0..genx.snapshots)
+        .flat_map(|s| genx.blocks_in_file(1).map(move |b| (s, b)))
+        .collect()
+}
+
+#[test]
+fn degraded_original_skips_faulty_file_and_renders_the_rest() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("file_1"); // persistent: one file of every snapshot
+    let r = run_voyager(degrade_opts(fs, genx.clone(), Mode::Original)).unwrap();
+    // Blocks outside file 1 still rendered one image per snapshot.
+    assert_eq!(r.images, genx.snapshots);
+    assert!(r.fault_report.snapshots_skipped.is_empty());
+    assert_eq!(r.fault_report.blocks_skipped, file1_blocks(&genx));
+}
+
+#[test]
+fn degraded_godiva_snapshot_units_skip_whole_snapshots() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("file_1");
+    for mode in [Mode::GodivaSingle, Mode::GodivaMulti] {
+        let r = run_voyager(degrade_opts(fs.clone(), genx.clone(), mode)).unwrap();
+        // Snapshot-granularity units read all files, so the persistent
+        // fault fails every unit: the run completes with zero images
+        // and reports every snapshot as skipped.
+        assert_eq!(r.images, 0, "{mode:?}");
+        assert_eq!(
+            r.fault_report.snapshots_skipped,
+            (0..genx.snapshots).collect::<Vec<_>>(),
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn degraded_godiva_file_units_skip_only_faulty_file() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_paths_with("file_1");
+    let mut opts = degrade_opts(fs, genx.clone(), Mode::GodivaMulti);
+    opts.granularity = Granularity::File;
+    let r = run_voyager(opts).unwrap();
+    assert_eq!(r.images, genx.snapshots);
+    assert!(r.fault_report.snapshots_skipped.is_empty());
+    assert_eq!(r.fault_report.blocks_skipped, file1_blocks(&genx));
+}
+
+#[test]
+fn degrade_with_retries_absorbs_transient_fault_without_skips() {
+    let (fs, genx) = faulty_dataset();
+    fs.fail_first_k_reads_of("snap_0000", 2);
+    let mut opts = degrade_opts(fs, genx.clone(), Mode::GodivaSingle);
+    opts.retry = RetryPolicy::new(3, Duration::from_millis(1), Duration::from_millis(4));
+    let r = run_voyager(opts).unwrap();
+    assert_eq!(r.images, genx.snapshots);
+    assert!(r.fault_report.blocks_skipped.is_empty());
+    assert!(r.fault_report.snapshots_skipped.is_empty());
+    assert!(r.fault_report.units_retried >= 1);
 }

@@ -60,6 +60,7 @@ proptest! {
             mem_limit: 20_000,
             background_io: false,
             eviction: policy,
+            ..Default::default()
         });
         let bytes = unit_kb * 1024;
         let mut pins: HashMap<u8, usize> = HashMap::new();
@@ -149,6 +150,7 @@ proptest! {
             mem_limit: (bytes * budget_units) as u64,
             background_io: false,
             eviction: EvictionPolicy::Lru,
+            ..Default::default()
         });
         for u in 0..n_units {
             let name = format!("u{u}");

@@ -1,0 +1,295 @@
+//! Offline shim for the `parking_lot` crate: the API subset used by this
+//! workspace, implemented over `std::sync`.
+//!
+//! Differences from `std` that callers rely on and this shim preserves
+//! from the real `parking_lot`:
+//!
+//! - **No poisoning.** A panic while a lock is held does not make later
+//!   `lock()`/`read()`/`write()` calls fail; the poison flag is stripped
+//!   with [`std::sync::PoisonError::into_inner`].
+//! - **`Condvar` borrows the guard** (`wait(&mut guard)`) instead of
+//!   consuming and returning it.
+//! - **Mapped read guards**: [`RwLockReadGuard::try_map`] projects a read
+//!   guard to a component of the protected value.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+use std::time::Instant;
+
+/// A mutual exclusion primitive (no poisoning).
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait*` can temporarily take the inner guard
+    // by value (std's condvar API consumes the guard).
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Attempt to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = self.0.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let g = guard.inner.take().expect("guard present");
+        let (g, result) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A reader-writer lock (no poisoning).
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Project the guard to a component of the protected value, keeping
+    /// the read lock held. Returns the original guard if `f` declines.
+    pub fn try_map<U: ?Sized>(
+        s: Self,
+        f: impl FnOnce(&T) -> Option<&U>,
+    ) -> Result<MappedRwLockReadGuard<'a, U>, Self> {
+        let ptr: *const U = match f(&s.0) {
+            Some(u) => u,
+            None => return Err(s),
+        };
+        // SAFETY: `ptr` points into the lock-protected value, whose
+        // address is stable (it lives inside the `RwLock`, not the
+        // guard). Boxing the guard keeps the read lock held — and the
+        // pointee alive — for the mapped guard's whole lifetime.
+        Ok(MappedRwLockReadGuard {
+            ptr,
+            _guard: Box::new(s.0),
+        })
+    }
+}
+
+trait Erased {}
+impl<T: ?Sized> Erased for T {}
+
+/// A read guard projected to a component of the protected value.
+pub struct MappedRwLockReadGuard<'a, U: ?Sized> {
+    ptr: *const U,
+    _guard: Box<dyn Erased + 'a>,
+}
+
+// SAFETY: semantically this is a `&U` plus a held read lock; both are
+// Send/Sync whenever `U: Sync` (matching the real parking_lot bounds).
+unsafe impl<U: ?Sized + Sync> Send for MappedRwLockReadGuard<'_, U> {}
+unsafe impl<U: ?Sized + Sync> Sync for MappedRwLockReadGuard<'_, U> {}
+
+impl<U: ?Sized> Deref for MappedRwLockReadGuard<'_, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        // SAFETY: see `try_map` — the pointee outlives the boxed guard.
+        unsafe { &*self.ptr }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Mutex::new(0);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn rwlock_try_map_projects() {
+        let l = RwLock::new((1u32, vec![2.0f64, 3.0]));
+        let mapped = RwLockReadGuard::try_map(l.read(), |v| Some(v.1.as_slice())).ok();
+        assert_eq!(&*mapped.unwrap(), &[2.0, 3.0]);
+        assert!(RwLockReadGuard::try_map(l.read(), |_| None::<&u32>).is_err());
+    }
+
+    #[test]
+    fn panic_does_not_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _g = m2.lock();
+            panic!("boom");
+        });
+        assert_eq!(*m.lock(), 0);
+    }
+}

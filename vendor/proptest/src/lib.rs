@@ -1,0 +1,813 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use:
+//! the [`proptest!`] / [`prop_oneof!`] / `prop_assert*!` / [`prop_assume!`]
+//! macros, the [`strategy::Strategy`] trait with `prop_map`, range /
+//! tuple / `Just` / char-class-pattern strategies, `any::<T>()`,
+//! `prop::collection::{vec, btree_map}`, `prop::num::{f32,f64}::ANY`,
+//! and `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from
+//! the test's module path and name), so runs are reproducible. Failing
+//! inputs are **not shrunk**; the failure message reports the case
+//! number instead.
+
+pub mod test_runner {
+    //! Test configuration, case errors, and the deterministic RNG.
+
+    /// Per-`proptest!` configuration (shim for `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated (`prop_assert*!`).
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; not a failure.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError::Fail(message)
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG whose stream is a pure function of `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a string — seeds each test deterministically.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators this workspace uses.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Weighted choice among strategies of one value type
+    /// (the expansion of [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice among `arms`.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            Union::new_weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Choice among `arms` proportional to their weights.
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.sample(rng);
+                }
+                pick -= *weight as u64;
+            }
+            self.arms.last().expect("non-empty").1.sample(rng)
+        }
+    }
+
+    /// Box a strategy as a `prop_oneof!` arm (aids type inference).
+    pub fn union_arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )+};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::pattern::sample(self, rng)
+        }
+    }
+}
+
+mod pattern {
+    //! Generator for the char-class regex patterns used as string
+    //! strategies, e.g. `"[a-z][a-z0-9_-]{0,16}"` or `"[\\PC]{0,4}"`.
+    //!
+    //! Supported grammar: a sequence of elements, each a literal char or
+    //! a `[...]` class (char ranges, literal chars, the `\PC`
+    //! any-non-control escape), optionally followed by `{n}` or `{m,n}`.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum ClassItem {
+        Range(char, char),
+        Literal(char),
+        /// `\PC`: any char not in Unicode category C (control et al.).
+        NotControl,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Element {
+        items: Vec<ClassItem>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Printable sample pool for `\PC` — ASCII plus multi-byte chars, so
+    /// index-vs-byte-offset confusions in the code under test surface.
+    const NOT_CONTROL_POOL: &[char] = &[
+        'a', 'z', 'A', 'Z', '0', '9', '_', '-', '.', '/', ' ', '|', '~', '!', '#', 'é', 'ß', 'Ω',
+        'λ', 'Ж', '中', '한', '√', '∞', '🦀',
+    ];
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let items = match c {
+                '[' => {
+                    let mut items = Vec::new();
+                    loop {
+                        let item = match chars.next() {
+                            None => panic!("unterminated class in pattern {pattern:?}"),
+                            Some(']') => break,
+                            Some('\\') => match chars.next() {
+                                Some('P') => {
+                                    let category = chars.next();
+                                    assert_eq!(
+                                        category,
+                                        Some('C'),
+                                        "only \\PC is supported (pattern {pattern:?})"
+                                    );
+                                    ClassItem::NotControl
+                                }
+                                Some(escaped) => ClassItem::Literal(escaped),
+                                None => panic!("dangling escape in pattern {pattern:?}"),
+                            },
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    // `-` is a range only with a following
+                                    // char that isn't the closing bracket.
+                                    let mut ahead = chars.clone();
+                                    ahead.next();
+                                    match ahead.peek() {
+                                        Some(&hi) if hi != ']' => {
+                                            chars.next();
+                                            chars.next();
+                                            ClassItem::Range(lo, hi)
+                                        }
+                                        _ => ClassItem::Literal(lo),
+                                    }
+                                } else {
+                                    ClassItem::Literal(lo)
+                                }
+                            }
+                        };
+                        items.push(item);
+                    }
+                    items
+                }
+                literal => vec![ClassItem::Literal(literal)],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repeat min"),
+                        n.trim().parse().expect("repeat max"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            elements.push(Element { items, min, max });
+        }
+        elements
+    }
+
+    fn sample_item(item: &ClassItem, rng: &mut TestRng) -> char {
+        match item {
+            ClassItem::Literal(c) => *c,
+            ClassItem::Range(lo, hi) => {
+                let (lo, hi) = (*lo as u32, *hi as u32);
+                assert!(lo <= hi, "inverted char range");
+                char::from_u32(lo + rng.below((hi - lo + 1) as u64) as u32).unwrap_or(*match item {
+                    ClassItem::Range(lo, _) => lo,
+                    _ => unreachable!(),
+                })
+            }
+            ClassItem::NotControl => {
+                NOT_CONTROL_POOL[rng.below(NOT_CONTROL_POOL.len() as u64) as usize]
+            }
+        }
+    }
+
+    pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for element in parse(pattern) {
+            let count = element.min + rng.below((element.max - element.min + 1) as u64) as u32;
+            for _ in 0..count {
+                let item = &element.items[rng.below(element.items.len() as u64) as usize];
+                out.push(sample_item(item, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — type-directed strategies from random bits.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_from_bits {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_from_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// Inclusive-lower, exclusive-upper bound on a collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            let span = self.hi_exclusive.saturating_sub(self.lo).max(1);
+            self.lo + rng.below(span as u64) as usize
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicate keys collapse, which keeps the length within the
+            // requested range (it is a lower-is-fine bound upstream too).
+            let n = self.size.sample(rng);
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+
+    /// Maps with `size`-many entries drawn from `key` and `value`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric "any bit pattern" strategies.
+
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+            fn sample(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+
+        /// Any `f64` bit pattern, including NaN and infinities.
+        pub const ANY: AnyF64 = AnyF64;
+    }
+
+    /// `f32` strategies.
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF32;
+
+        impl Strategy for AnyF32 {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                f32::from_bits(rng.next_u64() as u32)
+            }
+        }
+
+        /// Any `f32` bit pattern, including NaN and infinities.
+        pub const ANY: AnyF32 = AnyF32;
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!("property {} failed at case {case}: {message}", stringify!($name));
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Choose uniformly (or by `weight => strategy` arms) among strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::union_arm($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strategy)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property; on failure the case is
+/// reported (not panicked mid-body, so cleanup still runs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+            ),
+        }
+    };
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` == `{:?}`", left, right
+            ),
+        }
+    };
+}
+
+/// Discard the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(f64),
+        Tag(String),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3u8..9, b in -5i32..5, x in 0.25f64..0.75, n in (0u32..=4)) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!(n <= 4);
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            v in prop::collection::vec((0u8..4, 0.0f64..1.0), 2..6),
+            m in prop::collection::btree_map("[a-z]{1,4}", any::<i64>(), 0..5),
+            exact in prop::collection::vec(Just(7u8), 3),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(m.len() < 5);
+            prop_assert_eq!(exact, vec![7, 7, 7]);
+        }
+
+        #[test]
+        fn oneof_and_map_cover_arms(shapes in prop::collection::vec(
+            prop_oneof![
+                Just(Shape::Dot),
+                (0.0f64..2.0).prop_map(Shape::Line),
+                "[a-z][a-z0-9_-]{0,6}".prop_map(Shape::Tag),
+            ],
+            1..20,
+        )) {
+            for s in &shapes {
+                if let Shape::Tag(t) = s {
+                    prop_assert!(!t.is_empty() && t.len() <= 14);
+                    prop_assert!(t.chars().next().unwrap().is_ascii_lowercase());
+                }
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "only even cases survive the assume");
+        }
+    }
+
+    #[test]
+    fn pattern_not_control_generates_printable() {
+        let mut rng = crate::test_runner::TestRng::new(11);
+        for _ in 0..200 {
+            let s = crate::pattern::sample("[\\PC]{0,4}", &mut rng);
+            assert!(s.chars().count() <= 4);
+            assert!(!s.chars().any(|c| c.is_control()), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::new(99);
+        let mut b = crate::test_runner::TestRng::new(99);
+        let strat = prop::collection::vec(0u64..1000, 0..8);
+        use crate::strategy::Strategy;
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+}
