@@ -12,6 +12,9 @@ pub struct HarnessArgs {
     pub scale: f64,
     /// Use the full 120 481-node paper mesh instead of the scaled one.
     pub full: bool,
+    /// Directory to write per-run JSONL event traces into (`None` =
+    /// tracing disabled, the default).
+    pub trace_dir: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -21,6 +24,7 @@ impl Default for HarnessArgs {
             repeats: 3,
             scale: 0.02,
             full: false,
+            trace_dir: None,
         }
     }
 }
@@ -42,9 +46,11 @@ impl HarnessArgs {
                 "--repeats" => out.repeats = parse_or_exit(&value("--repeats")),
                 "--scale" => out.scale = parse_or_exit(&value("--scale")),
                 "--full" => out.full = true,
+                "--trace-dir" => out.trace_dir = Some(value("--trace-dir")),
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--snapshots N] [--repeats R] [--scale S] [--full]\n\
+                        "usage: [--snapshots N] [--repeats R] [--scale S] [--full] \
+                         [--trace-dir DIR]\n\
                          defaults: --snapshots 16 --repeats 3 --scale 0.02"
                     );
                     std::process::exit(0);

@@ -47,7 +47,7 @@ fn run(
     }
     let elapsed = started.elapsed();
     let stats = be.gbo_stats().expect("stats");
-    (stats.hit_rate(), elapsed, stats.evictions)
+    (stats.hit_rate().unwrap_or(0.0), elapsed, stats.evictions)
 }
 
 fn main() {

@@ -51,7 +51,7 @@ fn session(env: &ExperimentEnv, caching: bool, visits: &[usize]) -> (Vec<Duratio
         be.end_snapshot(s).expect("end");
     }
     let hit = be.gbo_stats().expect("stats").hit_rate();
-    (times, hit)
+    (times, hit.unwrap_or(0.0))
 }
 
 fn main() {

@@ -1,0 +1,88 @@
+//! Ablation: cost of the observability subsystem.
+//!
+//! The event-trace API is designed to be zero-cost when disabled — the
+//! `Tracer` collapses to a `None` and every call site guards argument
+//! construction behind `enabled()` — and cheap enough when enabled that
+//! traced runs stay representative (< 5 % target). This experiment
+//! measures both claims on fig3a-style TG runs (Engle, `simple` test):
+//!
+//! - **disabled** — no tracer at all (the baseline every other
+//!   experiment runs with),
+//! - **no-op sink** — a `NullSink` passed to `Tracer::new`; collapses
+//!   to the disabled representation, so this row demonstrates the
+//!   sink-side kill switch costs nothing,
+//! - **JSONL (discard)** — full serialization of every event into
+//!   `io::sink()`: the pure tracing + encoding cost,
+//! - **JSONL (file)** — the real deal, written to a temp file.
+
+use godiva_bench::{percent, repeat, ExperimentEnv, HarnessArgs, Table};
+use godiva_obs::{JsonlSink, NullSink, Tracer};
+use godiva_platform::Platform;
+use godiva_viz::{Mode, TestSpec};
+use std::sync::Arc;
+
+type TracerFactory = Box<dyn Fn() -> Tracer>;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    let env = ExperimentEnv::prepare(Platform::engle(args.scale), &genx);
+    println!(
+        "== Ablation: event-tracing overhead (TG, simple test, Engle) ==\n\
+         {} snapshots, {} repeats, scale {}\n",
+        args.snapshots, args.repeats, args.scale
+    );
+
+    let trace_path = std::env::temp_dir().join(format!(
+        "godiva-trace-overhead-{}.jsonl",
+        std::process::id()
+    ));
+    let make_tracer: Vec<(&str, TracerFactory)> = vec![
+        ("tracing disabled", Box::new(Tracer::disabled)),
+        ("no-op sink", Box::new(|| Tracer::new(Arc::new(NullSink)))),
+        (
+            "JSONL (discard)",
+            Box::new(|| Tracer::new(Arc::new(JsonlSink::new(std::io::sink())))),
+        ),
+        (
+            "JSONL (file)",
+            Box::new({
+                let path = trace_path.clone();
+                move || {
+                    Tracer::new(Arc::new(
+                        JsonlSink::create(&path).expect("create trace file"),
+                    ))
+                }
+            }),
+        ),
+    ];
+
+    let mut table = Table::new(&["configuration", "total (s)", "visible I/O (s)", "overhead"]);
+    let mut baseline: Option<f64> = None;
+    for (label, tracer) in &make_tracer {
+        let rr = repeat(&env, args.repeats, || {
+            let mut opts = env.voyager_options(TestSpec::simple(), Mode::GodivaMulti);
+            opts.tracer = tracer();
+            opts
+        });
+        let base = *baseline.get_or_insert(rr.total.mean);
+        // percent() is "reduced vs a"; negate to report added cost.
+        let overhead = -percent(base, rr.total.mean);
+        table.row(&[
+            label.to_string(),
+            format!("{:.3} ± {:.3}", rr.total.mean, rr.total.ci95),
+            format!("{:.3}", rr.visible_io.mean),
+            format!("{overhead:+.1}%"),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Ok(meta) = std::fs::metadata(&trace_path) {
+        println!(
+            "trace file: {} ({:.1} KiB per run)",
+            trace_path.display(),
+            meta.len() as f64 / 1024.0
+        );
+    }
+    let _ = std::fs::remove_file(&trace_path);
+    println!("acceptance: traced runs within 5% of baseline; no-op sink within noise.");
+}

@@ -4,7 +4,7 @@
 //! derived percentages §4.2 reports in its text.
 
 use godiva_bench::table::mean_ci;
-use godiva_bench::{paper, repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table};
+use godiva_bench::{paper, repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table, TraceDir};
 use godiva_platform::Platform;
 use godiva_viz::{Mode, TestSpec};
 
@@ -21,6 +21,7 @@ fn main() {
         args.scale
     );
     let env = ExperimentEnv::prepare(Platform::engle(args.scale), &genx);
+    let traces = TraceDir::new(args.trace_dir.as_deref());
 
     let modes = [Mode::Original, Mode::GodivaSingle, Mode::GodivaMulti];
     let mut table = Table::new(&[
@@ -36,7 +37,9 @@ fn main() {
         let mut per_mode = Vec::new();
         for mode in modes {
             let rr = repeat(&env, args.repeats, || {
-                env.voyager_options(spec.clone(), mode)
+                let mut opts = env.voyager_options(spec.clone(), mode);
+                opts.tracer = traces.next_tracer();
+                opts
             });
             table.row(&[
                 spec.name.clone(),

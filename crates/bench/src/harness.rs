@@ -2,8 +2,11 @@
 //! Voyager runs, repetition with confidence intervals.
 
 use godiva_genx::{GenxConfig, GenxDataset};
+use godiva_obs::{JsonlSink, Tracer};
 use godiva_platform::{MeanCi, Platform, StorageStats};
 use godiva_viz::{run_voyager, Mode, TestSpec, VoyagerOptions, VoyagerReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A platform with the GENx dataset pre-generated on its storage.
@@ -35,6 +38,54 @@ impl ExperimentEnv {
     }
 }
 
+/// Per-run event tracing for experiment binaries.
+///
+/// Built from [`crate::HarnessArgs::trace_dir`]: when a directory is
+/// given, each call to [`TraceDir::next_tracer`] opens a fresh
+/// `run_NNNN.jsonl` file in it; when absent, every tracer is disabled
+/// and the runs pay no tracing cost.
+pub struct TraceDir {
+    dir: Option<std::path::PathBuf>,
+    next_run: AtomicU64,
+}
+
+impl TraceDir {
+    /// Tracing into `dir` (created if missing); `None` disables tracing.
+    pub fn new(dir: Option<&str>) -> TraceDir {
+        let dir = dir.map(|d| {
+            let p = std::path::PathBuf::from(d);
+            std::fs::create_dir_all(&p)
+                .unwrap_or_else(|e| panic!("cannot create trace dir {}: {e}", p.display()));
+            p
+        });
+        TraceDir {
+            dir,
+            next_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Tracer for the next run (disabled when no directory was given).
+    pub fn next_tracer(&self) -> Tracer {
+        let Some(dir) = &self.dir else {
+            return Tracer::disabled();
+        };
+        let n = self.next_run.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("run_{n:04}.jsonl"));
+        match JsonlSink::create(&path) {
+            Ok(sink) => Tracer::new(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("trace: cannot create {}: {e}", path.display());
+                Tracer::disabled()
+            }
+        }
+    }
+
+    /// Number of trace files opened so far.
+    pub fn runs_traced(&self) -> u64 {
+        self.next_run.load(Ordering::Relaxed)
+    }
+}
+
 /// One measured Voyager run: the report plus storage-level I/O deltas.
 #[derive(Debug, Clone)]
 pub struct RunMeasurement {
@@ -52,7 +103,11 @@ pub struct RunMeasurement {
 pub fn measure(env: &ExperimentEnv, opts: VoyagerOptions) -> RunMeasurement {
     let storage = env.platform.storage();
     storage.reset_stats();
+    // Mirror the run's tracer onto the simulated disk so device spans
+    // land in the same trace file as the GBO and render events.
+    env.platform.set_tracer(opts.tracer.clone());
     let report = run_voyager(opts).expect("voyager run");
+    env.platform.set_tracer(Tracer::disabled());
     let stats: StorageStats = storage.stats();
     RunMeasurement {
         report,
@@ -144,6 +199,35 @@ mod tests {
         assert_eq!(rr.runs.len(), 2);
         assert!(rr.total.mean > 0.0);
         assert!(rr.total.mean >= rr.visible_io.mean);
+    }
+
+    #[test]
+    fn trace_dir_writes_one_file_per_run() {
+        let dir = std::env::temp_dir().join(format!("godiva-tracedir-{}", std::process::id()));
+        let traces = TraceDir::new(Some(dir.to_str().unwrap()));
+        let env = tiny_env();
+        let rr = repeat(&env, 2, || {
+            let mut opts = env.voyager_options(fast_spec(), Mode::GodivaMulti);
+            opts.decode_work_per_kib = 0;
+            opts.snapshots = vec![0, 1];
+            opts.tracer = traces.next_tracer();
+            opts
+        });
+        drop(rr);
+        assert_eq!(traces.runs_traced(), 2);
+        for n in 0..2 {
+            let path = dir.join(format!("run_{n:04}.jsonl"));
+            let meta = std::fs::metadata(&path).expect("trace file exists");
+            assert!(meta.len() > 0, "trace file {} is empty", path.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_trace_dir_is_free() {
+        let traces = TraceDir::new(None);
+        assert!(!traces.next_tracer().enabled());
+        assert_eq!(traces.runs_traced(), 0);
     }
 
     #[test]

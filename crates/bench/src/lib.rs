@@ -17,11 +17,14 @@
 //! | `ablation_eviction` | LRU vs FIFO under a revisit-heavy trace |
 //! | `ablation_interactive` | interactive caching benefit |
 //! | `format_compare` | SDF vs plain binary input cost |
+//! | `ablation_trace_overhead` | event-tracing cost on fig3a-style runs |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 //!
 //! All binaries accept `--snapshots N --repeats R --scale S --full`
 //! (see [`HarnessArgs`]); defaults finish in a couple of minutes total.
+//! Passing `--trace-dir DIR` additionally writes one JSONL event trace
+//! per measured run (see [`TraceDir`]).
 
 pub mod args;
 pub mod harness;
@@ -29,5 +32,7 @@ pub mod paper;
 pub mod table;
 
 pub use args::HarnessArgs;
-pub use harness::{measure, percent, repeat, ExperimentEnv, RepeatedRuns, RunMeasurement};
+pub use harness::{
+    measure, percent, repeat, ExperimentEnv, RepeatedRuns, RunMeasurement, TraceDir,
+};
 pub use table::Table;

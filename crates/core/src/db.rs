@@ -19,9 +19,11 @@
 
 use crate::buffer::{FieldBuffer, FieldData, FieldRef, Key};
 use crate::error::{GodivaError, Result};
+use crate::metrics::GboMetrics;
 use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
 use crate::stats::GboStats;
 use crate::unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
+use godiva_obs::{MetricsRegistry, Tracer};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -112,6 +114,15 @@ pub struct GboConfig {
     /// Retry policy for transiently failing read functions, applied by
     /// both the background I/O thread and inline reads. Default: none.
     pub retry: RetryPolicy,
+    /// Tracer receiving the database's lifecycle events (unit added /
+    /// read / waited-on / finished / evicted, record commits, key
+    /// lookups, deadlocks). Default: disabled — one untaken branch per
+    /// would-be event, no allocation.
+    pub tracer: Tracer,
+    /// Registry this database registers its metrics in, under `gbo.*`
+    /// names. `None` (the default) keeps the metrics private to
+    /// [`Gbo::stats`].
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for GboConfig {
@@ -121,6 +132,8 @@ impl Default for GboConfig {
             background_io: true,
             eviction: EvictionPolicy::Lru,
             retry: RetryPolicy::none(),
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 }
@@ -191,7 +204,6 @@ struct State {
     /// as a deadlock.
     io_blocked_need: u64,
     shutdown: bool,
-    stats: GboStats,
 }
 
 impl State {
@@ -219,6 +231,15 @@ struct Inner {
     background_io: bool,
     eviction: EvictionPolicy,
     retry: RetryPolicy,
+    /// Lock-free counters/histograms behind [`Gbo::stats`]. Updated at
+    /// the instrumented call sites, several of them outside the state
+    /// lock (the mutex's release-acquire ordering makes the Relaxed
+    /// counter updates visible to any reader that observed the
+    /// corresponding state change).
+    metrics: GboMetrics,
+    /// Event tracer. Emitting while holding the state lock is safe: the
+    /// lock order is always state → sink, never the reverse.
+    tracer: Tracer,
 }
 
 /// The GODIVA database object. See the [module docs](self).
@@ -260,12 +281,12 @@ impl Inner {
                 .map(|u| u.bytes)
                 .unwrap_or(0);
             if st.mem_used.saturating_sub(own) == 0 {
-                st.stats.over_budget_allocs += 1;
+                self.metrics.over_budget_allocs.inc();
                 break;
             }
             match ctx {
                 AllocCtx::Foreground => {
-                    st.stats.over_budget_allocs += 1;
+                    self.metrics.over_budget_allocs.inc();
                     break;
                 }
                 AllocCtx::Inline => {
@@ -287,8 +308,8 @@ impl Inner {
             }
         }
         st.mem_used += bytes;
-        st.stats.bytes_allocated += bytes;
-        st.stats.mem_peak = st.stats.mem_peak.max(st.mem_used);
+        self.metrics.bytes_allocated.add(bytes);
+        self.metrics.mem.set(st.mem_used);
         if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
             u.bytes += bytes;
         }
@@ -298,6 +319,7 @@ impl Inner {
     /// Return `bytes` to the budget (and to `unit`'s account).
     fn release(&self, st: &mut State, bytes: u64, unit: Option<&str>) {
         st.mem_used = st.mem_used.saturating_sub(bytes);
+        self.metrics.mem.set(st.mem_used);
         if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
             u.bytes = u.bytes.saturating_sub(bytes);
         }
@@ -322,8 +344,18 @@ impl Inner {
             return false;
         };
         let freed = self.drop_unit_data(st, &name);
-        st.stats.evictions += 1;
-        st.stats.bytes_evicted += freed;
+        self.metrics.evictions.inc();
+        self.metrics.bytes_evicted.add(freed);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "unit_evicted",
+                vec![
+                    ("unit", name.as_str().into()),
+                    ("freed_bytes", freed.into()),
+                ],
+            );
+        }
         true
     }
 
@@ -347,6 +379,7 @@ impl Inner {
             }
         }
         st.mem_used = st.mem_used.saturating_sub(freed);
+        self.metrics.mem.set(st.mem_used);
         if freed > 0 {
             self.work_cv.notify_all();
         }
@@ -407,7 +440,7 @@ impl Inner {
         if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
             u.records.push(id);
         }
-        st.stats.records_created += 1;
+        self.metrics.records_created.inc();
         Ok(id)
     }
 
@@ -542,25 +575,46 @@ impl Inner {
         let rec = st.records.get_mut(&id).expect("present");
         rec.committed = true;
         rec.key = Some(key);
-        st.stats.records_committed += 1;
+        self.metrics.records_committed.inc();
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "record_commit",
+                vec![("type", type_name.into()), ("record", id.into())],
+            );
+        }
         Ok(())
     }
 
     fn lookup(&self, record_type: &str, field: &str, keys: &[Key]) -> Result<FieldRef> {
         let mut st = self.state.lock();
-        st.stats.queries += 1;
+        self.metrics.queries.inc();
         let Some(&id) = st
             .index
             .get(record_type)
             .and_then(|idx| idx.get(&keys.to_vec()))
         else {
-            st.stats.query_misses += 1;
+            self.metrics.query_misses.inc();
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "key_lookup",
+                    vec![("type", record_type.into()), ("hit", false.into())],
+                );
+            }
             // Distinguish "unknown type" from "no such key" for callers.
             st.schema.committed_record(record_type)?;
             return Err(GodivaError::NotFound(format!(
                 "record type '{record_type}' has no record with key {keys:?}"
             )));
         };
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "key_lookup",
+                vec![("type", record_type.into()), ("hit", true.into())],
+            );
+        }
         let rec = st.records.get(&id).expect("index points at live record");
         let slot = rec
             .rt
@@ -619,7 +673,14 @@ impl Inner {
             },
         }
         st.queue.push_back(name.to_string());
-        st.stats.units_added += 1;
+        self.metrics.units_added.inc();
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "unit_added",
+                vec![("unit", name.into()), ("queued", true.into())],
+            );
+        }
         self.work_cv.notify_all();
         Ok(())
     }
@@ -644,22 +705,84 @@ impl Inner {
         };
         let mut attempt = 1u32;
         loop {
+            let span_start = self.tracer.now_us();
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_start",
+                    vec![("unit", name.into()), ("attempt", attempt.into())],
+                );
+            }
+            let attempt_t0 = Instant::now();
             let session = UnitSession {
                 inner: Arc::clone(self),
                 unit: name.to_string(),
                 ctx,
             };
             let err = match catch_unwind(AssertUnwindSafe(|| reader.read(&session))) {
-                Ok(Ok(())) => return Ok(()),
+                Ok(Ok(())) => {
+                    self.metrics.read_hist.record(attempt_t0.elapsed());
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            "gbo",
+                            "read_done",
+                            vec![("unit", name.into()), ("attempt", attempt.into())],
+                        );
+                        self.tracer.complete(
+                            "gbo",
+                            "read_unit",
+                            span_start,
+                            vec![("unit", name.into()), ("ok", true.into())],
+                        );
+                    }
+                    return Ok(());
+                }
                 Ok(Err(e)) => e,
                 Err(payload) => {
-                    self.state.lock().stats.panics_caught += 1;
+                    self.metrics.panics_caught.inc();
+                    let message = format!("panicked: {}", panic_message(&payload));
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            "gbo",
+                            "read_failed",
+                            vec![
+                                ("unit", name.into()),
+                                ("attempt", attempt.into()),
+                                ("error", message.as_str().into()),
+                                ("panic", true.into()),
+                            ],
+                        );
+                        self.tracer.complete(
+                            "gbo",
+                            "read_unit",
+                            span_start,
+                            vec![("unit", name.into()), ("ok", false.into())],
+                        );
+                    }
                     return Err(GodivaError::ReadFailed {
                         unit: name.to_string(),
-                        message: format!("panicked: {}", panic_message(&payload)),
+                        message,
                     });
                 }
             };
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_failed",
+                    vec![
+                        ("unit", name.into()),
+                        ("attempt", attempt.into()),
+                        ("error", err.to_string().into()),
+                        ("transient", err.is_transient().into()),
+                    ],
+                );
+                self.tracer.complete(
+                    "gbo",
+                    "read_unit",
+                    span_start,
+                    vec![("unit", name.into()), ("ok", false.into())],
+                );
+            }
             if attempt >= self.retry.attempts() || !err.is_transient() {
                 return Err(err);
             }
@@ -676,8 +799,20 @@ impl Inner {
                 if let Some(u) = st.units.get_mut(name) {
                     u.state = UnitState::Reading;
                 }
-                st.stats.units_retried += 1;
-                st.stats.retry_backoff_total += backoff;
+            }
+            self.metrics.units_retried.inc();
+            self.metrics.retry_backoff.add_duration(backoff);
+            self.metrics.backoff_hist.record(backoff);
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_retry",
+                    vec![
+                        ("unit", name.into()),
+                        ("next_attempt", (attempt + 1).into()),
+                        ("backoff_us", (backoff.as_micros() as u64).into()),
+                    ],
+                );
             }
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
@@ -699,11 +834,11 @@ impl Inner {
                 entry.state = UnitState::Ready;
                 entry.loaded_seq = clock;
                 entry.last_access = clock;
-                st.stats.units_read += 1;
+                self.metrics.units_read.inc();
             }
             Err(e) => {
                 entry.state = UnitState::Failed(e.to_string());
-                st.stats.units_failed += 1;
+                self.metrics.units_failed.inc();
             }
         }
         self.unit_cv.notify_all();
@@ -734,6 +869,7 @@ impl Inner {
         timeout: Option<Duration>,
     ) -> Result<()> {
         let started = Instant::now();
+        let span_start = self.tracer.now_us();
         let deadline = timeout.map(|t| started + t);
         let mut blocked = false;
         let result = loop {
@@ -747,7 +883,7 @@ impl Inner {
                     entry.refcount += 1;
                     st.touch(name);
                     if !blocked {
-                        st.stats.cache_hits += 1;
+                        self.metrics.cache_hits.inc();
                     }
                     break Ok(());
                 }
@@ -761,7 +897,7 @@ impl Inner {
                     // Not queued: do a blocking read on this thread
                     // (interactive mode, or a revisit after eviction).
                     entry.state = UnitState::Reading;
-                    st.stats.blocking_reads += 1;
+                    self.metrics.blocking_reads.inc();
                     drop(st);
                     blocked = true;
                     if let Err(e) = self.run_inline(name) {
@@ -775,7 +911,7 @@ impl Inner {
                     Self::unqueue(&mut st, name);
                     let entry = st.units.get_mut(name).expect("present");
                     entry.state = UnitState::Reading;
-                    st.stats.blocking_reads += 1;
+                    self.metrics.blocking_reads.inc();
                     drop(st);
                     blocked = true;
                     if let Err(e) = self.run_inline(name) {
@@ -793,7 +929,18 @@ impl Inner {
                         && st.mem_used.saturating_add(st.io_blocked_need) > st.mem_limit
                         && !st.has_evictable()
                     {
-                        st.stats.deadlocks_detected += 1;
+                        self.metrics.deadlocks_detected.inc();
+                        if self.tracer.enabled() {
+                            self.tracer.instant(
+                                "gbo",
+                                "deadlock_detected",
+                                vec![
+                                    ("unit", name.into()),
+                                    ("mem_used", st.mem_used.into()),
+                                    ("mem_limit", st.mem_limit.into()),
+                                ],
+                            );
+                        }
                         break Err(GodivaError::Deadlock {
                             unit: name.to_string(),
                             mem_used: st.mem_used,
@@ -813,7 +960,20 @@ impl Inner {
                                     .map(|u| u.state.is_loaded())
                                     .unwrap_or(false);
                                 if !loaded {
-                                    st.stats.wait_timeouts += 1;
+                                    self.metrics.wait_timeouts.inc();
+                                    if self.tracer.enabled() {
+                                        self.tracer.instant(
+                                            "gbo",
+                                            "wait_timeout",
+                                            vec![
+                                                ("unit", name.into()),
+                                                (
+                                                    "waited_us",
+                                                    (started.elapsed().as_micros() as u64).into(),
+                                                ),
+                                            ],
+                                        );
+                                    }
                                     break Err(GodivaError::WaitTimeout {
                                         unit: name.to_string(),
                                         waited: started.elapsed(),
@@ -826,8 +986,19 @@ impl Inner {
             }
         };
         if blocked {
-            let mut st = self.state.lock();
-            st.stats.wait_time += started.elapsed();
+            // Lock-free: the old implementation re-took the state lock
+            // just to bump this.
+            let waited = started.elapsed();
+            self.metrics.wait_time.add_duration(waited);
+            self.metrics.wait_hist.record(waited);
+            if self.tracer.enabled() {
+                self.tracer.complete(
+                    "gbo",
+                    "wait_unit",
+                    span_start,
+                    vec![("unit", name.into()), ("ok", result.is_ok().into())],
+                );
+            }
         }
         result
     }
@@ -847,6 +1018,10 @@ impl Inner {
         entry.refcount = entry.refcount.saturating_sub(1);
         if entry.refcount == 0 {
             entry.state = UnitState::Finished;
+            if self.tracer.enabled() {
+                self.tracer
+                    .instant("gbo", "unit_finished", vec![("unit", name.into())]);
+            }
             // The I/O thread may have been waiting for evictable memory.
             self.work_cv.notify_all();
         }
@@ -875,7 +1050,14 @@ impl Inner {
         if let Some(e) = st_ref.units.get_mut(name) {
             e.refcount = 0;
         }
-        self.drop_unit_data(&mut st, name);
+        let freed = self.drop_unit_data(&mut st, name);
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "unit_deleted",
+                vec![("unit", name.into()), ("freed_bytes", freed.into())],
+            );
+        }
         Ok(())
     }
 
@@ -908,7 +1090,11 @@ impl Inner {
         let entry = st.units.get_mut(name).expect("still present");
         entry.state = UnitState::Queued;
         st.queue.push_back(name.to_string());
-        st.stats.units_reset += 1;
+        self.metrics.units_reset.inc();
+        if self.tracer.enabled() {
+            self.tracer
+                .instant("gbo", "unit_reset", vec![("unit", name.into())]);
+        }
         self.work_cv.notify_all();
         Ok(())
     }
@@ -948,7 +1134,7 @@ impl Inner {
                 let name = st.queue.pop_front().expect("non-empty");
                 let entry = st.units.get_mut(&name).expect("queued unit exists");
                 entry.state = UnitState::Reading;
-                st.stats.background_reads += 1;
+                self.metrics.background_reads.inc();
                 name
             };
 
@@ -966,11 +1152,11 @@ impl Inner {
                         entry.state = UnitState::Ready;
                         entry.loaded_seq = clock;
                         entry.last_access = clock;
-                        st.stats.units_read += 1;
+                        self.metrics.units_read.inc();
                     }
                     Err(e) => {
                         entry.state = UnitState::Failed(e.to_string());
-                        st.stats.units_failed += 1;
+                        self.metrics.units_failed.inc();
                     }
                 }
             }
@@ -1006,13 +1192,14 @@ impl Gbo {
                 io_blocked_on_memory: false,
                 io_blocked_need: 0,
                 shutdown: false,
-                stats: GboStats::default(),
             }),
             unit_cv: Condvar::new(),
             work_cv: Condvar::new(),
             background_io: config.background_io,
             eviction: config.eviction,
             retry: config.retry,
+            metrics: GboMetrics::new(config.metrics.as_deref()),
+            tracer: config.tracer,
         });
         let io_thread = if config.background_io {
             let inner2 = Arc::clone(&inner);
@@ -1137,7 +1324,14 @@ impl Gbo {
                             loaded_seq: 0,
                         },
                     );
-                    st.stats.units_added += 1;
+                    self.inner.metrics.units_added.inc();
+                    if self.inner.tracer.enabled() {
+                        self.inner.tracer.instant(
+                            "gbo",
+                            "unit_added",
+                            vec![("unit", name.into()), ("queued", false.into())],
+                        );
+                    }
                 }
                 Some(entry) => {
                     if entry.state == UnitState::Registered {
@@ -1252,12 +1446,21 @@ impl Gbo {
         self.inner.state.lock().mem_limit
     }
 
-    /// Snapshot of the runtime statistics.
+    /// Snapshot of the runtime statistics. Counter reads are lock-free;
+    /// only the authoritative `mem_used` figure comes from the state
+    /// lock.
     pub fn stats(&self) -> GboStats {
-        let st = self.inner.state.lock();
-        let mut s = st.stats.clone();
-        s.mem_used = st.mem_used;
+        let mut s = self.inner.metrics.snapshot();
+        s.mem_used = self.inner.state.lock().mem_used;
         s
+    }
+
+    /// The tracer this database emits lifecycle events through (disabled
+    /// unless one was supplied in [`GboConfig`]). Share it — via
+    /// [`Tracer::clone`] — with the other layers of a pipeline so all
+    /// events land on one timeline.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 }
 
@@ -1477,8 +1680,8 @@ impl RecordHandle {
         if new >= old {
             let delta = new - old;
             st.mem_used += delta;
-            st.stats.bytes_allocated += delta;
-            st.stats.mem_peak = st.stats.mem_peak.max(st.mem_used);
+            self.inner.metrics.bytes_allocated.add(delta);
+            self.inner.metrics.mem.set(st.mem_used);
             if let Some(u) = unit.as_deref().and_then(|u| st.units.get_mut(u)) {
                 u.bytes += delta;
             }

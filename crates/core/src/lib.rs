@@ -74,6 +74,7 @@
 pub mod buffer;
 pub mod db;
 pub mod error;
+mod metrics;
 pub mod schema;
 pub mod stats;
 pub mod unit;

@@ -5,6 +5,7 @@
 //! exposes those plus the cache/prefetch counters needed by the
 //! ablation benchmarks.
 
+use godiva_obs::HistogramSnapshot;
 use std::time::Duration;
 
 /// Snapshot of a database's counters.
@@ -59,16 +60,21 @@ pub struct GboStats {
     pub wait_timeouts: u64,
     /// Failed units re-queued via `reset_unit`.
     pub units_reset: u64,
+    /// Distribution of individual blocked-wait latencies (one sample per
+    /// `wait_unit`/`read_unit` call that had to block).
+    pub wait_hist: HistogramSnapshot,
 }
 
 impl GboStats {
-    /// Fraction of unit requests served without blocking on a read.
-    pub fn hit_rate(&self) -> f64 {
+    /// Fraction of unit requests served without blocking on a read, or
+    /// `None` when no requests have been made yet (a rate over zero
+    /// requests is undefined, not zero).
+    pub fn hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.blocking_reads;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.cache_hits as f64 / total as f64
+            Some(self.cache_hits as f64 / total as f64)
         }
     }
 }
@@ -112,7 +118,16 @@ impl std::fmt::Display for GboStats {
             self.wait_timeouts,
             self.units_reset
         )?;
-        write!(f, "blocked in waits: {:.3}s", self.wait_time.as_secs_f64())
+        let hit_rate = match self.hit_rate() {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_string(),
+        };
+        writeln!(
+            f,
+            "blocked in waits: {:.3}s; hit rate: {hit_rate}",
+            self.wait_time.as_secs_f64()
+        )?;
+        write!(f, "wait latency: {}", self.wait_hist.summary())
     }
 }
 
@@ -122,7 +137,10 @@ mod tests {
 
     #[test]
     fn hit_rate_handles_zero() {
-        assert_eq!(GboStats::default().hit_rate(), 0.0);
+        // A rate over zero requests is undefined, not 0%.
+        assert_eq!(GboStats::default().hit_rate(), None);
+        let text = GboStats::default().to_string();
+        assert!(text.contains("hit rate: n/a"));
     }
 
     #[test]
@@ -147,6 +165,7 @@ mod tests {
         assert!(text.contains("2 panics caught"));
         assert!(text.contains("1 wait timeouts"));
         assert!(text.contains("blocked in waits"));
+        assert!(text.contains("wait latency"));
     }
 
     #[test]
@@ -156,6 +175,25 @@ mod tests {
             blocking_reads: 1,
             ..Default::default()
         };
-        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_wait_latency_quantiles() {
+        let hist = godiva_obs::Histogram::new();
+        for _ in 0..99 {
+            hist.record(Duration::from_micros(700));
+        }
+        hist.record(Duration::from_millis(40));
+        let s = GboStats {
+            cache_hits: 1,
+            wait_hist: hist.snapshot(),
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("hit rate: 100.0%"));
+        assert!(text.contains("p50"), "expected quantiles in: {text}");
+        assert!(text.contains("p99"));
+        assert!(text.contains("100 samples"));
     }
 }

@@ -1,0 +1,211 @@
+//! Validate a JSONL trace file emitted by `voyager --trace-out`.
+//!
+//! Checks, in order:
+//! 1. the file is non-empty and every line parses as a JSON object,
+//! 2. every event carries the required fields (`ts`, `ph`, `cat`,
+//!    `name`, `pid`, `tid`) with `dur` present iff `ph == "X"`,
+//! 3. the read lifecycle balances: every `read_start` instant is
+//!    resolved by a `read_done` or `read_failed` (counted per unit),
+//!    and no unit is evicted before it finished.
+//!
+//! Exits 0 and prints a one-line summary on success; prints the first
+//! problem and exits 1 otherwise. This is the CI smoke checker.
+
+use godiva_obs::json::{parse_json, JsonValue};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn check_event(v: &JsonValue, line_no: usize) -> Result<(), String> {
+    let err = |msg: &str| Err(format!("line {line_no}: {msg}"));
+    if !matches!(v, JsonValue::Object(_)) {
+        return err("event is not a JSON object");
+    }
+    for field in ["ts", "pid", "tid"] {
+        if v.get(field).and_then(|x| x.as_u64()).is_none() {
+            return err(&format!("missing or non-integer '{field}'"));
+        }
+    }
+    for field in ["cat", "name"] {
+        if v.get(field).and_then(|x| x.as_str()).is_none() {
+            return err(&format!("missing or non-string '{field}'"));
+        }
+    }
+    match v.get("ph").and_then(|x| x.as_str()) {
+        Some("X") => {
+            if v.get("dur").and_then(|x| x.as_u64()).is_none() {
+                return err("complete span ('ph':'X') without integer 'dur'");
+            }
+        }
+        Some("i") => {
+            if v.get("dur").is_some() {
+                return err("instant event ('ph':'i') must not carry 'dur'");
+            }
+        }
+        Some(other) => return err(&format!("unexpected phase '{other}'")),
+        None => return err("missing 'ph'"),
+    }
+    Ok(())
+}
+
+fn unit_arg(v: &JsonValue) -> Option<String> {
+    v.get("args")?.get("unit")?.as_str().map(str::to_string)
+}
+
+fn check_trace(text: &str) -> Result<String, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        check_event(&v, i + 1)?;
+        events.push(v);
+    }
+    if events.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+
+    // Per-unit read balance and finish-before-evict ordering.
+    let mut open_reads: HashMap<String, i64> = HashMap::new();
+    let mut finished: HashMap<String, bool> = HashMap::new();
+    let mut spans = 0usize;
+    for (i, v) in events.iter().enumerate() {
+        let name = v.get("name").and_then(|x| x.as_str()).unwrap_or("");
+        if v.get("ph").and_then(|x| x.as_str()) == Some("X") {
+            spans += 1;
+        }
+        let Some(unit) = unit_arg(v) else { continue };
+        match name {
+            "read_start" => *open_reads.entry(unit).or_insert(0) += 1,
+            "read_done" | "read_failed" => {
+                let open = open_reads.entry(unit.clone()).or_insert(0);
+                if *open <= 0 {
+                    return Err(format!(
+                        "line {}: '{name}' for unit '{unit}' without a prior read_start",
+                        i + 1
+                    ));
+                }
+                *open -= 1;
+            }
+            "unit_finished" => {
+                finished.insert(unit, true);
+            }
+            "unit_reset" => {
+                finished.insert(unit, false);
+            }
+            "unit_evicted" if !finished.get(&unit).copied().unwrap_or(false) => {
+                return Err(format!(
+                    "line {}: unit '{unit}' evicted before it finished",
+                    i + 1
+                ));
+            }
+            _ => {}
+        }
+    }
+    for (unit, open) in &open_reads {
+        if *open != 0 {
+            return Err(format!(
+                "unit '{unit}' has {open} read_start event(s) without read_done/read_failed"
+            ));
+        }
+    }
+    Ok(format!(
+        "ok: {} events ({} spans), {} unit(s) with balanced reads",
+        events.len(),
+        spans,
+        open_reads.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_trace(&text) {
+        Ok(summary) => {
+            println!("trace_check {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(problem) => {
+            eprintln!("trace_check {path}: FAILED: {problem}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_trace;
+
+    fn ev(name: &str, unit: &str, ph: &str) -> String {
+        let dur = if ph == "X" { ",\"dur\":3" } else { "" };
+        format!(
+            "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"gbo\",\"name\":\"{name}\",\"pid\":1,\"tid\":1,\"args\":{{\"unit\":\"{unit}\"}}}}"
+        )
+    }
+
+    #[test]
+    fn accepts_balanced_lifecycle() {
+        let trace = [
+            ev("unit_added", "a", "i"),
+            ev("read_start", "a", "i"),
+            ev("read_done", "a", "i"),
+            ev("unit_finished", "a", "i"),
+            ev("read_unit", "a", "X"),
+            ev("unit_evicted", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_trace(&trace).expect("valid trace");
+        assert!(summary.contains("6 events"));
+    }
+
+    #[test]
+    fn rejects_empty_and_garbage() {
+        assert!(check_trace("").is_err());
+        assert!(check_trace("not json").is_err());
+        assert!(check_trace("{\"ts\":1}").is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_reads() {
+        let trace = [ev("read_start", "a", "i")].join("\n");
+        assert!(check_trace(&trace)
+            .unwrap_err()
+            .contains("without read_done"));
+        let trace = [ev("read_done", "a", "i")].join("\n");
+        assert!(check_trace(&trace)
+            .unwrap_err()
+            .contains("without a prior read_start"));
+    }
+
+    #[test]
+    fn rejects_evict_before_finish() {
+        let trace = [ev("unit_added", "a", "i"), ev("unit_evicted", "a", "i")].join("\n");
+        assert!(check_trace(&trace)
+            .unwrap_err()
+            .contains("before it finished"));
+    }
+
+    #[test]
+    fn retried_reads_balance_out() {
+        let trace = [
+            ev("read_start", "a", "i"),
+            ev("read_failed", "a", "i"),
+            ev("read_retry", "a", "i"),
+            ev("read_start", "a", "i"),
+            ev("read_done", "a", "i"),
+            ev("unit_finished", "a", "i"),
+        ]
+        .join("\n");
+        check_trace(&trace).expect("retried lifecycle is balanced");
+    }
+}

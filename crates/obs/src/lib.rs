@@ -1,0 +1,40 @@
+//! # godiva-obs — observability substrate for GODIVA
+//!
+//! Two halves, both designed to cost nothing when switched off:
+//!
+//! 1. **Event tracing** ([`trace`], [`sink`]) — structured instant
+//!    events and complete spans covering the whole GBO unit lifecycle
+//!    (`unit_added` → queued → `read_start` → `read_done`/`read_failed`/
+//!    `read_retry` → `wait_unit` → `unit_finished` → `unit_evicted`),
+//!    record commits, key lookups, deadlock detections and
+//!    fault-injection hits. Events flow through a pluggable
+//!    [`TraceSink`]; the built-in sinks write JSONL or the Chrome
+//!    `trace_event` array format (open in `chrome://tracing` or
+//!    <https://ui.perfetto.dev>).
+//! 2. **Metrics** ([`metrics`]) — lock-free atomic [`Counter`]s,
+//!    [`Gauge`]s and power-of-two-bucket latency [`Histogram`]s,
+//!    collected in a [`MetricsRegistry`] and rendered by
+//!    `voyager --metrics-summary`.
+//!
+//! A disabled [`Tracer`] is `None` plus one branch; instrumented hot
+//! paths guard argument construction with [`Tracer::enabled`], so the
+//! disabled configuration allocates nothing and the `NullSink`
+//! configuration measures within noise of no instrumentation at all
+//! (see the `ablation_trace_overhead` experiment in `godiva-bench`).
+//!
+//! [`json`] is a minimal JSON parser used by the `trace_check` binary
+//! and the tests to validate emitted traces without external crates.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use json::{parse_json, JsonValue};
+pub use metrics::{
+    fmt_us, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use sink::{event_to_json, ChromeTraceSink, JsonlSink, MemorySink, NullSink, TraceSink};
+pub use trace::{current_tid, ArgValue, Args, Span, TraceEvent, Tracer};

@@ -1,0 +1,459 @@
+//! Lock-free metrics: counters, gauges and fixed-bucket latency
+//! histograms, collected in a [`MetricsRegistry`].
+//!
+//! Handles are `Arc`-shared atomics: instrumented call sites update them
+//! with single `fetch_add`/`fetch_max` operations (no lock), and the
+//! registry renders a point-in-time summary on demand. The histogram
+//! uses power-of-two buckets over microseconds, so recording is a
+//! `leading_zeros` plus one atomic increment.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Add a duration, accounted in nanoseconds.
+    #[inline]
+    pub fn add_duration(&self, d: Duration) {
+        self.add(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The value interpreted as nanoseconds.
+    pub fn as_duration(&self) -> Duration {
+        Duration::from_nanos(self.get())
+    }
+}
+
+/// A gauge: a value that can move both ways, plus a running maximum.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the current value (also folds it into the maximum).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever set.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values `v` with
+/// `v < 2^i` µs (and `≥ 2^(i-1)` for `i > 0`); the last bucket also
+/// absorbs anything larger (≈ 6.4 days).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram over microseconds.
+///
+/// Recording is lock-free: one `leading_zeros`, three `fetch_` atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    // Values 0 and 1 land in bucket 0 and 1; bucket = bit length.
+    (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (µs, inclusive-exclusive) of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a value in microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_bound(i), n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`]: occupied buckets as
+/// `(upper_bound_us, count)` pairs plus count/sum/max.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (µs).
+    pub sum_us: u64,
+    /// Largest recorded value (µs).
+    pub max_us: u64,
+    /// Occupied buckets, ascending by bound: `(upper_bound_us, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (0.0–1.0) in µs, from
+    /// the bucket bounds (so p50 of values all equal to 300 µs reports
+    /// 512 µs — within one power of two). The true maximum caps the
+    /// estimate. Returns `None` when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(bound.min(self.max_us));
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Mean recorded value in µs (`None` when empty).
+    pub fn mean_us(&self) -> Option<u64> {
+        self.sum_us.checked_div(self.count)
+    }
+
+    /// `p50 / p90 / p99 / max` one-line summary, or `"n/a"` when empty.
+    pub fn summary(&self) -> String {
+        match (
+            self.quantile_us(0.50),
+            self.quantile_us(0.90),
+            self.quantile_us(0.99),
+        ) {
+            (Some(p50), Some(p90), Some(p99)) => format!(
+                "p50 {} / p90 {} / p99 {} / max {} ({} samples)",
+                fmt_us(p50),
+                fmt_us(p90),
+                fmt_us(p99),
+                fmt_us(self.max_us),
+                self.count
+            ),
+            _ => "n/a (0 samples)".to_string(),
+        }
+    }
+}
+
+/// Format a microsecond value with a human-appropriate unit.
+pub fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// One registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Registration (get-or-create by name) takes a short lock; the returned
+/// handles are plain atomics that call sites keep and update lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.metrics.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' is not a histogram"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.lock().is_empty()
+    }
+
+    /// Render every metric as `name<TAB>value`, sorted by name — the
+    /// `--metrics-summary` output.
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().clone();
+        let mut out = String::new();
+        for (name, metric) in metrics {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name}\t{}\n", c.get())),
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name}\t{} (max {})\n", g.get(), g.max()))
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("{name}\t{}\n", h.snapshot().summary()))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn duration_counter_round_trips() {
+        let c = Counter::new();
+        c.add_duration(Duration::from_millis(250));
+        c.add_duration(Duration::from_millis(250));
+        assert_eq!(c.as_duration(), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_power_of_two() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record_us(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max_us, 1_000_000);
+        assert_eq!(s.buckets.iter().map(|(_, n)| n).sum::<u64>(), 7);
+        // 0 → bucket 0 (bound 1); 1 → bucket 1 (bound 2); 2,3 → bucket 2.
+        assert_eq!(s.buckets[0], (1, 1));
+        assert_eq!(s.buckets[1], (2, 1));
+        assert_eq!(s.buckets[2], (4, 2));
+    }
+
+    #[test]
+    fn quantiles_are_upper_bound_estimates() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_us(300); // bucket bound 512
+        }
+        h.record_us(10_000); // bucket bound 16384
+        let s = h.snapshot();
+        assert_eq!(s.quantile_us(0.5), Some(512));
+        assert_eq!(s.quantile_us(0.99), Some(512));
+        assert_eq!(s.quantile_us(1.0), Some(10_000)); // capped by true max
+        assert!(s.summary().contains("samples"));
+    }
+
+    #[test]
+    fn empty_histogram_reports_na() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile_us(0.5), None);
+        assert_eq!(s.mean_us(), None);
+        assert!(s.summary().contains("n/a"));
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("gbo.units_added");
+        let b = r.counter("gbo.units_added");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        r.gauge("gbo.mem_used").set(42);
+        r.histogram("gbo.wait_us").record_us(5);
+        assert_eq!(r.len(), 3);
+        let text = r.render();
+        assert!(text.contains("gbo.units_added\t1"));
+        assert!(text.contains("gbo.mem_used\t42 (max 42)"));
+        assert!(text.contains("gbo.wait_us"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let c = Arc::new(Counter::new());
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record_us(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn fmt_us_picks_units() {
+        assert_eq!(fmt_us(5), "5µs");
+        assert_eq!(fmt_us(1500), "1.50ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+    }
+}

@@ -24,6 +24,7 @@
 //! right stand-in: another thread can compute meanwhile, which is exactly
 //! the overlap GODIVA exploits).
 
+use godiva_obs::Tracer;
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -143,6 +144,7 @@ const SLEEP_QUANTUM: Duration = Duration::from_millis(1);
 pub struct SimDisk {
     model: DiskModel,
     inner: Mutex<DiskInner>,
+    tracer: Mutex<Tracer>,
 }
 
 impl SimDisk {
@@ -155,12 +157,19 @@ impl SimDisk {
                 pending: Duration::ZERO,
             }),
             model,
+            tracer: Mutex::new(Tracer::disabled()),
         }
     }
 
     /// The cost model in use.
     pub fn model(&self) -> &DiskModel {
         &self.model
+    }
+
+    /// Attach a tracer; every subsequent charge emits a `disk_read` /
+    /// `disk_write` span whose duration is the *modelled* (scaled) cost.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
     }
 
     /// Charge (and sleep for) a read of `len` bytes at `offset` of `file`.
@@ -174,6 +183,8 @@ impl SimDisk {
     }
 
     fn charge(&self, file: FileId, offset: u64, len: u64, is_read: bool) {
+        let tracer = self.tracer.lock().clone();
+        let start_us = tracer.now_us();
         let mut inner = self.inner.lock();
         let seeks = match inner.head {
             Some(h) if h.file == file && h.offset == offset => false,
@@ -209,6 +220,22 @@ impl SimDisk {
         let scaled = cost.mul_f64(self.model.time_scale);
         inner.stats.busy += scaled;
         inner.pending += scaled;
+        if tracer.enabled() {
+            // Span duration is the modelled device-busy time, not the
+            // realized sleep (sub-quantum charges batch their sleeps).
+            tracer.complete_with_dur(
+                "disk",
+                if is_read { "disk_read" } else { "disk_write" },
+                start_us,
+                scaled.as_micros() as u64,
+                vec![
+                    ("file", file.into()),
+                    ("offset", offset.into()),
+                    ("len", len.into()),
+                    ("seek", seeks.into()),
+                ],
+            );
+        }
         if inner.pending >= SLEEP_QUANTUM {
             let d = std::mem::take(&mut inner.pending);
             // Hold the device lock across the sleep: one spindle, one
@@ -331,5 +358,22 @@ mod tests {
     fn scaled_model_reduces_cost() {
         let model = fast_model().scaled(0.5);
         assert!((model.time_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracer_sees_disk_spans() {
+        use godiva_obs::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let disk = SimDisk::new(fast_model().scaled(0.0));
+        let sink = Arc::new(MemorySink::new());
+        disk.set_tracer(Tracer::new(sink.clone()));
+        disk.charge_read(1, 0, 1000);
+        disk.charge_write(2, 0, 500);
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "disk_read");
+        assert_eq!(events[1].name, "disk_write");
+        assert!(events.iter().all(|e| e.cat == "disk" && e.dur_us.is_some()));
     }
 }

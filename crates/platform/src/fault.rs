@@ -21,6 +21,7 @@
 //! through format checksums as a *permanent* error.
 
 use crate::storage::{Storage, StorageStats};
+use godiva_obs::Tracer;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -52,6 +53,7 @@ pub struct FaultyFs {
     reads_seen: AtomicU64,
     plan: Mutex<FaultPlan>,
     injected: AtomicU64,
+    tracer: Mutex<Tracer>,
 }
 
 impl FaultyFs {
@@ -62,6 +64,26 @@ impl FaultyFs {
             reads_seen: AtomicU64::new(0),
             plan: Mutex::new(FaultPlan::default()),
             injected: AtomicU64::new(0),
+            tracer: Mutex::new(Tracer::disabled()),
+        }
+    }
+
+    /// Attach a tracer; every injected fault emits a `fault_injected`
+    /// instant event tagged with the fault kind and the path it hit.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
+    }
+
+    /// Count an injection and trace it. `kind` names which rule fired.
+    fn note_injection(&self, kind: &'static str, path: &str) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        let tracer = self.tracer.lock().clone();
+        if tracer.enabled() {
+            tracer.instant(
+                "fault",
+                "fault_injected",
+                vec![("kind", kind.into()), ("path", path.into())],
+            );
         }
     }
 
@@ -141,7 +163,7 @@ impl FaultyFs {
             plan = self.plan.lock();
         }
         if plan.fail_reads_at.contains(&seq) {
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.note_injection("nth_read", path);
             return Err(io::Error::other(format!(
                 "injected fault: read #{seq} of {path}"
             )));
@@ -151,14 +173,14 @@ impl FaultyFs {
             .iter()
             .any(|(p, n)| p == path && *n == path_seq)
         {
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.note_injection("nth_read_of_path", path);
             return Err(io::Error::other(format!(
                 "injected fault: read #{path_seq} of path {path}"
             )));
         }
         if let Some(s) = &plan.fail_substring {
             if path.contains(s.as_str()) {
-                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.note_injection("path_substring", path);
                 return Err(io::Error::other(format!("injected fault: {path}")));
             }
         }
@@ -168,14 +190,14 @@ impl FaultyFs {
             .find(|f| f.remaining > 0 && path.contains(f.substring.as_str()))
         {
             fault.remaining -= 1;
-            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.note_injection("transient", path);
             return Err(io::Error::other(format!(
                 "injected transient fault: {path} (attempt {path_seq})"
             )));
         }
         if let Some((seed, rate)) = plan.random {
             if splitmix_unit(seed, path, path_seq) < rate {
-                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.note_injection("random", path);
                 return Err(io::Error::other(format!(
                     "injected random fault: {path} (attempt {path_seq})"
                 )));
@@ -183,7 +205,7 @@ impl FaultyFs {
         }
         if let Some(s) = &plan.corrupt_substring {
             if path.contains(s.as_str()) {
-                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.note_injection("corrupt", path);
                 return Ok(true); // corrupt
             }
         }
@@ -363,6 +385,33 @@ mod tests {
         assert!(start.elapsed() >= Duration::from_millis(15));
         fs.clear_faults();
         assert!(fs.read("a/file1").is_ok());
+    }
+
+    #[test]
+    fn injections_emit_trace_events() {
+        use godiva_obs::{MemorySink, Tracer};
+
+        let fs = faulty();
+        let sink = Arc::new(MemorySink::new());
+        fs.set_tracer(Tracer::new(sink.clone()));
+        fs.fail_first_k_reads_of("file1", 1);
+        fs.corrupt_paths_with("file2");
+        assert!(fs.read("a/file1").is_err());
+        assert!(fs.read("b/file2").is_ok()); // corrupted, not failed
+        assert!(fs.read("a/file1").is_ok()); // recovered — no event
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.name == "fault_injected"));
+        let kind = |i: usize| {
+            events[i]
+                .args
+                .iter()
+                .find(|(k, _)| *k == "kind")
+                .map(|(_, v)| format!("{v:?}"))
+                .unwrap()
+        };
+        assert!(kind(0).contains("transient"));
+        assert!(kind(1).contains("corrupt"));
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl Platform {
     pub fn sim_storage(&self) -> &Arc<SimFs> {
         &self.storage
     }
+
+    /// Attach a tracer to the simulated disk so device activity appears
+    /// alongside the GBO's events in one trace.
+    pub fn set_tracer(&self, tracer: godiva_obs::Tracer) {
+        self.storage.set_tracer(tracer);
+    }
 }
 
 #[cfg(test)]

@@ -226,6 +226,12 @@ impl SimFs {
     pub fn disk(&self) -> &Arc<SimDisk> {
         &self.disk
     }
+
+    /// Attach a tracer to the underlying disk so every modelled read and
+    /// write shows up as a `disk` span in the trace.
+    pub fn set_tracer(&self, tracer: godiva_obs::Tracer) {
+        self.disk.set_tracer(tracer);
+    }
 }
 
 impl Storage for SimFs {

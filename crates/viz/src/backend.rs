@@ -24,6 +24,7 @@ use godiva_genx::fields::{components, variable, VarKind};
 use godiva_genx::manifest::{conn_dataset, points_dataset, var_dataset};
 use godiva_genx::GenxConfig;
 use godiva_mesh::{node_to_elem, TetMesh};
+use godiva_obs::{MetricsRegistry, Tracer};
 use godiva_platform::{Stopwatch, Storage};
 use godiva_sdf::{ReadOptions, SdfFile};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -356,6 +357,10 @@ pub struct GodivaBackendOptions {
     pub retry: RetryPolicy,
     /// What to do when a unit's read ultimately fails.
     pub fault_mode: FaultMode,
+    /// Tracer handed to the database; disabled by default.
+    pub tracer: Tracer,
+    /// Metrics registry the database publishes its counters into.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl GodivaBackendOptions {
@@ -371,6 +376,8 @@ impl GodivaBackendOptions {
             block_subset: None,
             retry: RetryPolicy::none(),
             fault_mode: FaultMode::Abort,
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 
@@ -495,6 +502,8 @@ impl GodivaBackend {
             background_io: options.background_io,
             eviction: options.eviction,
             retry: options.retry,
+            tracer: options.tracer,
+            metrics: options.metrics,
         });
         let blocks = options
             .block_subset

@@ -11,10 +11,19 @@
 //! voyager render   --data DIR --ops OPS.txt [--camera CAM.txt]
 //!                  [--mode O|G|TG] [--mem MB] [--out DIR]
 //!                  [--retries N] [--fault-mode abort|degrade]
+//!                  [--trace-out PATH] [--trace-format chrome|jsonl]
+//!                  [--metrics-summary]
 //! voyager example-specs DIR       # write sample ops/camera files
 //! ```
+//!
+//! `--trace-out` records the run's events — unit lifecycle, disk and
+//! render spans — to a file. A `.json` path (or `--trace-format chrome`)
+//! writes the Chrome `trace_event` array format loadable in Perfetto /
+//! `chrome://tracing`; anything else writes one JSON event per line.
+//! `--metrics-summary` prints the database's counters after the run.
 
 use godiva_genx::GenxConfig;
+use godiva_obs::{ChromeTraceSink, JsonlSink, MetricsRegistry, TraceSink, Tracer};
 use godiva_platform::{CpuPool, RealFs, Storage};
 use godiva_viz::specfile::{format_camera, format_ops, parse_camera, parse_ops};
 use godiva_viz::{run_voyager, Camera, FaultMode, ImageFormat, Mode, TestSpec, VoyagerOptions};
@@ -27,7 +36,8 @@ fn usage() -> ExitCode {
         "usage:\n  voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]\n  \
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
          [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png] \
-         [--retries N] [--fault-mode abort|degrade]\n  \
+         [--retries N] [--fault-mode abort|degrade] [--trace-out PATH] \
+         [--trace-format chrome|jsonl] [--metrics-summary]\n  \
          voyager example-specs DIR"
     );
     ExitCode::from(2)
@@ -46,6 +56,10 @@ impl Args {
 
     fn value_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
         self.value(flag).unwrap_or(default)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
     }
 }
 
@@ -206,7 +220,42 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         opts.images_out = Some((Arc::new(fs) as Arc<dyn Storage>, "frames".into()));
     }
 
+    let trace_sink: Option<Arc<dyn TraceSink>> = match args.value("--trace-out") {
+        Some(path) => {
+            let format = match args.value("--trace-format") {
+                Some(f @ ("chrome" | "jsonl")) => f,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown trace format '{other}' (use chrome or jsonl)"
+                    ))
+                }
+                None if path.ends_with(".json") => "chrome",
+                None => "jsonl",
+            };
+            let sink: Arc<dyn TraceSink> = match format {
+                "chrome" => Arc::new(
+                    ChromeTraceSink::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?,
+                ),
+                _ => Arc::new(
+                    JsonlSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+                ),
+            };
+            opts.tracer = Tracer::new(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let metrics = args.has("--metrics-summary").then(|| {
+        let registry = Arc::new(MetricsRegistry::new());
+        opts.metrics = Some(registry.clone());
+        registry
+    });
+
     let report = run_voyager(opts).map_err(|e| e.to_string())?;
+    if let Some(sink) = &trace_sink {
+        sink.finish();
+    }
     println!(
         "{} [{}]: {} snapshots in {:.3}s  (visible I/O {:.3}s, computation {:.3}s)",
         report.test,
@@ -240,6 +289,15 @@ fn cmd_render(args: &Args) -> Result<(), String> {
             "frames written under {}/frames/",
             args.value("--out").unwrap()
         );
+    }
+    if let Some(path) = args.value("--trace-out") {
+        println!("trace written to {path}");
+    }
+    if let Some(registry) = metrics {
+        println!("metrics:");
+        for line in registry.render().lines() {
+            println!("  {line}");
+        }
     }
     Ok(())
 }

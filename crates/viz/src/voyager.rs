@@ -20,6 +20,7 @@ use crate::raster::{rasterize, Framebuffer};
 use crate::spec::{GraphicsOp, TestSpec};
 use godiva_core::GboStats;
 use godiva_genx::GenxConfig;
+use godiva_obs::{MetricsRegistry, Tracer};
 use godiva_platform::{CpuPool, Storage};
 use godiva_sdf::ReadOptions;
 use std::sync::Arc;
@@ -84,6 +85,11 @@ pub struct VoyagerOptions {
     /// Abort on read failures (default) or degrade: skip the failed
     /// file/snapshot, render the rest, and report what was skipped.
     pub fault_mode: FaultMode,
+    /// Tracer for render spans and (via the GODIVA modes) the database's
+    /// unit-lifecycle events. Disabled by default: zero cost.
+    pub tracer: Tracer,
+    /// Metrics registry the database publishes counters into.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Output image encodings.
@@ -132,6 +138,8 @@ impl VoyagerOptions {
             image_format: ImageFormat::Ppm,
             retry: godiva_core::RetryPolicy::none(),
             fault_mode: FaultMode::Abort,
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 }
@@ -250,6 +258,8 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             boptions.granularity = opts.granularity;
             boptions.retry = opts.retry;
             boptions.fault_mode = opts.fault_mode;
+            boptions.tracer = opts.tracer.clone();
+            boptions.metrics = opts.metrics.clone();
             Box::new(GodivaBackend::new(
                 opts.storage.clone(),
                 opts.genx.clone(),
@@ -268,12 +278,15 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
     let mut fb = Framebuffer::new(w, h);
     let mut checksums = Vec::with_capacity(opts.snapshots.len());
 
+    let tracer = opts.tracer.clone();
     let started = Instant::now();
     backend.begin_run(&opts.snapshots)?;
     for &s in &opts.snapshots {
+        let snap_start = tracer.now_us();
         fb.clear();
         let mut rendered_blocks = 0usize;
         for op in &opts.spec.ops {
+            let pass_start = tracer.now_us();
             let data = backend.load_pass(s, op.var())?;
             rendered_blocks += data.len();
             // Shared colour map per pass, fitted over all blocks so the
@@ -286,13 +299,34 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             let cmap = ColorMap::fit(&all, ColorScheme::Rainbow);
             // Real geometry + rasterization work…
             for d in &data {
+                let block_start = tracer.now_us();
                 let soup = apply_op(op, d, bounds)?;
                 rasterize(&mut fb, &camera, &cmap, &soup);
+                if tracer.enabled() {
+                    tracer.complete(
+                        "viz",
+                        "render_block",
+                        block_start,
+                        vec![("snapshot", s.into()), ("block", d.block.into())],
+                    );
+                }
             }
             // …plus the synthetic VTK-scale processing load, run under a
             // core token so it contends like real computation.
             opts.cpu
                 .compute_sliced(opts.spec.work_per_op, Duration::from_millis(2));
+            if tracer.enabled() {
+                tracer.complete(
+                    "viz",
+                    "render_pass",
+                    pass_start,
+                    vec![
+                        ("snapshot", s.into()),
+                        ("var", op.var().to_string().into()),
+                        ("blocks", data.len().into()),
+                    ],
+                );
+            }
         }
         // A snapshot every block of which was skipped under Degrade
         // produces no image — the skip is in the fault report instead.
@@ -309,6 +343,18 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             checksums.push(fb.checksum());
         }
         backend.end_snapshot(s)?;
+        if tracer.enabled() {
+            tracer.complete(
+                "viz",
+                "render_snapshot",
+                snap_start,
+                vec![
+                    ("snapshot", s.into()),
+                    ("blocks", rendered_blocks.into()),
+                    ("skipped", fully_skipped.into()),
+                ],
+            );
+        }
     }
     let total = started.elapsed();
     let visible_io = backend.visible_io();
@@ -436,6 +482,44 @@ mod tests {
         );
         opts.snapshots.clear();
         assert!(run_voyager(opts).is_err());
+    }
+
+    #[test]
+    fn trace_covers_render_and_unit_lifecycle() {
+        use godiva_obs::MemorySink;
+
+        let (fs, config) = dataset();
+        let sink = Arc::new(MemorySink::new());
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut opts = VoyagerOptions::new(
+            fs,
+            CpuPool::new(2, 4.0),
+            config,
+            TestSpec::simple(),
+            Mode::GodivaMulti,
+        );
+        opts.decode_work_per_kib = 0;
+        opts.spec.work_per_op = godiva_platform::Work::ZERO;
+        opts.tracer = Tracer::new(sink.clone());
+        opts.metrics = Some(registry.clone());
+        run_voyager(opts).unwrap();
+
+        let names: std::collections::HashSet<String> =
+            sink.snapshot().iter().map(|e| e.name.to_string()).collect();
+        for expected in [
+            "unit_added",
+            "read_start",
+            "read_done",
+            "read_unit",
+            "unit_deleted",
+            "render_block",
+            "render_pass",
+            "render_snapshot",
+        ] {
+            assert!(names.contains(expected), "missing event '{expected}'");
+        }
+        assert!(!registry.is_empty(), "metrics registry was populated");
+        assert!(registry.render().contains("gbo.units_read"));
     }
 
     #[test]

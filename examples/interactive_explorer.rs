@@ -71,12 +71,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let stats = backend.gbo_stats().expect("stats");
+    let hit_rate = match stats.hit_rate() {
+        Some(r) => format!("{:.0}% hit rate", r * 100.0),
+        None => "hit rate n/a".to_string(),
+    };
     println!(
-        "\nsession summary: {} blocking reads, {} cache hits ({:.0}% hit rate), \
+        "\nsession summary: {} blocking reads, {} cache hits ({hit_rate}), \
          {:.2} MB resident",
         stats.blocking_reads,
         stats.cache_hits,
-        stats.hit_rate() * 100.0,
         stats.mem_used as f64 / (1024.0 * 1024.0),
     );
     Ok(())

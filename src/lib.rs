@@ -19,10 +19,13 @@
 //! - [`viz`] — a Rocketeer/Voyager-like visualization pipeline.
 //! - [`platform`] — simulated disk + CPU platform models used by the
 //!   benchmark harness.
+//! - [`obs`] — observability substrate: structured event tracing
+//!   (JSONL / Chrome `trace_event` sinks) and lock-free metrics.
 
 pub use godiva_core as core;
 pub use godiva_genx as genx;
 pub use godiva_mesh as mesh;
+pub use godiva_obs as obs;
 pub use godiva_platform as platform;
 pub use godiva_sdf as sdf;
 pub use godiva_viz as viz;
