@@ -15,6 +15,9 @@ pub struct HarnessArgs {
     /// Directory to write per-run JSONL event traces into (`None` =
     /// tracing disabled, the default).
     pub trace_dir: Option<String>,
+    /// Address to serve live metrics on while the experiment runs
+    /// (`curl ADDR/metrics`); `None` = no listener, the default.
+    pub metrics_listen: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -25,6 +28,7 @@ impl Default for HarnessArgs {
             scale: 0.02,
             full: false,
             trace_dir: None,
+            metrics_listen: None,
         }
     }
 }
@@ -47,10 +51,11 @@ impl HarnessArgs {
                 "--scale" => out.scale = parse_or_exit(&value("--scale")),
                 "--full" => out.full = true,
                 "--trace-dir" => out.trace_dir = Some(value("--trace-dir")),
+                "--metrics-listen" => out.metrics_listen = Some(value("--metrics-listen")),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--snapshots N] [--repeats R] [--scale S] [--full] \
-                         [--trace-dir DIR]\n\
+                         [--trace-dir DIR] [--metrics-listen ADDR]\n\
                          defaults: --snapshots 16 --repeats 3 --scale 0.02"
                     );
                     std::process::exit(0);

@@ -23,10 +23,12 @@ use crate::metrics::GboMetrics;
 use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
 use crate::stats::GboStats;
 use crate::unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
-use godiva_obs::{MetricsRegistry, Tracer};
+use godiva_obs::{FlightRecorder, MetricsRegistry, Tracer};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -123,6 +125,16 @@ pub struct GboConfig {
     /// names. `None` (the default) keeps the metrics private to
     /// [`Gbo::stats`].
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Crash flight recorder: a bounded ring of the most recent `gbo`
+    /// events, teed off the tracer (it records even when `tracer` is
+    /// disabled) and dumped as a JSONL post-mortem when a read function
+    /// panics or a deadlock is detected. Default: on, with
+    /// [`godiva_obs::DEFAULT_FLIGHT_RECORDER_CAPACITY`] events. Set to
+    /// `None` for zero instrumentation (benchmark baselines).
+    pub flight_recorder: Option<Arc<FlightRecorder>>,
+    /// Where post-mortem dumps go. `None` (the default) writes to
+    /// `godiva-postmortem-<pid>.jsonl` in the system temp directory.
+    pub postmortem_path: Option<PathBuf>,
 }
 
 impl Default for GboConfig {
@@ -134,6 +146,8 @@ impl Default for GboConfig {
             retry: RetryPolicy::none(),
             tracer: Tracer::disabled(),
             metrics: None,
+            flight_recorder: Some(Arc::new(FlightRecorder::default())),
+            postmortem_path: None,
         }
     }
 }
@@ -238,8 +252,14 @@ struct Inner {
     /// corresponding state change).
     metrics: GboMetrics,
     /// Event tracer. Emitting while holding the state lock is safe: the
-    /// lock order is always state → sink, never the reverse.
+    /// lock order is always state → sink, never the reverse. When a
+    /// flight recorder is installed this tracer fans out to it, so the
+    /// recorder's ring always holds the most recent `gbo` events.
     tracer: Tracer,
+    /// Crash flight recorder (see [`GboConfig::flight_recorder`]).
+    flight_recorder: Option<Arc<FlightRecorder>>,
+    /// Post-mortem destination override.
+    postmortem_path: Option<PathBuf>,
 }
 
 /// The GODIVA database object. See the [module docs](self).
@@ -353,6 +373,9 @@ impl Inner {
                 vec![
                     ("unit", name.as_str().into()),
                     ("freed_bytes", freed.into()),
+                    // Post-eviction occupancy: an occupancy-timeline
+                    // sample for trace analytics (godiva-report).
+                    ("mem_used", st.mem_used.into()),
                 ],
             );
         }
@@ -674,6 +697,7 @@ impl Inner {
         }
         st.queue.push_back(name.to_string());
         self.metrics.units_added.inc();
+        self.metrics.queue_depth.set(st.queue.len() as u64);
         if self.tracer.enabled() {
             self.tracer.instant(
                 "gbo",
@@ -759,6 +783,10 @@ impl Inner {
                             vec![("unit", name.into()), ("ok", false.into())],
                         );
                     }
+                    // A panicking read function is the flight recorder's
+                    // raison d'être: dump the ring now (no lock is held
+                    // here), while the tail still shows the lead-up.
+                    self.dump_postmortem("reader_panic");
                     return Err(GodivaError::ReadFailed {
                         unit: name.to_string(),
                         message,
@@ -852,9 +880,39 @@ impl Inner {
     }
 
     /// Remove `name` from the prefetch queue if enqueued.
-    fn unqueue(st: &mut State, name: &str) {
+    fn unqueue(&self, st: &mut State, name: &str) {
         if let Some(pos) = st.queue.iter().position(|n| n == name) {
             st.queue.remove(pos);
+            self.metrics.queue_depth.set(st.queue.len() as u64);
+        }
+    }
+
+    /// Write the flight recorder's ring to the post-mortem path (the
+    /// configured one, or `godiva-postmortem-<pid>.jsonl` in the temp
+    /// dir). Returns the path on success; `None` when no recorder is
+    /// installed or the write failed. Must not be called with the state
+    /// lock held — this does file I/O.
+    ///
+    /// The destination is per-process, so repeated failures (common in
+    /// fault-injection tests) overwrite rather than accumulate; the
+    /// stderr announcement happens once per process for the same reason.
+    fn dump_postmortem(&self, reason: &str) -> Option<PathBuf> {
+        let recorder = self.flight_recorder.as_ref()?;
+        let path = self.postmortem_path.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("godiva-postmortem-{}.jsonl", std::process::id()))
+        });
+        match recorder.dump_to_path(&path, reason) {
+            Ok(events) => {
+                static ANNOUNCED: AtomicBool = AtomicBool::new(false);
+                if !ANNOUNCED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "godiva: post-mortem trace ({reason}, {events} events) written to {}",
+                        path.display()
+                    );
+                }
+                Some(path)
+            }
+            Err(_) => None,
         }
     }
 
@@ -908,7 +966,7 @@ impl Inner {
                 UnitState::Queued if !self.background_io || explicit_read => {
                     // Single-thread GODIVA performs the read inside
                     // wait_unit (§4.2); read_unit is always explicit.
-                    Self::unqueue(&mut st, name);
+                    self.unqueue(&mut st, name);
                     let entry = st.units.get_mut(name).expect("present");
                     entry.state = UnitState::Reading;
                     self.metrics.blocking_reads.inc();
@@ -1000,6 +1058,11 @@ impl Inner {
                 );
             }
         }
+        // Deadlock is detected under the state lock, but the post-mortem
+        // write is file I/O — do it out here, lock released.
+        if matches!(result, Err(GodivaError::Deadlock { .. })) {
+            self.dump_postmortem("deadlock");
+        }
         result
     }
 
@@ -1042,7 +1105,7 @@ impl Inner {
             }
             UnitState::Queued => {
                 entry.state = UnitState::Registered;
-                Self::unqueue(&mut st, name);
+                self.unqueue(&mut st, name);
             }
             _ => {}
         }
@@ -1091,6 +1154,7 @@ impl Inner {
         entry.state = UnitState::Queued;
         st.queue.push_back(name.to_string());
         self.metrics.units_reset.inc();
+        self.metrics.queue_depth.set(st.queue.len() as u64);
         if self.tracer.enabled() {
             self.tracer
                 .instant("gbo", "unit_reset", vec![("unit", name.into())]);
@@ -1132,6 +1196,7 @@ impl Inner {
                     self.work_cv.wait(&mut st);
                 }
                 let name = st.queue.pop_front().expect("non-empty");
+                self.metrics.queue_depth.set(st.queue.len() as u64);
                 let entry = st.units.get_mut(&name).expect("queued unit exists");
                 entry.state = UnitState::Reading;
                 self.metrics.background_reads.inc();
@@ -1177,6 +1242,15 @@ impl Gbo {
 
     /// Create a database with explicit configuration.
     pub fn with_config(config: GboConfig) -> Self {
+        // Tee the tracer into the flight recorder so the ring always
+        // holds the tail of the event stream — even when no user tracer
+        // is configured (the tee then records into the ring alone).
+        let tracer = match &config.flight_recorder {
+            Some(recorder) => config
+                .tracer
+                .tee(Arc::clone(recorder) as Arc<dyn godiva_obs::TraceSink>),
+            None => config.tracer,
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 schema: Schema::new(),
@@ -1199,7 +1273,9 @@ impl Gbo {
             eviction: config.eviction,
             retry: config.retry,
             metrics: GboMetrics::new(config.metrics.as_deref()),
-            tracer: config.tracer,
+            tracer,
+            flight_recorder: config.flight_recorder,
+            postmortem_path: config.postmortem_path,
         });
         let io_thread = if config.background_io {
             let inner2 = Arc::clone(&inner);
@@ -1461,6 +1537,21 @@ impl Gbo {
     /// events land on one timeline.
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The crash flight recorder, if one is installed (the default). Its
+    /// ring holds the most recent `gbo` events; the database dumps it
+    /// automatically on reader panics and detected deadlocks.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.flight_recorder.as_ref()
+    }
+
+    /// Dump the flight recorder's ring as a JSONL post-mortem right now
+    /// (same path the automatic panic/deadlock dumps use). Returns the
+    /// written path, or `None` when no recorder is installed or the
+    /// write failed.
+    pub fn dump_postmortem(&self, reason: &str) -> Option<PathBuf> {
+        self.inner.dump_postmortem(reason)
     }
 }
 

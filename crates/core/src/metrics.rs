@@ -39,6 +39,8 @@ pub(crate) struct GboMetrics {
     pub retry_backoff: Arc<Counter>,
     /// Mirror of `State::mem_used`; its max is `mem_peak`.
     pub mem: Arc<Gauge>,
+    /// Prefetch-queue depth (live only; not part of [`GboStats`]).
+    pub queue_depth: Arc<Gauge>,
     /// Per-call blocked-wait latency (µs).
     pub wait_hist: Arc<Histogram>,
     /// Per-attempt successful read-function latency (µs).
@@ -86,6 +88,7 @@ impl GboMetrics {
             wait_time: c("gbo.wait_time_ns"),
             retry_backoff: c("gbo.retry_backoff_ns"),
             mem: g("gbo.mem_bytes"),
+            queue_depth: g("gbo.queue_depth"),
             wait_hist: h("gbo.wait_latency_us"),
             read_hist: h("gbo.read_latency_us"),
             backoff_hist: h("gbo.retry_backoff_us"),

@@ -1,0 +1,616 @@
+//! Trace analytics: turn a JSONL event trace into the paper's
+//! attribution numbers.
+//!
+//! The GODIVA evaluation (Figures 3–5) decomposes end-to-end render
+//! time into *computation* and *visible I/O* — the part of the run the
+//! renderer spent blocked on data. [`analyze_trace`] recomputes that
+//! decomposition from a trace produced by `voyager --trace-out` or the
+//! bench harness, plus three things the paper discusses qualitatively:
+//! prefetch effectiveness (did the background I/O thread finish units
+//! before the renderer asked?), eviction churn / re-read waste, and a
+//! memory-budget occupancy timeline.
+//!
+//! Attribution model: *wall* is the trace extent (the latest event end,
+//! measured from the tracer's epoch); *wait-blocked* is the union of
+//! blocking `wait_unit` / `read_unit` / disk spans on the render
+//! thread; *compute* is everything else (`wall − wait`). The two halves
+//! therefore sum to the trace extent exactly; `godiva-report
+//! --metrics-json` cross-checks that sum against the run's measured
+//! wall clock (`voyager.wall_us`) within a tolerance.
+
+use crate::json::{parse_json, JsonValue};
+use crate::metrics::fmt_us;
+use std::collections::BTreeMap;
+
+/// Prefetch effectiveness: when units became ready relative to the
+/// renderer's first blocking wait for them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchReport {
+    /// Units whose load finished without the renderer ever blocking.
+    pub ready: usize,
+    /// Units the renderer had to block for (prefetch late or absent).
+    pub late: usize,
+    /// Units that never finished loading (failed or abandoned).
+    pub never: usize,
+    /// Total time spent blocked on the late units (µs).
+    pub late_wait_us: u64,
+}
+
+/// Eviction churn and the re-read waste it causes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// `unit_evicted` events.
+    pub evictions: usize,
+    /// Bytes freed by those evictions.
+    pub evicted_bytes: u64,
+    /// Successful unit reads (`read_done`).
+    pub reads: usize,
+    /// Reads beyond the first per unit — work the budget made redundant.
+    pub re_reads: usize,
+    /// Time spent in those redundant reads (µs).
+    pub re_read_us: u64,
+}
+
+/// Memory-budget occupancy over the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancyReport {
+    /// `(ts_us, mem_bytes)` samples, ascending by time. Sources:
+    /// `gauge_sample` instants from the snapshotter and any event
+    /// carrying a `mem_used` argument (evictions, deadlocks).
+    pub timeline: Vec<(u64, u64)>,
+    /// Largest sampled occupancy.
+    pub peak_bytes: u64,
+}
+
+/// Everything [`analyze_trace`] computes from one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Complete spans among them.
+    pub spans: usize,
+    /// Distinct units announced (`unit_added`).
+    pub units: usize,
+    /// Thread id attributed as the render thread.
+    pub main_tid: u64,
+    /// Timestamp of the first event (µs since tracer epoch).
+    pub start_us: u64,
+    /// Trace extent: the latest event end (µs since tracer epoch).
+    pub wall_us: u64,
+    /// Union of blocking wait/read spans on the render thread (µs).
+    pub wait_blocked_us: u64,
+    /// `wall_us − wait_blocked_us`.
+    pub compute_us: u64,
+    /// Union of `render_snapshot` spans (µs) — the renderer's busy time.
+    pub render_us: u64,
+    /// Prefetch effectiveness.
+    pub prefetch: PrefetchReport,
+    /// Eviction churn and re-read waste.
+    pub churn: ChurnReport,
+    /// Memory occupancy timeline.
+    pub occupancy: OccupancyReport,
+}
+
+/// One parsed event, reduced to the fields the analysis consumes.
+struct Ev {
+    ts: u64,
+    dur: Option<u64>,
+    cat: String,
+    name: String,
+    tid: u64,
+    unit: Option<String>,
+    args: JsonValue,
+}
+
+fn parse_events(text: &str) -> Result<Vec<Ev>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        // A flight-recorder dump opens with a {"postmortem": …} header;
+        // skip it so dumps analyze like ordinary (truncated) traces.
+        if i == 0 && v.get("postmortem").is_some() {
+            continue;
+        }
+        let field_u64 = |k: &str| v.get(k).and_then(|x| x.as_u64());
+        let field_str = |k: &str| v.get(k).and_then(|x| x.as_str()).map(str::to_string);
+        events.push(Ev {
+            ts: field_u64("ts").ok_or_else(|| format!("line {}: missing 'ts'", i + 1))?,
+            dur: field_u64("dur"),
+            cat: field_str("cat").unwrap_or_default(),
+            name: field_str("name").ok_or_else(|| format!("line {}: missing 'name'", i + 1))?,
+            tid: field_u64("tid").unwrap_or(0),
+            unit: v
+                .get("args")
+                .and_then(|a| a.get("unit"))
+                .and_then(|u| u.as_str())
+                .map(str::to_string),
+            args: v.get("args").cloned().unwrap_or(JsonValue::Null),
+        });
+    }
+    if events.is_empty() {
+        return Err("trace is empty".to_string());
+    }
+    Ok(events)
+}
+
+/// Total length of the union of `[start, end)` intervals (µs).
+fn interval_union_us(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cursor = 0u64;
+    for (start, end) in intervals {
+        let start = start.max(cursor);
+        if end > start {
+            total += end - start;
+            cursor = end;
+        }
+        cursor = cursor.max(end);
+    }
+    total
+}
+
+/// Pick the render thread: the tid carrying `render_snapshot` spans,
+/// falling back to the tid with the most blocking-wait time, then to
+/// the first event's tid.
+fn main_tid(events: &[Ev]) -> u64 {
+    if let Some(e) = events.iter().find(|e| e.name == "render_snapshot") {
+        return e.tid;
+    }
+    let mut wait_by_tid: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        if e.name == "wait_unit" {
+            *wait_by_tid.entry(e.tid).or_insert(0) += e.dur.unwrap_or(0);
+        }
+    }
+    wait_by_tid
+        .into_iter()
+        .max_by_key(|&(_, total)| total)
+        .map(|(tid, _)| tid)
+        .unwrap_or_else(|| events[0].tid)
+}
+
+/// Analyze one JSONL trace (or flight-recorder dump). Errors on empty
+/// or unparseable input.
+pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
+    let events = parse_events(text)?;
+    let main_tid = main_tid(&events);
+    let start_us = events.iter().map(|e| e.ts).min().unwrap_or(0);
+    let wall_us = events
+        .iter()
+        .map(|e| e.ts + e.dur.unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+
+    // --- stall attribution -------------------------------------------
+    // Blocking time on the render thread: wait_unit spans (which wrap
+    // inline reads), explicit read_unit spans, and raw disk transfers
+    // (the O-mode backend reads on the render thread with no database
+    // events). The union handles their nesting.
+    let wait_intervals: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.tid == main_tid)
+        .filter(|e| matches!(e.name.as_str(), "wait_unit" | "read_unit") || e.cat == "disk")
+        .filter_map(|e| e.dur.map(|d| (e.ts, e.ts + d)))
+        .collect();
+    let wait_blocked_us = interval_union_us(wait_intervals);
+    let render_us = interval_union_us(
+        events
+            .iter()
+            .filter(|e| e.name == "render_snapshot")
+            .filter_map(|e| e.dur.map(|d| (e.ts, e.ts + d)))
+            .collect(),
+    );
+
+    // --- per-unit bookkeeping ----------------------------------------
+    #[derive(Default)]
+    struct Unit {
+        added: bool,
+        done: usize,
+        blocked_us: u64,
+        /// Durations of successful read_unit spans, in trace order.
+        read_us: Vec<u64>,
+    }
+    let mut units: BTreeMap<String, Unit> = BTreeMap::new();
+    let mut churn = ChurnReport::default();
+    let mut timeline: Vec<(u64, u64)> = Vec::new();
+    for e in &events {
+        // Occupancy samples: snapshotter gauge_sample instants…
+        if e.name == "gauge_sample"
+            && e.args.get("name").and_then(|n| n.as_str()) == Some("gbo.mem_bytes")
+        {
+            if let Some(v) = e.args.get("value").and_then(|v| v.as_u64()) {
+                timeline.push((e.ts, v));
+            }
+        }
+        // …and any event carrying the live occupancy.
+        if let Some(v) = e.args.get("mem_used").and_then(|v| v.as_u64()) {
+            timeline.push((e.ts, v));
+        }
+        let Some(name) = &e.unit else { continue };
+        let u = units.entry(name.clone()).or_default();
+        match e.name.as_str() {
+            "unit_added" => u.added = true,
+            "read_done" => u.done += 1,
+            "wait_unit" => u.blocked_us += e.dur.unwrap_or(0),
+            "read_unit" if e.args.get("ok") == Some(&JsonValue::Bool(true)) => {
+                u.read_us.push(e.dur.unwrap_or(0));
+            }
+            "unit_evicted" => {
+                churn.evictions += 1;
+                churn.evicted_bytes += e
+                    .args
+                    .get("freed_bytes")
+                    .and_then(|b| b.as_u64())
+                    .unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    timeline.sort_unstable();
+    let peak_bytes = timeline.iter().map(|&(_, v)| v).max().unwrap_or(0);
+
+    let mut prefetch = PrefetchReport::default();
+    let mut announced = 0usize;
+    for u in units.values() {
+        if u.added {
+            announced += 1;
+        }
+        churn.reads += u.done;
+        if u.done == 0 {
+            prefetch.never += 1;
+        } else if u.blocked_us > 0 {
+            prefetch.late += 1;
+            prefetch.late_wait_us += u.blocked_us;
+        } else {
+            prefetch.ready += 1;
+        }
+        if u.done > 1 {
+            churn.re_reads += u.done - 1;
+            churn.re_read_us += u.read_us.iter().skip(1).sum::<u64>();
+        }
+    }
+
+    Ok(TraceReport {
+        events: events.len(),
+        spans: events.iter().filter(|e| e.dur.is_some()).count(),
+        units: announced,
+        main_tid,
+        start_us,
+        wall_us,
+        wait_blocked_us,
+        compute_us: wall_us.saturating_sub(wait_blocked_us),
+        render_us,
+        prefetch,
+        churn,
+        occupancy: OccupancyReport {
+            timeline,
+            peak_bytes,
+        },
+    })
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    } else if b >= 1 << 10 {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl TraceReport {
+    /// `compute + wait` — by construction equal to [`TraceReport::wall_us`];
+    /// exposed so callers cross-check it against an externally measured
+    /// wall time.
+    pub fn attribution_sum_us(&self) -> u64 {
+        self.compute_us + self.wait_blocked_us
+    }
+
+    /// Verify the stall attribution sums to `expected_wall_us` within
+    /// `tolerance` (a fraction: 0.05 = 5 %). `expected_wall_us` is the
+    /// run's measured wall clock (`voyager.wall_us` in a metrics JSON).
+    pub fn check_attribution(&self, expected_wall_us: u64, tolerance: f64) -> Result<(), String> {
+        let sum = self.attribution_sum_us();
+        if expected_wall_us == 0 {
+            return Err("expected wall time is zero".to_string());
+        }
+        let delta = sum.abs_diff(expected_wall_us) as f64 / expected_wall_us as f64;
+        if delta <= tolerance {
+            Ok(())
+        } else {
+            Err(format!(
+                "attribution (compute {} + wait {} = {}) differs from measured wall {} by {:.1}% (> {:.1}%)",
+                fmt_us(self.compute_us),
+                fmt_us(self.wait_blocked_us),
+                fmt_us(sum),
+                fmt_us(expected_wall_us),
+                delta * 100.0,
+                tolerance * 100.0,
+            ))
+        }
+    }
+
+    /// Render the report as human-readable tables.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events ({} spans), {} units, render tid {}\n",
+            self.events, self.spans, self.units, self.main_tid
+        ));
+        out.push_str(&format!(
+            "stall attribution (wall = trace extent):\n  wall          {:>10}\n  compute       {:>10}  ({:.1}%)\n  wait-blocked  {:>10}  ({:.1}%)\n  render spans  {:>10}\n",
+            fmt_us(self.wall_us),
+            fmt_us(self.compute_us),
+            pct(self.compute_us, self.wall_us),
+            fmt_us(self.wait_blocked_us),
+            pct(self.wait_blocked_us, self.wall_us),
+            fmt_us(self.render_us),
+        ));
+        out.push_str(&format!(
+            "prefetch effectiveness:\n  ready before wait  {:>6}\n  late (blocked)     {:>6}  (total block {})\n  never loaded       {:>6}\n",
+            self.prefetch.ready,
+            self.prefetch.late,
+            fmt_us(self.prefetch.late_wait_us),
+            self.prefetch.never,
+        ));
+        out.push_str(&format!(
+            "eviction churn:\n  evictions   {:>6}  ({} freed)\n  reads       {:>6}\n  re-reads    {:>6}  (re-read time {})\n",
+            self.churn.evictions,
+            fmt_bytes(self.churn.evicted_bytes),
+            self.churn.reads,
+            self.churn.re_reads,
+            fmt_us(self.churn.re_read_us),
+        ));
+        let final_bytes = self.occupancy.timeline.last().map(|&(_, v)| v).unwrap_or(0);
+        out.push_str(&format!(
+            "memory occupancy: {} samples, peak {}, final {}\n",
+            self.occupancy.timeline.len(),
+            fmt_bytes(self.occupancy.peak_bytes),
+            fmt_bytes(final_bytes),
+        ));
+        out
+    }
+
+    /// Render the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"events\":{},\"spans\":{},\"units\":{},\"main_tid\":{},\"start_us\":{},\
+             \"wall_us\":{},\"compute_us\":{},\"wait_blocked_us\":{},\"render_us\":{},\
+             \"attribution_sum_us\":{},",
+            self.events,
+            self.spans,
+            self.units,
+            self.main_tid,
+            self.start_us,
+            self.wall_us,
+            self.compute_us,
+            self.wait_blocked_us,
+            self.render_us,
+            self.attribution_sum_us(),
+        ));
+        out.push_str(&format!(
+            "\"prefetch\":{{\"ready\":{},\"late\":{},\"never\":{},\"late_wait_us\":{}}},",
+            self.prefetch.ready,
+            self.prefetch.late,
+            self.prefetch.never,
+            self.prefetch.late_wait_us
+        ));
+        out.push_str(&format!(
+            "\"churn\":{{\"evictions\":{},\"evicted_bytes\":{},\"reads\":{},\"re_reads\":{},\"re_read_us\":{}}},",
+            self.churn.evictions,
+            self.churn.evicted_bytes,
+            self.churn.reads,
+            self.churn.re_reads,
+            self.churn.re_read_us
+        ));
+        out.push_str(&format!(
+            "\"occupancy\":{{\"peak_bytes\":{},\"samples\":[",
+            self.occupancy.peak_bytes
+        ));
+        for (i, (ts, v)) in self.occupancy.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{ts},{v}]"));
+        }
+        out.push_str("]}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(ts: u64, dur: Option<u64>, cat: &str, name: &str, tid: u64, args: &str) -> String {
+        match dur {
+            Some(d) => format!(
+                "{{\"ts\":{ts},\"dur\":{d},\"ph\":\"X\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"args\":{args}}}"
+            ),
+            None => format!(
+                "{{\"ts\":{ts},\"ph\":\"i\",\"s\":\"t\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"args\":{args}}}"
+            ),
+        }
+    }
+
+    /// A hand-built trace: two snapshots on tid 1, unit a prefetched in
+    /// time, unit b waited on for 30 µs, unit c never loads, and one
+    /// eviction with a re-read of unit a.
+    fn sample_trace() -> String {
+        [
+            line(0, None, "gbo", "unit_added", 1, "{\"unit\":\"a\"}"),
+            line(1, None, "gbo", "unit_added", 1, "{\"unit\":\"b\"}"),
+            line(2, None, "gbo", "unit_added", 1, "{\"unit\":\"c\"}"),
+            line(5, None, "gbo", "read_done", 2, "{\"unit\":\"a\"}"),
+            line(
+                3,
+                Some(4),
+                "gbo",
+                "read_unit",
+                2,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+            // b loads late: renderer blocks 30 µs on tid 1.
+            line(
+                10,
+                Some(30),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"b\",\"ok\":true}",
+            ),
+            line(38, None, "gbo", "read_done", 2, "{\"unit\":\"b\"}"),
+            line(
+                35,
+                Some(4),
+                "gbo",
+                "read_unit",
+                2,
+                "{\"unit\":\"b\",\"ok\":true}",
+            ),
+            line(
+                45,
+                None,
+                "gbo",
+                "unit_evicted",
+                1,
+                "{\"unit\":\"a\",\"freed_bytes\":2048,\"mem_used\":4096}",
+            ),
+            // a re-read after eviction: 10 µs of redundant work.
+            line(60, None, "gbo", "read_done", 1, "{\"unit\":\"a\"}"),
+            line(
+                52,
+                Some(10),
+                "gbo",
+                "read_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+            line(
+                50,
+                Some(12),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+            line(0, Some(70), "viz", "render_snapshot", 1, "{\"snapshot\":0}"),
+            line(
+                70,
+                Some(30),
+                "viz",
+                "render_snapshot",
+                1,
+                "{\"snapshot\":1}",
+            ),
+            line(
+                80,
+                None,
+                "metrics",
+                "gauge_sample",
+                3,
+                "{\"name\":\"gbo.mem_bytes\",\"value\":1024,\"max\":4096}",
+            ),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn attribution_sums_to_wall() {
+        let r = analyze_trace(&sample_trace()).unwrap();
+        assert_eq!(r.wall_us, 100); // last render_snapshot ends at 100
+        assert_eq!(r.main_tid, 1);
+        // wait = [10,40) ∪ [50,62) = 30 + 12 (read_unit nested inside).
+        assert_eq!(r.wait_blocked_us, 42);
+        assert_eq!(r.compute_us, 58);
+        assert_eq!(r.attribution_sum_us(), r.wall_us);
+        assert_eq!(r.render_us, 100);
+        r.check_attribution(100, 0.05).expect("exact sum passes");
+        r.check_attribution(104, 0.05).expect("4% off passes");
+        assert!(r.check_attribution(200, 0.05).is_err());
+    }
+
+    #[test]
+    fn prefetch_classification() {
+        let r = analyze_trace(&sample_trace()).unwrap();
+        assert_eq!(r.units, 3);
+        // a blocked on its re-read, so it counts late; b late; c never.
+        assert_eq!(r.prefetch.ready, 0);
+        assert_eq!(r.prefetch.late, 2);
+        assert_eq!(r.prefetch.never, 1);
+        assert_eq!(r.prefetch.late_wait_us, 42);
+    }
+
+    #[test]
+    fn churn_and_occupancy() {
+        let r = analyze_trace(&sample_trace()).unwrap();
+        assert_eq!(r.churn.evictions, 1);
+        assert_eq!(r.churn.evicted_bytes, 2048);
+        assert_eq!(r.churn.reads, 3);
+        assert_eq!(r.churn.re_reads, 1);
+        assert_eq!(r.churn.re_read_us, 10);
+        // Two samples: the eviction's mem_used and the gauge_sample.
+        assert_eq!(r.occupancy.timeline, vec![(45, 4096), (80, 1024)]);
+        assert_eq!(r.occupancy.peak_bytes, 4096);
+    }
+
+    #[test]
+    fn outputs_are_well_formed() {
+        let r = analyze_trace(&sample_trace()).unwrap();
+        let human = r.render_human();
+        assert!(human.contains("stall attribution"));
+        assert!(human.contains("prefetch effectiveness"));
+        let v = parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.get("wall_us").and_then(|x| x.as_u64()), Some(100));
+        assert_eq!(
+            v.get("prefetch").and_then(|p| p.get("late")?.as_u64()),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("occupancy")
+                .and_then(|o| o.get("peak_bytes")?.as_u64()),
+            Some(4096)
+        );
+    }
+
+    #[test]
+    fn postmortem_header_is_skipped() {
+        let text = format!(
+            "{}\n{}",
+            "{\"postmortem\":{\"reason\":\"deadlock\",\"events\":1,\"dropped\":0,\"capacity\":8}}",
+            line(1, None, "gbo", "unit_added", 1, "{\"unit\":\"a\"}")
+        );
+        let r = analyze_trace(&text).unwrap();
+        assert_eq!(r.events, 1);
+        assert_eq!(r.units, 1);
+    }
+
+    #[test]
+    fn empty_and_garbage_traces_error() {
+        assert!(analyze_trace("").is_err());
+        assert!(analyze_trace("   \n  ").is_err());
+        assert!(analyze_trace("not json").is_err());
+        assert!(analyze_trace("{\"no_ts\":1}").is_err());
+    }
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        assert_eq!(interval_union_us(vec![]), 0);
+        assert_eq!(interval_union_us(vec![(0, 10), (5, 15), (20, 25)]), 20);
+        assert_eq!(interval_union_us(vec![(5, 15), (0, 30)]), 30);
+    }
+}

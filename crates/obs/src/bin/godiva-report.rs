@@ -1,0 +1,182 @@
+//! `godiva-report` — offline trace analytics.
+//!
+//! Ingests JSONL traces (from `voyager --trace-out` or the bench
+//! harness's `--trace-dir`, including flight-recorder post-mortems) and
+//! reports per-run stall attribution (compute vs wait-blocked),
+//! prefetch effectiveness, eviction churn / re-read waste, and the
+//! memory-occupancy timeline — as human tables or JSON.
+//!
+//! ```text
+//! godiva-report [--json] [--out PATH] [--metrics-json PATH] [--tolerance PCT] TRACE...
+//! ```
+//!
+//! With `--metrics-json` (a file written by `voyager --metrics-json`)
+//! the tool cross-checks that `compute + wait` matches the run's
+//! measured wall clock (`voyager.wall_us`) within `--tolerance`
+//! (default 5 %), exiting non-zero on mismatch — this is what CI runs.
+
+use godiva_obs::analyze::{analyze_trace, TraceReport};
+use godiva_obs::json::parse_json;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: godiva-report [--json] [--out PATH] [--metrics-json PATH] [--tolerance PCT] TRACE...
+
+Analyze JSONL trace files (voyager --trace-out, bench --trace-dir, or
+flight-recorder post-mortem dumps).
+
+  --json               emit a JSON report (an array when given several traces)
+  --out PATH           write the report to PATH instead of stdout
+  --metrics-json PATH  cross-check attribution against the measured wall
+                       clock (voyager.wall_us) in a --metrics-json file;
+                       exits 1 if the check fails
+  --tolerance PCT      tolerance for that check, percent (default 5)
+";
+
+struct Options {
+    json: bool,
+    out: Option<String>,
+    metrics_json: Option<String>,
+    tolerance: f64,
+    traces: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        out: None,
+        metrics_json: None,
+        tolerance: 5.0,
+        traces: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
+            }
+            "--metrics-json" => {
+                opts.metrics_json = Some(it.next().ok_or("--metrics-json needs a path")?.clone());
+            }
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a percent value")?;
+                opts.tolerance = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --tolerance value: {v}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            path => opts.traces.push(path.to_string()),
+        }
+    }
+    if opts.traces.is_empty() {
+        return Err("no trace files given".to_string());
+    }
+    Ok(opts)
+}
+
+/// Read `voyager.wall_us` from a `--metrics-json` dump.
+fn measured_wall_us(path: &str) -> Result<u64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = parse_json(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    v.get("voyager.wall_us")
+        .and_then(|m| m.get("value"))
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("{path}: no voyager.wall_us counter"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("godiva-report: {msg}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut reports: Vec<(String, TraceReport)> = Vec::new();
+    for path in &opts.traces {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("godiva-report: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match analyze_trace(&text) {
+            Ok(report) => reports.push((path.clone(), report)),
+            Err(e) => {
+                eprintln!("godiva-report: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rendered = String::new();
+    if opts.json {
+        if reports.len() == 1 {
+            rendered.push_str(&reports[0].1.to_json());
+        } else {
+            rendered.push('[');
+            for (i, (_, r)) in reports.iter().enumerate() {
+                if i > 0 {
+                    rendered.push(',');
+                }
+                rendered.push_str(&r.to_json());
+            }
+            rendered.push(']');
+        }
+        rendered.push('\n');
+    } else {
+        for (i, (path, r)) in reports.iter().enumerate() {
+            if i > 0 {
+                rendered.push('\n');
+            }
+            rendered.push_str(&format!("== {path} ==\n"));
+            rendered.push_str(&r.render_human());
+        }
+    }
+
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("godiva-report: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            let _ = std::io::stdout().write_all(rendered.as_bytes());
+        }
+    }
+
+    if let Some(metrics_path) = &opts.metrics_json {
+        let wall = match measured_wall_us(metrics_path) {
+            Ok(wall) => wall,
+            Err(e) => {
+                eprintln!("godiva-report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (path, r) in &reports {
+            match r.check_attribution(wall, opts.tolerance / 100.0) {
+                Ok(()) => eprintln!(
+                    "godiva-report: {path}: attribution check OK (sum {} vs measured wall {} us)",
+                    r.attribution_sum_us(),
+                    wall
+                ),
+                Err(e) => {
+                    eprintln!("godiva-report: {path}: attribution check FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

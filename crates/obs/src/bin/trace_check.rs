@@ -1,12 +1,25 @@
-//! Validate a JSONL trace file emitted by `voyager --trace-out`.
+//! Validate a JSONL trace file emitted by `voyager --trace-out`, or a
+//! flight-recorder post-mortem dump.
 //!
-//! Checks, in order:
+//! For a full trace, checks in order:
 //! 1. the file is non-empty and every line parses as a JSON object,
 //! 2. every event carries the required fields (`ts`, `ph`, `cat`,
 //!    `name`, `pid`, `tid`) with `dur` present iff `ph == "X"`,
 //! 3. the read lifecycle balances: every `read_start` instant is
 //!    resolved by a `read_done` or `read_failed` (counted per unit),
 //!    and no unit is evicted before it finished.
+//!
+//! A post-mortem dump (recognized by its `{"postmortem": …}` header
+//! line) is an arbitrary *window* of a trace, so only checks 1–2 apply
+//! to its events; the header itself must carry a string `reason` and
+//! integer `events`/`dropped`/`capacity`, with `events` matching the
+//! line count.
+//!
+//! Given two files — `trace_check <full.jsonl> <postmortem.jsonl>` —
+//! additionally verifies the dump is a contiguous run of the full trace
+//! restricted to the events the recorder saw (the database-owned `gbo`
+//! category), ending at its end unless events were still flowing after
+//! the dump was taken.
 //!
 //! Exits 0 and prints a one-line summary on success; prints the first
 //! problem and exits 1 otherwise. This is the CI smoke checker.
@@ -51,16 +64,36 @@ fn unit_arg(v: &JsonValue) -> Option<String> {
     v.get("args")?.get("unit")?.as_str().map(str::to_string)
 }
 
-fn check_trace(text: &str) -> Result<String, String> {
+/// Whether the first non-empty line of `text` is a post-mortem header.
+fn is_postmortem(text: &str) -> bool {
+    text.lines()
+        .find(|l| !l.trim().is_empty())
+        .and_then(|l| parse_json(l).ok())
+        .map(|v| v.get("postmortem").is_some())
+        .unwrap_or(false)
+}
+
+/// Parse every non-empty line of a trace body as a checked event.
+fn parse_checked(text: &str, skip_header: bool) -> Result<Vec<JsonValue>, String> {
     let mut events = Vec::new();
+    let mut skipped_header = !skip_header;
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
+            continue;
+        }
+        if !skipped_header {
+            skipped_header = true;
             continue;
         }
         let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         check_event(&v, i + 1)?;
         events.push(v);
     }
+    Ok(events)
+}
+
+fn check_trace(text: &str) -> Result<String, String> {
+    let events = parse_checked(text, false)?;
     if events.is_empty() {
         return Err("trace is empty".to_string());
     }
@@ -117,39 +150,147 @@ fn check_trace(text: &str) -> Result<String, String> {
     ))
 }
 
+/// Validate a post-mortem dump on its own: a well-formed header whose
+/// `events` count matches the body, and well-formed (but not
+/// necessarily balanced — the window is truncated) events.
+fn check_postmortem(text: &str) -> Result<String, String> {
+    let header_line = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or("post-mortem dump is empty")?;
+    let header = parse_json(header_line).map_err(|e| format!("header: {e}"))?;
+    let meta = header
+        .get("postmortem")
+        .ok_or("first line is not a postmortem header")?;
+    let reason = meta
+        .get("reason")
+        .and_then(|r| r.as_str())
+        .ok_or("header missing string 'reason'")?
+        .to_string();
+    for field in ["events", "dropped", "capacity"] {
+        if meta.get(field).and_then(|x| x.as_u64()).is_none() {
+            return Err(format!("header missing integer '{field}'"));
+        }
+    }
+    let declared = meta.get("events").and_then(|x| x.as_u64()).unwrap();
+    let events = parse_checked(text, true)?;
+    if events.len() as u64 != declared {
+        return Err(format!(
+            "header declares {declared} events but the dump holds {}",
+            events.len()
+        ));
+    }
+    Ok(format!(
+        "ok: post-mortem (reason: {reason}), {} events, {} dropped",
+        events.len(),
+        meta.get("dropped").and_then(|x| x.as_u64()).unwrap()
+    ))
+}
+
+/// Verify `dump_text` is a contiguous run of `full_text` restricted to
+/// the events the flight recorder saw (the `gbo` category, which is the
+/// only category the database emits through its teed tracer). Reports
+/// whether the run is a suffix of that restriction.
+fn check_dump_is_contiguous(full_text: &str, dump_text: &str) -> Result<String, String> {
+    let full: Vec<JsonValue> = parse_checked(full_text, false)?
+        .into_iter()
+        .filter(|v| v.get("cat").and_then(|c| c.as_str()) == Some("gbo"))
+        .collect();
+    let dump = parse_checked(dump_text, true)?;
+    if dump.is_empty() {
+        return Err("post-mortem dump holds no events".to_string());
+    }
+    if dump.len() > full.len() {
+        return Err(format!(
+            "dump has {} gbo events but the full trace only {}",
+            dump.len(),
+            full.len()
+        ));
+    }
+    let window = dump.len();
+    let at = (0..=full.len() - window)
+        .find(|&start| full[start..start + window] == dump[..])
+        .ok_or_else(|| "dump is not a contiguous run of the full trace's gbo events".to_string())?;
+    let trailing = full.len() - (at + window);
+    Ok(if trailing == 0 {
+        format!("dump is a suffix of the full trace ({window} events)")
+    } else {
+        format!(
+            "dump is a contiguous run of the full trace ({window} events, {trailing} gbo event(s) after it)"
+        )
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [path] = args.as_slice() else {
-        eprintln!("usage: trace_check <trace.jsonl>");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("trace_check: cannot read {path}: {e}");
+    let (trace_path, dump_path) = match args.as_slice() {
+        [path] => (path.clone(), None),
+        [path, dump] => (path.clone(), Some(dump.clone())),
+        _ => {
+            eprintln!("usage: trace_check <trace.jsonl> [<postmortem.jsonl>]");
             return ExitCode::FAILURE;
         }
     };
-    match check_trace(&text) {
-        Ok(summary) => {
-            println!("trace_check {path}: {summary}");
-            ExitCode::SUCCESS
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            None
         }
+    };
+    let Some(text) = read(&trace_path) else {
+        return ExitCode::FAILURE;
+    };
+    let result = if is_postmortem(&text) {
+        check_postmortem(&text)
+    } else {
+        check_trace(&text)
+    };
+    match result {
+        Ok(summary) => println!("trace_check {trace_path}: {summary}"),
         Err(problem) => {
-            eprintln!("trace_check {path}: FAILED: {problem}");
-            ExitCode::FAILURE
+            eprintln!("trace_check {trace_path}: FAILED: {problem}");
+            return ExitCode::FAILURE;
         }
     }
+    if let Some(dump_path) = dump_path {
+        let Some(dump_text) = read(&dump_path) else {
+            return ExitCode::FAILURE;
+        };
+        if !is_postmortem(&dump_text) {
+            eprintln!("trace_check {dump_path}: FAILED: not a post-mortem dump (no header)");
+            return ExitCode::FAILURE;
+        }
+        match check_postmortem(&dump_text).and_then(|_| check_dump_is_contiguous(&text, &dump_text))
+        {
+            Ok(summary) => println!("trace_check {dump_path}: {summary}"),
+            Err(problem) => {
+                eprintln!("trace_check {dump_path}: FAILED: {problem}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::check_trace;
+    use super::{check_dump_is_contiguous, check_postmortem, check_trace, is_postmortem};
 
     fn ev(name: &str, unit: &str, ph: &str) -> String {
+        ev_cat("gbo", name, unit, ph)
+    }
+
+    fn ev_cat(cat: &str, name: &str, unit: &str, ph: &str) -> String {
         let dur = if ph == "X" { ",\"dur\":3" } else { "" };
         format!(
-            "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"gbo\",\"name\":\"{name}\",\"pid\":1,\"tid\":1,\"args\":{{\"unit\":\"{unit}\"}}}}"
+            "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":1,\"args\":{{\"unit\":\"{unit}\"}}}}"
+        )
+    }
+
+    fn header(reason: &str, events: usize) -> String {
+        format!(
+            "{{\"postmortem\":{{\"reason\":\"{reason}\",\"events\":{events},\"dropped\":0,\"capacity\":8}}}}"
         )
     }
 
@@ -207,5 +348,79 @@ mod tests {
         ]
         .join("\n");
         check_trace(&trace).expect("retried lifecycle is balanced");
+    }
+
+    #[test]
+    fn detects_postmortem_header() {
+        assert!(is_postmortem(&header("deadlock", 0)));
+        assert!(!is_postmortem(&ev("unit_added", "a", "i")));
+        assert!(!is_postmortem(""));
+    }
+
+    #[test]
+    fn postmortem_allows_truncated_window() {
+        // A lone read_start would fail the full-trace balance check but
+        // is fine in a dump window.
+        let dump = [header("reader_panic", 1), ev("read_start", "a", "i")].join("\n");
+        let summary = check_postmortem(&dump).expect("valid dump");
+        assert!(summary.contains("reader_panic"));
+        assert!(summary.contains("1 events"));
+    }
+
+    #[test]
+    fn postmortem_rejects_count_mismatch_and_bad_header() {
+        let dump = [header("x", 2), ev("read_start", "a", "i")].join("\n");
+        assert!(check_postmortem(&dump).unwrap_err().contains("declares 2"));
+        assert!(check_postmortem("{\"nope\":1}").is_err());
+        assert!(
+            check_postmortem("{\"postmortem\":{\"reason\":\"x\",\"events\":0}}")
+                .unwrap_err()
+                .contains("dropped")
+        );
+    }
+
+    #[test]
+    fn dump_suffix_check() {
+        let full = [
+            ev_cat("viz", "render_snapshot", "s", "X"),
+            ev("unit_added", "a", "i"),
+            ev("read_start", "a", "i"),
+            ev_cat("disk", "transfer", "a", "X"),
+            ev("read_done", "a", "i"),
+            ev("unit_finished", "a", "i"),
+        ]
+        .join("\n");
+        // The last three gbo events form a suffix (viz/disk lines are
+        // not seen by the recorder and must be ignored).
+        let dump = [
+            header("deadlock", 3),
+            ev("read_start", "a", "i"),
+            ev("read_done", "a", "i"),
+            ev("unit_finished", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_dump_is_contiguous(&full, &dump).expect("suffix matches");
+        assert!(summary.contains("suffix"));
+
+        // A mid-run window is contiguous but not a suffix.
+        let dump = [
+            header("deadlock", 2),
+            ev("unit_added", "a", "i"),
+            ev("read_start", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_dump_is_contiguous(&full, &dump).expect("contiguous run");
+        assert!(summary.contains("after it"));
+
+        // Reordered events are not contiguous.
+        let dump = [
+            header("deadlock", 2),
+            ev("read_done", "a", "i"),
+            ev("read_start", "a", "i"),
+        ]
+        .join("\n");
+        assert!(check_dump_is_contiguous(&full, &dump)
+            .unwrap_err()
+            .contains("not a contiguous run"));
     }
 }

@@ -22,19 +22,40 @@
 //! configuration measures within noise of no instrumentation at all
 //! (see the `ablation_trace_overhead` experiment in `godiva-bench`).
 //!
+//! On top of those two halves sit the telemetry consumers:
+//!
+//! - [`analyze`] — offline trace analytics (stall attribution, prefetch
+//!   effectiveness, eviction churn, occupancy timeline), exposed as the
+//!   `godiva-report` binary;
+//! - [`serve`] — a std-only HTTP listener ([`MetricsServer`]) exporting
+//!   the registry as Prometheus text / JSON, plus a periodic gauge
+//!   [`Snapshotter`] feeding occupancy samples into the trace;
+//! - [`flight`] — a bounded ring-buffer [`FlightRecorder`] sink the
+//!   database installs by default and dumps as a JSONL post-mortem on
+//!   reader panics and detected deadlocks.
+//!
 //! [`json`] is a minimal JSON parser used by the `trace_check` binary
 //! and the tests to validate emitted traces without external crates.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod sink;
 pub mod trace;
 
+pub use analyze::{analyze_trace, ChurnReport, OccupancyReport, PrefetchReport, TraceReport};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 pub use json::{parse_json, JsonValue};
 pub use metrics::{
-    fmt_us, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS,
+    fmt_us, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
+    HISTOGRAM_BUCKETS,
 };
-pub use sink::{event_to_json, ChromeTraceSink, JsonlSink, MemorySink, NullSink, TraceSink};
+pub use serve::{MetricsServer, Snapshotter, DEFAULT_SNAPSHOT_INTERVAL};
+pub use sink::{
+    event_to_json, ChromeTraceSink, FanoutSink, JsonlSink, MemorySink, NullSink, TraceSink,
+};
 pub use trace::{current_tid, ArgValue, Args, Span, TraceEvent, Tracer};

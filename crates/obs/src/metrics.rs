@@ -242,6 +242,37 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
+/// A point-in-time value of one registered metric, as returned by
+/// [`MetricsRegistry::snapshot_values`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge current value and running maximum.
+    Gauge {
+        /// Current value.
+        value: u64,
+        /// Largest value ever set.
+        max: u64,
+    },
+    /// Histogram distribution snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// Rewrite a metric name into the Prometheus charset: `[a-zA-Z0-9_:]`,
+/// with every other character (our `.` namespacing) mapped to `_`.
+fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// A named collection of metrics.
 ///
 /// Registration (get-or-create by name) takes a short lock; the returned
@@ -336,6 +367,119 @@ impl MetricsRegistry {
                 }
             }
         }
+        out
+    }
+
+    /// Point-in-time values of every registered metric, sorted by name.
+    pub fn snapshot_values(&self) -> Vec<(String, MetricValue)> {
+        let metrics = self.metrics.lock().clone();
+        metrics
+            .into_iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge {
+                        value: g.get(),
+                        max: g.max(),
+                    },
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name, value)
+            })
+            .collect()
+    }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4) — what `voyager --metrics-listen` serves from
+    /// `/metrics`.
+    ///
+    /// Dots in metric names become underscores (`gbo.mem_bytes` →
+    /// `gbo_mem_bytes`); a gauge additionally exports its running
+    /// maximum as `<name>_max`; a histogram exports cumulative
+    /// `<name>_bucket{le="..."}` series over its occupied power-of-two
+    /// buckets (our bucket upper bounds are exclusive, so the inclusive
+    /// Prometheus `le` label is `bound − 1`) plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot_values() {
+            let pname = prometheus_name(&name);
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {pname} counter\n{pname} {v}\n"));
+                }
+                MetricValue::Gauge { value, max } => {
+                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {value}\n"));
+                    out.push_str(&format!("# TYPE {pname}_max gauge\n{pname}_max {max}\n"));
+                }
+                MetricValue::Histogram(s) => {
+                    out.push_str(&format!("# TYPE {pname} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (bound, n) in &s.buckets {
+                        cumulative += n;
+                        out.push_str(&format!(
+                            "{pname}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            bound - 1
+                        ));
+                    }
+                    out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+                    out.push_str(&format!("{pname}_sum {}\n", s.sum_us));
+                    out.push_str(&format!("{pname}_count {}\n", s.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the registry as one JSON object keyed by metric name —
+    /// the `voyager --metrics-json` output and the `/stats` endpoint.
+    ///
+    /// Counters are `{"type":"counter","value":N}`, gauges carry
+    /// `value`/`max`, histograms carry `count`/`sum_us`/`max_us`,
+    /// `mean_us` and `p50/p90/p99` quantile estimates (null when empty)
+    /// plus the occupied `[upper_bound_us, count]` buckets.
+    pub fn render_json(&self) -> String {
+        use crate::sink::escape_json_into;
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.snapshot_values().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json_into(&mut out, &name);
+            out.push(':');
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{{\"type\":\"counter\",\"value\":{v}}}"));
+                }
+                MetricValue::Gauge { value, max } => {
+                    out.push_str(&format!(
+                        "{{\"type\":\"gauge\",\"value\":{value},\"max\":{max}}}"
+                    ));
+                }
+                MetricValue::Histogram(s) => {
+                    let opt =
+                        |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "null".into());
+                    out.push_str(&format!(
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum_us\":{},\"max_us\":{},\
+                         \"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"buckets\":[",
+                        s.count,
+                        s.sum_us,
+                        s.max_us,
+                        opt(s.mean_us()),
+                        opt(s.quantile_us(0.50)),
+                        opt(s.quantile_us(0.90)),
+                        opt(s.quantile_us(0.99)),
+                    ));
+                    for (j, (bound, n)) in s.buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{bound},{n}]"));
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
         out
     }
 }
@@ -448,6 +592,77 @@ mod tests {
         }
         assert_eq!(c.get(), 4000);
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let r = MetricsRegistry::new();
+        r.counter("gbo.units_read").add(5);
+        r.gauge("gbo.mem_bytes").set(1024);
+        let h = r.histogram("gbo.wait_latency_us");
+        h.record_us(0);
+        h.record_us(3);
+        h.record_us(3);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE gbo_units_read counter\ngbo_units_read 5\n"));
+        assert!(text.contains("# TYPE gbo_mem_bytes gauge\ngbo_mem_bytes 1024\n"));
+        assert!(text.contains("gbo_mem_bytes_max 1024\n"));
+        // 0 → bucket bound 1 (le 0); 3,3 → bucket bound 4 (le 3),
+        // cumulative 3.
+        assert!(text.contains("gbo_wait_latency_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("gbo_wait_latency_us_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("gbo_wait_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("gbo_wait_latency_us_sum 6\n"));
+        assert!(text.contains("gbo_wait_latency_us_count 3\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty() && !name.contains('.'), "bad name {name}");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad value {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_rendering_parses_back() {
+        let r = MetricsRegistry::new();
+        r.counter("gbo.queries").add(7);
+        r.gauge("gbo.queue_depth").set(2);
+        r.histogram("gbo.read_latency_us").record_us(100);
+        r.histogram("empty_hist"); // registered but never recorded
+        let v = crate::json::parse_json(&r.render_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("gbo.queries").and_then(|m| m.get("value")?.as_u64()),
+            Some(7)
+        );
+        assert_eq!(
+            v.get("gbo.queue_depth")
+                .and_then(|m| m.get("max")?.as_u64()),
+            Some(2)
+        );
+        let h = v.get("gbo.read_latency_us").unwrap();
+        assert_eq!(h.get("count").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(h.get("p50_us").and_then(|x| x.as_u64()), Some(100));
+        let empty = v.get("empty_hist").unwrap();
+        assert_eq!(empty.get("p99_us"), Some(&crate::json::JsonValue::Null));
+    }
+
+    #[test]
+    fn snapshot_values_covers_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(9);
+        r.histogram("h").record_us(1);
+        let values = r.snapshot_values();
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[0], ("c".into(), MetricValue::Counter(1)));
+        assert_eq!(
+            values[1],
+            ("g".into(), MetricValue::Gauge { value: 9, max: 9 })
+        );
+        assert!(matches!(values[2].1, MetricValue::Histogram(ref s) if s.count == 1));
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Live metrics export: a std-only HTTP listener plus a periodic gauge
+//! snapshotter.
+//!
+//! [`MetricsServer`] binds a `std::net::TcpListener` and serves, from
+//! one plain thread with no external HTTP crate:
+//!
+//! - `GET /metrics` — [`MetricsRegistry::render_prometheus`] (text
+//!   exposition format, scrapeable by Prometheus or plain `curl`),
+//! - `GET /stats` — [`MetricsRegistry::render_json`] (the same JSON the
+//!   `voyager --metrics-json` flag writes),
+//! - `GET /` — a short text index of the two.
+//!
+//! Gauges are read live at request time, so a scrape mid-run observes
+//! the *current* occupancy and queue depth, not the final values. The
+//! [`Snapshotter`] complements that by sampling every registered gauge
+//! on a fixed interval into the trace stream (`metrics`/`gauge_sample`
+//! instants) — that is what gives `godiva-report` its memory-occupancy
+//! timeline even when nothing scrapes the endpoint.
+
+use crate::metrics::{MetricValue, MetricsRegistry};
+use crate::trace::Tracer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default sampling interval of the [`Snapshotter`].
+pub const DEFAULT_SNAPSHOT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// A single-threaded HTTP listener serving `/metrics` and `/stats`.
+///
+/// Dropping the server stops the thread and closes the listener.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and start serving `registry`.
+    pub fn bind(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("godiva-metrics-http".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let _ = serve_one(stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Handle one request on `stream`: read the request line, route, write
+/// a full HTTP/1.1 response, close.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 2048];
+    let mut req = Vec::new();
+    // Read until the end of the headers (or the buffer limit — the
+    // request line is all we route on).
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let request_line = std::str::from_utf8(&req)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", "text/plain", "GET only\n".into())
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                // version=0.0.4 is the Prometheus text exposition tag.
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render_prometheus(),
+            ),
+            "/stats" => ("200 OK", "application/json", registry.render_json()),
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "godiva metrics endpoints:\n  /metrics  Prometheus text exposition\n  /stats    JSON registry dump\n".into(),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".into()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A background thread sampling every registered gauge into the trace
+/// on a fixed interval, as `metrics`-category `gauge_sample` instants
+/// with `name`/`value`/`max` arguments.
+///
+/// Dropping the snapshotter stops the thread (it reacts within ~25 ms).
+pub struct Snapshotter {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Snapshotter {
+    /// Sample gauges of `registry` into `tracer` every `interval`.
+    ///
+    /// One sample round is taken immediately on spawn, so even runs
+    /// shorter than the interval get at least one data point.
+    pub fn spawn(registry: Arc<MetricsRegistry>, tracer: Tracer, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("godiva-snapshotter".into())
+            .spawn(move || {
+                let tick = Duration::from_millis(25).min(interval.max(Duration::from_millis(1)));
+                loop {
+                    sample_gauges(&registry, &tracer);
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if stop2.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(tick);
+                        slept += tick;
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn snapshotter thread");
+        Snapshotter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Emit one `gauge_sample` instant per registered gauge.
+fn sample_gauges(registry: &MetricsRegistry, tracer: &Tracer) {
+    if !tracer.enabled() {
+        return;
+    }
+    for (name, value) in registry.snapshot_values() {
+        if let MetricValue::Gauge { value, max } = value {
+            tracer.instant(
+                "metrics",
+                "gauge_sample",
+                vec![
+                    ("name", name.into()),
+                    ("value", value.into()),
+                    ("max", max.into()),
+                ],
+            );
+        }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+    use crate::sink::MemorySink;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json_stats() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.gauge("gbo.mem_bytes").set(12345);
+        registry.counter("gbo.units_read").add(3);
+        let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("# TYPE gbo_mem_bytes gauge"));
+        assert!(metrics.contains("gbo_mem_bytes 12345"));
+
+        // A scrape sees the *live* gauge, not a startup snapshot.
+        registry.gauge("gbo.mem_bytes").set(777);
+        assert!(get(addr, "/metrics").contains("gbo_mem_bytes 777"));
+
+        let stats = get(addr, "/stats");
+        assert!(stats.contains("application/json"));
+        let body = stats.split("\r\n\r\n").nth(1).unwrap();
+        let v = parse_json(body).expect("stats body is JSON");
+        assert_eq!(
+            v.get("gbo.units_read")
+                .and_then(|m| m.get("value")?.as_u64()),
+            Some(3)
+        );
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/").contains("/metrics"));
+        drop(server);
+        // The port is released once the server is gone.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn snapshotter_emits_gauge_samples() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.gauge("gbo.mem_bytes").set(64);
+        registry.counter("gbo.units_read").inc(); // not a gauge: skipped
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let snap = Snapshotter::spawn(registry, tracer, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(60));
+        drop(snap);
+        let events = sink.snapshot();
+        assert!(
+            events.len() >= 2,
+            "expected several samples, got {}",
+            events.len()
+        );
+        for e in &events {
+            assert_eq!(e.cat, "metrics");
+            assert_eq!(e.name, "gauge_sample");
+            assert!(e
+                .args
+                .iter()
+                .any(|(k, v)| *k == "name" && *v == crate::ArgValue::Str("gbo.mem_bytes".into())));
+        }
+    }
+}

@@ -16,6 +16,7 @@
 use crate::trace::{ArgValue, TraceEvent};
 use parking_lot::Mutex;
 use std::io::Write;
+use std::sync::Arc;
 
 /// Receives every event a [`crate::Tracer`] emits. Implementations must
 /// be thread-safe: the background I/O thread, the render thread and the
@@ -76,6 +77,54 @@ impl MemorySink {
 impl TraceSink for MemorySink {
     fn emit(&self, event: &TraceEvent) {
         self.events.lock().push(event.clone());
+    }
+}
+
+/// A sink that replicates every event into several child sinks.
+///
+/// Emission into the children is serialized under one internal lock, so
+/// all children observe the *same relative order* of events — the
+/// guarantee that makes a [`crate::FlightRecorder`] dump a contiguous
+/// run of any full trace written through the same fanout.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+    order: Mutex<()>,
+}
+
+impl FanoutSink {
+    /// Fan out into `sinks` (disabled children are kept but skipped).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink {
+            sinks,
+            order: Mutex::new(()),
+        }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&self, event: &TraceEvent) {
+        let _order = self.order.lock();
+        for sink in &self.sinks {
+            if sink.is_enabled() {
+                sink.emit(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+
+    fn finish(&self) {
+        for sink in &self.sinks {
+            sink.finish();
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
     }
 }
 
@@ -345,6 +394,26 @@ mod tests {
         let text = String::from_utf8(buf.lock().clone()).unwrap();
         let v = parse_json(&text).expect("valid array");
         assert_eq!(v.as_array().map(|a| a.len()), Some(2));
+    }
+
+    #[test]
+    fn fanout_replicates_in_order_and_skips_disabled() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let fan = FanoutSink::new(vec![
+            a.clone() as Arc<dyn TraceSink>,
+            Arc::new(NullSink) as Arc<dyn TraceSink>,
+            b.clone() as Arc<dyn TraceSink>,
+        ]);
+        assert!(fan.is_enabled());
+        fan.emit(&sample("one", None));
+        fan.emit(&sample("two", Some(3)));
+        let names = |s: &MemorySink| -> Vec<String> {
+            s.snapshot().iter().map(|e| e.name.to_string()).collect()
+        };
+        assert_eq!(names(&a), vec!["one", "two"]);
+        assert_eq!(names(&a), names(&b));
+        assert!(!FanoutSink::new(vec![Arc::new(NullSink) as Arc<dyn TraceSink>]).is_enabled());
     }
 
     #[test]

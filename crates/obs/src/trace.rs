@@ -166,6 +166,30 @@ impl Tracer {
         }
     }
 
+    /// A tracer that additionally mirrors every event into `extra`.
+    ///
+    /// When this tracer is enabled the result shares its epoch (events
+    /// from both stay on one timeline) and fans out through a
+    /// [`crate::sink::FanoutSink`], whose internal lock guarantees both
+    /// sinks observe the same event order. When this tracer is disabled
+    /// the result emits into `extra` alone, with a fresh epoch — this is
+    /// how the database installs its flight recorder even on otherwise
+    /// untraced runs.
+    pub fn tee(&self, extra: Arc<dyn TraceSink>) -> Tracer {
+        match &self.inner {
+            None => Tracer::new(extra),
+            Some(inner) => Tracer {
+                inner: Some(Arc::new(TracerInner {
+                    sink: Arc::new(crate::sink::FanoutSink::new(vec![
+                        Arc::clone(&inner.sink),
+                        extra,
+                    ])),
+                    epoch: inner.epoch,
+                })),
+            },
+        }
+    }
+
     /// Whether events will actually be recorded. Instrumented hot paths
     /// guard argument construction with this, so a disabled tracer costs
     /// one branch and zero allocations.
@@ -336,6 +360,27 @@ mod tests {
         }
         let ts: Vec<u64> = sink.snapshot().iter().map(|e| e.ts_us).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tee_mirrors_events_and_preserves_epoch() {
+        let main = Arc::new(MemorySink::new());
+        let extra = Arc::new(MemorySink::new());
+        let t = Tracer::new(main.clone());
+        let teed = t.tee(extra.clone());
+        teed.instant("gbo", "ev", vec![]);
+        assert_eq!(main.len(), 1);
+        assert_eq!(extra.len(), 1);
+        assert_eq!(main.snapshot(), extra.snapshot());
+        // Shared epoch: the original tracer's clock reads the same time
+        // base as the teed one (within scheduling slack).
+        assert!(t.now_us().abs_diff(teed.now_us()) < 1_000_000);
+
+        // Disabled original: tee still records into `extra`.
+        let teed = Tracer::disabled().tee(extra.clone());
+        assert!(teed.enabled());
+        teed.instant("gbo", "ev2", vec![]);
+        assert_eq!(extra.len(), 2);
     }
 
     #[test]

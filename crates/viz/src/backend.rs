@@ -361,6 +361,11 @@ pub struct GodivaBackendOptions {
     pub tracer: Tracer,
     /// Metrics registry the database publishes its counters into.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Crash flight recorder handed to the database (`None` disables
+    /// it). Defaults to a fresh default-capacity recorder.
+    pub flight_recorder: Option<Arc<godiva_obs::FlightRecorder>>,
+    /// Post-mortem dump destination override.
+    pub postmortem_path: Option<std::path::PathBuf>,
 }
 
 impl GodivaBackendOptions {
@@ -378,6 +383,8 @@ impl GodivaBackendOptions {
             fault_mode: FaultMode::Abort,
             tracer: Tracer::disabled(),
             metrics: None,
+            flight_recorder: Some(Arc::new(godiva_obs::FlightRecorder::default())),
+            postmortem_path: None,
         }
     }
 
@@ -504,6 +511,8 @@ impl GodivaBackend {
             retry: options.retry,
             tracer: options.tracer,
             metrics: options.metrics,
+            flight_recorder: options.flight_recorder,
+            postmortem_path: options.postmortem_path,
         });
         let blocks = options
             .block_subset

@@ -20,10 +20,20 @@
 //! render spans — to a file. A `.json` path (or `--trace-format chrome`)
 //! writes the Chrome `trace_event` array format loadable in Perfetto /
 //! `chrome://tracing`; anything else writes one JSON event per line.
-//! `--metrics-summary` prints the database's counters after the run.
+//! `--metrics-summary` prints the database's counters after the run;
+//! `--metrics-json PATH` writes them as JSON (including the run's
+//! measured `voyager.wall_us`, which `godiva-report --metrics-json`
+//! cross-checks its attribution against); `--metrics-listen ADDR`
+//! serves them live over HTTP while the run is in flight —
+//! `curl ADDR/metrics` for Prometheus text, `ADDR/stats` for JSON —
+//! with a background snapshotter sampling the gauges (memory occupancy,
+//! queue depth) into the trace every 250 ms.
 
 use godiva_genx::GenxConfig;
-use godiva_obs::{ChromeTraceSink, JsonlSink, MetricsRegistry, TraceSink, Tracer};
+use godiva_obs::{
+    ChromeTraceSink, JsonlSink, MetricsRegistry, MetricsServer, Snapshotter, TraceSink, Tracer,
+    DEFAULT_SNAPSHOT_INTERVAL,
+};
 use godiva_platform::{CpuPool, RealFs, Storage};
 use godiva_viz::specfile::{format_camera, format_ops, parse_camera, parse_ops};
 use godiva_viz::{run_voyager, Camera, FaultMode, ImageFormat, Mode, TestSpec, VoyagerOptions};
@@ -37,7 +47,8 @@ fn usage() -> ExitCode {
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
          [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png] \
          [--retries N] [--fault-mode abort|degrade] [--trace-out PATH] \
-         [--trace-format chrome|jsonl] [--metrics-summary]\n  \
+         [--trace-format chrome|jsonl] [--metrics-summary] [--metrics-json PATH] \
+         [--metrics-listen ADDR]\n  \
          voyager example-specs DIR"
     );
     ExitCode::from(2)
@@ -246,13 +257,60 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
-    let metrics = args.has("--metrics-summary").then(|| {
+    // Any of the three metrics outputs needs a live registry.
+    let metrics_json = args.value("--metrics-json").map(str::to_string);
+    let metrics_listen = args.value("--metrics-listen").map(str::to_string);
+    let want_metrics =
+        args.has("--metrics-summary") || metrics_json.is_some() || metrics_listen.is_some();
+    let metrics = want_metrics.then(|| {
         let registry = Arc::new(MetricsRegistry::new());
         opts.metrics = Some(registry.clone());
         registry
     });
 
+    // Live export: HTTP listener + periodic gauge snapshotter. Both ride
+    // for the duration of the run; the snapshotter samples occupancy and
+    // queue depth into the trace so scrapes and godiva-report see the
+    // run mid-flight, not just its final state.
+    let _server = match (&metrics_listen, &metrics) {
+        (Some(addr), Some(registry)) => {
+            let server = MetricsServer::bind(addr.as_str(), registry.clone())
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!(
+                "metrics: serving http://{0}/metrics and http://{0}/stats",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        _ => None,
+    };
+    let snapshotter = metrics.as_ref().map(|registry| {
+        Snapshotter::spawn(
+            registry.clone(),
+            opts.tracer.clone(),
+            DEFAULT_SNAPSHOT_INTERVAL,
+        )
+    });
+
     let report = run_voyager(opts).map_err(|e| e.to_string())?;
+    // Stop sampling before the sink is finished so every gauge_sample
+    // lands in the trace file.
+    drop(snapshotter);
+    if let Some(registry) = &metrics {
+        // The run's own measurements, for offline cross-checks
+        // (godiva-report verifies its stall attribution sums to
+        // voyager.wall_us).
+        registry
+            .counter("voyager.wall_us")
+            .add(report.total.as_micros() as u64);
+        registry
+            .counter("voyager.visible_io_us")
+            .add(report.visible_io.as_micros() as u64);
+        registry
+            .counter("voyager.computation_us")
+            .add(report.computation.as_micros() as u64);
+        registry.counter("voyager.images").add(report.images as u64);
+    }
     if let Some(sink) = &trace_sink {
         sink.finish();
     }
@@ -293,10 +351,17 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     if let Some(path) = args.value("--trace-out") {
         println!("trace written to {path}");
     }
-    if let Some(registry) = metrics {
-        println!("metrics:");
-        for line in registry.render().lines() {
-            println!("  {line}");
+    if let Some(registry) = &metrics {
+        if args.has("--metrics-summary") {
+            println!("metrics:");
+            for line in registry.render().lines() {
+                println!("  {line}");
+            }
+        }
+        if let Some(path) = &metrics_json {
+            std::fs::write(path, registry.render_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("metrics JSON written to {path}");
         }
     }
     Ok(())

@@ -90,6 +90,11 @@ pub struct VoyagerOptions {
     pub tracer: Tracer,
     /// Metrics registry the database publishes counters into.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Crash flight recorder the database installs (`None` disables it;
+    /// the default is a fresh default-capacity recorder).
+    pub flight_recorder: Option<Arc<godiva_obs::FlightRecorder>>,
+    /// Post-mortem dump destination override (`None` = temp dir).
+    pub postmortem_path: Option<std::path::PathBuf>,
 }
 
 /// Output image encodings.
@@ -140,6 +145,8 @@ impl VoyagerOptions {
             fault_mode: FaultMode::Abort,
             tracer: Tracer::disabled(),
             metrics: None,
+            flight_recorder: Some(Arc::new(godiva_obs::FlightRecorder::default())),
+            postmortem_path: None,
         }
     }
 }
@@ -260,6 +267,8 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             boptions.fault_mode = opts.fault_mode;
             boptions.tracer = opts.tracer.clone();
             boptions.metrics = opts.metrics.clone();
+            boptions.flight_recorder = opts.flight_recorder.clone();
+            boptions.postmortem_path = opts.postmortem_path.clone();
             Box::new(GodivaBackend::new(
                 opts.storage.clone(),
                 opts.genx.clone(),

@@ -1,0 +1,175 @@
+//! Property and edge-case tests for the power-of-two latency histogram
+//! behind `gbo.wait_latency_us` and friends.
+//!
+//! The histogram's contract: recording is lossless in count and sum,
+//! quantile estimates are monotone in `q`, bounded by the true maximum,
+//! and never more than one power of two above the true value; the top
+//! bucket absorbs arbitrarily large values without losing any of that.
+
+use godiva::obs::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.quantile_us(0.0), None);
+    assert_eq!(snap.quantile_us(0.5), None);
+    assert_eq!(snap.quantile_us(0.99), None);
+    assert_eq!(snap.mean_us(), None);
+    assert!(snap.buckets.is_empty());
+    assert!(snap.summary().contains("n/a"));
+}
+
+#[test]
+fn single_sample_dominates_every_quantile() {
+    let h = Histogram::new();
+    h.record_us(300);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.sum_us, 300);
+    assert_eq!(snap.max_us, 300);
+    // The bucket bound would be 512, but the true max caps the estimate.
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(snap.quantile_us(q), Some(300));
+    }
+    assert_eq!(snap.mean_us(), Some(300));
+}
+
+#[test]
+fn top_bucket_saturates_without_losing_counts() {
+    let h = Histogram::new();
+    let top_bound = 1u64 << (HISTOGRAM_BUCKETS - 1);
+    // Values past the top bucket's bound — including u64::MAX — all land
+    // in the last bucket.
+    h.record_us(u64::MAX);
+    h.record_us(1 << 50);
+    h.record_us(top_bound);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3);
+    assert_eq!(snap.max_us, u64::MAX);
+    assert_eq!(snap.buckets.len(), 1, "one saturated bucket");
+    assert_eq!(snap.buckets[0], (top_bound, 3));
+    // Quantiles stay bounded by the real maximum even when the bucket
+    // bound underestimates it.
+    assert_eq!(snap.quantile_us(0.5), Some(top_bound));
+    assert_eq!(snap.quantile_us(1.0), Some(top_bound));
+}
+
+#[test]
+fn zero_and_one_share_the_smallest_buckets() {
+    let h = Histogram::new();
+    h.record_us(0);
+    h.record_us(1);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 2);
+    assert_eq!(snap.sum_us, 1);
+    // Quantiles are upper-bound estimates: the zero bucket's bound is 1.
+    assert_eq!(snap.quantile_us(0.01), Some(1));
+    assert_eq!(snap.quantile_us(1.0), Some(1));
+    assert_eq!(snap.buckets, vec![(1, 1), (2, 1)]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count and sum are conserved exactly, max is the true max, and
+    /// every bucket's occupancy adds up.
+    #[test]
+    fn count_sum_max_are_lossless(values in prop::collection::vec(0u64..1 << 28, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum_us, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_us, *values.iter().max().unwrap());
+        prop_assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), snap.count);
+    }
+
+    /// quantile_us is monotone non-decreasing in q, bounded by max_us,
+    /// and within one power of two of the true quantile.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..1 << 30, 1..150),
+        qs_permille in prop::collection::vec(0u64..=1000, 2..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record_us(v);
+        }
+        let snap = h.snapshot();
+        let mut qs: Vec<f64> = qs_permille.iter().map(|&p| p as f64 / 1000.0).collect();
+        qs.sort_by(f64::total_cmp);
+        let estimates: Vec<u64> = qs
+            .iter()
+            .map(|&q| snap.quantile_us(q).expect("non-empty"))
+            .collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {:?}", estimates);
+        }
+        let max = *values.iter().max().unwrap();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (&q, &est) in qs.iter().zip(&estimates) {
+            prop_assert!(est <= max, "estimate {est} above true max {max}");
+            // The bucket upper bound over-estimates by at most 2x (one
+            // power of two), and never under-estimates the true
+            // q-quantile value.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(
+                est >= truth,
+                "q={q}: estimate {est} below true quantile {truth}"
+            );
+            prop_assert!(
+                est <= truth.saturating_mul(2).max(1).min(max),
+                "q={q}: estimate {est} more than 2x true quantile {truth}"
+            );
+        }
+    }
+
+    /// A snapshot round-trips through the registry's JSON rendering with
+    /// its headline numbers intact.
+    #[test]
+    fn snapshot_survives_json_rendering(values in prop::collection::vec(0u64..1 << 20, 0..50)) {
+        use godiva::obs::{parse_json, JsonValue, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("gbo.wait_latency_us");
+        for &v in &values {
+            h.record_us(v);
+        }
+        let parsed = parse_json(&reg.render_json()).expect("valid JSON");
+        let m = parsed.get("gbo.wait_latency_us").expect("present");
+        prop_assert_eq!(
+            m.get("count").and_then(|x| x.as_u64()),
+            Some(values.len() as u64)
+        );
+        prop_assert_eq!(
+            m.get("sum_us").and_then(|x| x.as_u64()),
+            Some(values.iter().sum::<u64>())
+        );
+        if values.is_empty() {
+            prop_assert!(matches!(m.get("p50_us"), Some(JsonValue::Null)));
+        } else {
+            prop_assert!(m.get("p50_us").and_then(|x| x.as_u64()).is_some());
+        }
+    }
+}
+
+/// The snapshot type itself (constructed by hand, as analyze/report
+/// consumers might) keeps quantile semantics.
+#[test]
+fn handmade_snapshot_quantiles() {
+    let snap = HistogramSnapshot {
+        count: 10,
+        sum_us: 1000,
+        max_us: 700,
+        buckets: vec![(128, 5), (1024, 5)],
+    };
+    assert_eq!(snap.quantile_us(0.5), Some(128));
+    // Bound 1024 capped by max 700.
+    assert_eq!(snap.quantile_us(0.9), Some(700));
+    assert_eq!(snap.mean_us(), Some(100));
+}
