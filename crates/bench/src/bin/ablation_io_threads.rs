@@ -1,0 +1,100 @@
+//! Ablation: I/O executor width (beyond the paper).
+//!
+//! The paper's TG build has exactly one background I/O thread. The
+//! executor generalizes that to N reader workers; this experiment sweeps
+//! 1/2/4 workers over the three paper pipelines on a Turing node and
+//! reports wall time, visible I/O, and budget discipline. With one
+//! worker the behaviour (and the trace event sequence) is the paper's;
+//! with more, one unit's decode CPU overlaps another's disk time and
+//! concurrent streams overlap on the command-queuing disk.
+
+use godiva_bench::table::mean_ci;
+use godiva_bench::{repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table};
+use godiva_platform::Platform;
+use godiva_viz::{Mode, TestSpec};
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    println!(
+        "== Ablation: I/O executor width (Turing node, TG build) ==\n\
+         dataset: {} nodes / {} elements / {} blocks, {} snapshots, scale {}\n",
+        genx.node_count(),
+        genx.elem_count(),
+        genx.blocks,
+        args.snapshots,
+        args.scale
+    );
+    let env = ExperimentEnv::prepare(Platform::turing(args.scale), &genx);
+    let mem_limit: u64 = 384 << 20;
+
+    let mut table = Table::new(&[
+        "test",
+        "workers",
+        "total (s)",
+        "visible I/O (s)",
+        "computation (s)",
+        "peak MB",
+        "over-budget",
+    ]);
+    let mut any_improved = false;
+    for spec in TestSpec::all() {
+        let mut baseline: Option<RepeatedRuns> = None;
+        let mut checksums: Option<Vec<u64>> = None;
+        for workers in WORKERS {
+            let rr = repeat(&env, args.repeats, || {
+                let mut opts = env.voyager_options(spec.clone(), Mode::GodivaMulti);
+                opts.mem_limit = mem_limit;
+                opts.io_threads = workers;
+                opts
+            });
+            let (mut peak, mut over_budget) = (0u64, 0u64);
+            for run in &rr.runs {
+                let stats = run.report.gbo_stats.as_ref().expect("gbo stats");
+                peak = peak.max(stats.mem_peak);
+                over_budget += stats.over_budget_allocs;
+                assert!(
+                    stats.mem_peak <= mem_limit,
+                    "budget violated at {workers} workers: peak {} > limit {}",
+                    stats.mem_peak,
+                    mem_limit
+                );
+                // Renders must be bit-identical regardless of executor
+                // width — prefetch order may differ, pixels may not.
+                match &checksums {
+                    None => checksums = Some(run.report.image_checksums.clone()),
+                    Some(c) => assert_eq!(
+                        c, &run.report.image_checksums,
+                        "checksums diverged at {workers} workers"
+                    ),
+                }
+            }
+            if let Some(base) = &baseline {
+                if rr.total.mean < base.total.mean {
+                    any_improved = true;
+                }
+            } else {
+                baseline = Some(rr.clone());
+            }
+            table.row(&[
+                spec.name.clone(),
+                workers.to_string(),
+                mean_ci(rr.total),
+                mean_ci(rr.visible_io),
+                mean_ci(rr.computation),
+                format!("{:.1}", peak as f64 / (1024.0 * 1024.0)),
+                over_budget.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expectation: extra workers hide more read time on at least one pipeline; \
+         images identical, budget respected at every width."
+    );
+    if !any_improved {
+        println!("warning: no pipeline improved over the 1-worker baseline in this run");
+    }
+}

@@ -1,14 +1,16 @@
 //! The GODIVA database — the paper's GBO (GODIVA Buffer Object).
 //!
-//! One [`Gbo`] owns:
+//! This module is the public facade over four internal layers (see
+//! DESIGN.md §5e):
 //!
-//! - the schema registry (field types, record types — §3.1),
-//! - the record store and its key index (an ordered map, as in the C++
-//!   implementation's RB-tree of key values — §3.3),
-//! - the unit table, FIFO prefetch queue and the background I/O thread
-//!   (§3.2–3.3),
-//! - the memory budget, LRU/FIFO eviction of finished units, unit-level
-//!   reference counts and deadlock detection (§3.3).
+//! - [`crate::store`] — schema registry, record table and key index
+//!   behind their own lock (§3.1, §3.3's RB-tree equivalent),
+//! - [`crate::units`] — unit table, reference counts, LRU clock,
+//!   prefetch queue and the memory budget (§3.2–3.3),
+//! - [`crate::sched`] — the pluggable queue policy feeding the workers
+//!   (FIFO by default, exactly the paper's behaviour),
+//! - [`crate::exec`] — the I/O executor: `GboConfig::io_threads` reader
+//!   worker threads, panic isolation, retry, wait/deadlock logic.
 //!
 //! The public API mirrors the paper's interface names in snake case:
 //! `define_field`, `define_record`, `insert_field`, `commit_record_type`,
@@ -19,21 +21,21 @@
 
 use crate::buffer::{FieldBuffer, FieldData, FieldRef, Key};
 use crate::error::{GodivaError, Result};
+use crate::exec::Executor;
 use crate::metrics::GboMetrics;
-use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
+use crate::sched::SchedulerKind;
+use crate::schema::{DeclaredSize, FieldKind};
 use crate::stats::GboStats;
+use crate::store::Store;
 use crate::unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
+use crate::units::{AllocCtx, UnitEntry, Units};
 use godiva_obs::{FlightRecorder, MetricsRegistry, Tracer};
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Identifier of a record inside one database.
-pub type RecordId = u64;
+pub use crate::store::RecordId;
 
 /// How the database re-runs a read function whose failure is transient
 /// (see [`GodivaError::is_transient`]).
@@ -107,14 +109,23 @@ pub struct GboConfig {
     /// Memory budget in bytes for all data buffers (the paper's
     /// constructor parameter, there given in MB).
     pub mem_limit: u64,
-    /// `true` = multi-thread GODIVA (background I/O thread, the paper's
+    /// `true` = multi-thread GODIVA (background I/O workers, the paper's
     /// **TG**); `false` = single-thread GODIVA (reads happen inside
     /// `wait_unit`, the paper's **G**).
     pub background_io: bool,
+    /// Number of reader worker threads the I/O executor owns when
+    /// `background_io` is true. `1` (the default) reproduces the paper's
+    /// single background I/O thread; more workers overlap one unit's
+    /// decode CPU with another's disk time; `0` is equivalent to
+    /// `background_io: false` (every read happens inline in
+    /// `wait_unit`).
+    pub io_threads: usize,
+    /// Ordering policy of the prefetch queue (paper: FIFO).
+    pub scheduler: SchedulerKind,
     /// Eviction policy for finished units (paper: LRU).
     pub eviction: EvictionPolicy,
     /// Retry policy for transiently failing read functions, applied by
-    /// both the background I/O thread and inline reads. Default: none.
+    /// both the I/O workers and inline reads. Default: none.
     pub retry: RetryPolicy,
     /// Tracer receiving the database's lifecycle events (unit added /
     /// read / waited-on / finished / evicted, record commits, key
@@ -142,6 +153,8 @@ impl Default for GboConfig {
         GboConfig {
             mem_limit: 256 * 1024 * 1024,
             background_io: true,
+            io_threads: 1,
+            scheduler: SchedulerKind::Fifo,
             eviction: EvictionPolicy::Lru,
             retry: RetryPolicy::none(),
             tracer: Tracer::disabled(),
@@ -152,265 +165,42 @@ impl Default for GboConfig {
     }
 }
 
-/// Where an allocation request comes from; decides its blocking
-/// behaviour when the budget is exhausted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AllocCtx {
-    /// Application code outside any unit read. Never blocks: the paper
-    /// assumes active data fits in memory, so these proceed (counted as
-    /// over-budget if they exceed the limit).
-    Foreground,
-    /// The background I/O thread. Blocks until eviction or a
-    /// finish/delete frees memory.
-    Background,
-    /// An inline (blocking) read on the calling thread. Cannot block on
-    /// other threads, so budget exhaustion is an error.
-    Inline,
-}
-
-struct RecordEntry {
-    rt: Arc<RecordTypeDef>,
-    /// One slot per field of the record type, in definition order.
-    fields: Vec<Option<FieldRef>>,
-    committed: bool,
-    /// Key snapshot taken at commit (guards the index against later key
-    /// buffer modification — see DESIGN.md).
-    key: Option<Vec<Key>>,
-    unit: Option<String>,
-}
-
-struct UnitEntry {
-    reader: Option<ReadFn>,
-    state: UnitState,
-    records: Vec<RecordId>,
-    refcount: usize,
-    /// Bytes charged by this unit's records.
-    bytes: u64,
-    /// LRU clock value of the most recent access.
-    last_access: u64,
-    /// Monotonic sequence assigned when the unit finished loading (FIFO
-    /// eviction order).
-    loaded_seq: u64,
-}
-
-impl UnitEntry {
-    fn evictable(&self) -> bool {
-        self.state == UnitState::Finished && self.refcount == 0 && self.bytes > 0
-    }
-}
-
-struct State {
-    schema: Schema,
-    committed_types: HashMap<String, Arc<RecordTypeDef>>,
-    records: HashMap<RecordId, RecordEntry>,
-    index: HashMap<String, BTreeMap<Vec<Key>, RecordId>>,
-    units: HashMap<String, UnitEntry>,
-    queue: VecDeque<String>,
-    mem_used: u64,
-    mem_limit: u64,
-    clock: u64,
-    next_record: RecordId,
-    io_blocked_on_memory: bool,
-    /// Bytes the blocked I/O thread is waiting for. The deadlock check
-    /// re-verifies the shortage against this, so a stale
-    /// `io_blocked_on_memory` (set_mem_space raised the budget but the
-    /// I/O thread has not yet woken to clear the flag) is never reported
-    /// as a deadlock.
-    io_blocked_need: u64,
-    shutdown: bool,
-}
-
-impl State {
-    fn touch(&mut self, unit: &str) {
-        self.clock += 1;
-        let clock = self.clock;
-        if let Some(u) = self.units.get_mut(unit) {
-            u.last_access = clock;
-        }
-    }
-
-    fn has_evictable(&self) -> bool {
-        self.units.values().any(|u| u.evictable())
-    }
-}
-
-struct Inner {
-    state: Mutex<State>,
-    /// Signaled on unit state changes and on `io_blocked_on_memory`
-    /// transitions; `wait_unit` waits here.
-    unit_cv: Condvar,
-    /// Signaled when the I/O thread may have work or memory: queue push,
-    /// memory freed, budget raised, shutdown.
-    work_cv: Condvar,
-    background_io: bool,
-    eviction: EvictionPolicy,
-    retry: RetryPolicy,
+/// Shared core of one database: the four layers plus the cross-layer
+/// services (retry policy, metrics, tracer, flight recorder). Methods
+/// that orchestrate across layers live in the layer modules as `impl
+/// Inner` blocks (`exec` owns read execution and waits; record
+/// operations below stitch store and units together).
+pub(crate) struct Inner {
+    pub(crate) store: Store,
+    pub(crate) units: Units,
+    pub(crate) retry: RetryPolicy,
     /// Lock-free counters/histograms behind [`Gbo::stats`]. Updated at
-    /// the instrumented call sites, several of them outside the state
-    /// lock (the mutex's release-acquire ordering makes the Relaxed
-    /// counter updates visible to any reader that observed the
-    /// corresponding state change).
-    metrics: GboMetrics,
-    /// Event tracer. Emitting while holding the state lock is safe: the
+    /// the instrumented call sites, several of them outside any lock
+    /// (the mutexes' release-acquire ordering makes the Relaxed counter
+    /// updates visible to any reader that observed the corresponding
+    /// state change).
+    pub(crate) metrics: GboMetrics,
+    /// Event tracer. Emitting while holding a state lock is safe: the
     /// lock order is always state → sink, never the reverse. When a
     /// flight recorder is installed this tracer fans out to it, so the
     /// recorder's ring always holds the most recent `gbo` events.
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Crash flight recorder (see [`GboConfig::flight_recorder`]).
-    flight_recorder: Option<Arc<FlightRecorder>>,
+    pub(crate) flight_recorder: Option<Arc<FlightRecorder>>,
     /// Post-mortem destination override.
-    postmortem_path: Option<PathBuf>,
+    pub(crate) postmortem_path: Option<PathBuf>,
 }
 
 /// The GODIVA database object. See the [module docs](self).
 pub struct Gbo {
     inner: Arc<Inner>,
-    io_thread: Option<std::thread::JoinHandle<()>>,
+    exec: Executor,
 }
 
 impl Inner {
     // ------------------------------------------------------------------
-    // memory accounting
-    // ------------------------------------------------------------------
-
-    /// Charge `bytes` to the budget on behalf of `unit` (if any),
-    /// blocking or failing according to `ctx`.
-    fn charge<'a>(
-        &'a self,
-        st: &mut MutexGuard<'a, State>,
-        bytes: u64,
-        ctx: AllocCtx,
-        unit: Option<&str>,
-    ) -> Result<()> {
-        loop {
-            if st.shutdown && ctx == AllocCtx::Background {
-                return Err(GodivaError::Shutdown);
-            }
-            if st.mem_used + bytes <= st.mem_limit {
-                break;
-            }
-            if self.evict_one(st) {
-                continue;
-            }
-            // Nothing evictable. If everything currently charged belongs
-            // to the unit being read, the unit is simply larger than the
-            // budget; proceed over budget rather than hang (the paper
-            // assumes one unit always fits).
-            let own = unit
-                .and_then(|u| st.units.get(u))
-                .map(|u| u.bytes)
-                .unwrap_or(0);
-            if st.mem_used.saturating_sub(own) == 0 {
-                self.metrics.over_budget_allocs.inc();
-                break;
-            }
-            match ctx {
-                AllocCtx::Foreground => {
-                    self.metrics.over_budget_allocs.inc();
-                    break;
-                }
-                AllocCtx::Inline => {
-                    return Err(GodivaError::OutOfMemory {
-                        requested: bytes,
-                        mem_used: st.mem_used,
-                        mem_limit: st.mem_limit,
-                    });
-                }
-                AllocCtx::Background => {
-                    st.io_blocked_on_memory = true;
-                    st.io_blocked_need = bytes;
-                    // Wake any `wait_unit` callers so they can run the
-                    // deadlock check (§3.3).
-                    self.unit_cv.notify_all();
-                    self.work_cv.wait(st);
-                    st.io_blocked_on_memory = false;
-                }
-            }
-        }
-        st.mem_used += bytes;
-        self.metrics.bytes_allocated.add(bytes);
-        self.metrics.mem.set(st.mem_used);
-        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
-            u.bytes += bytes;
-        }
-        Ok(())
-    }
-
-    /// Return `bytes` to the budget (and to `unit`'s account).
-    fn release(&self, st: &mut State, bytes: u64, unit: Option<&str>) {
-        st.mem_used = st.mem_used.saturating_sub(bytes);
-        self.metrics.mem.set(st.mem_used);
-        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
-            u.bytes = u.bytes.saturating_sub(bytes);
-        }
-        if bytes > 0 {
-            self.work_cv.notify_all();
-        }
-    }
-
-    /// Evict one finished, unpinned unit according to the policy.
-    /// Returns whether anything was evicted.
-    fn evict_one(&self, st: &mut State) -> bool {
-        let candidate = st
-            .units
-            .iter()
-            .filter(|(_, u)| u.evictable())
-            .min_by_key(|(_, u)| match self.eviction {
-                EvictionPolicy::Lru => u.last_access,
-                EvictionPolicy::Fifo => u.loaded_seq,
-            })
-            .map(|(name, _)| name.clone());
-        let Some(name) = candidate else {
-            return false;
-        };
-        let freed = self.drop_unit_data(st, &name);
-        self.metrics.evictions.inc();
-        self.metrics.bytes_evicted.add(freed);
-        if self.tracer.enabled() {
-            self.tracer.instant(
-                "gbo",
-                "unit_evicted",
-                vec![
-                    ("unit", name.as_str().into()),
-                    ("freed_bytes", freed.into()),
-                    // Post-eviction occupancy: an occupancy-timeline
-                    // sample for trace analytics (godiva-report).
-                    ("mem_used", st.mem_used.into()),
-                ],
-            );
-        }
-        true
-    }
-
-    /// Remove a unit's records from the store and index, free its bytes,
-    /// and return the unit to `Registered`. Returns bytes freed.
-    fn drop_unit_data(&self, st: &mut State, name: &str) -> u64 {
-        let Some(entry) = st.units.get_mut(name) else {
-            return 0;
-        };
-        let records = std::mem::take(&mut entry.records);
-        let freed = entry.bytes;
-        entry.bytes = 0;
-        entry.state = UnitState::Registered;
-        for rid in records {
-            if let Some(rec) = st.records.remove(&rid) {
-                if let Some(key) = rec.key {
-                    if let Some(idx) = st.index.get_mut(&rec.rt.name) {
-                        idx.remove(&key);
-                    }
-                }
-            }
-        }
-        st.mem_used = st.mem_used.saturating_sub(freed);
-        self.metrics.mem.set(st.mem_used);
-        if freed > 0 {
-            self.work_cv.notify_all();
-        }
-        freed
-    }
-
-    // ------------------------------------------------------------------
-    // record operations
+    // record operations (stitching the store and units layers together;
+    // lock order is always units → store)
     // ------------------------------------------------------------------
 
     fn new_record(
@@ -419,69 +209,27 @@ impl Inner {
         unit: Option<&str>,
         ctx: AllocCtx,
     ) -> Result<RecordId> {
-        let mut st = self.state.lock();
-        let rt = match st.committed_types.get(type_name) {
-            Some(rt) => Arc::clone(rt),
-            None => {
-                // Promote a freshly committed definition into the cache.
-                let def = st.schema.committed_record(type_name)?.clone();
-                let rt = Arc::new(def);
-                st.committed_types
-                    .insert(type_name.to_string(), Arc::clone(&rt));
-                rt
-            }
-        };
-        // Pre-allocate buffers for fields with known sizes (§3.1: "If a
-        // field's size is not UNKNOWN, its data buffer will be allocated
-        // when the new record is created").
-        let mut prealloc: Vec<(usize, FieldData)> = Vec::new();
-        let mut total = 0u64;
-        for (slot, fs) in rt.fields.iter().enumerate() {
-            let def = st.schema.field(&fs.field)?;
-            if let DeclaredSize::Known(bytes) = def.size {
-                prealloc.push((slot, FieldData::zeroed(def.kind, bytes)?));
-                total += bytes;
-            }
-        }
-        self.charge(&mut st, total, ctx, unit)?;
-        let id = st.next_record;
-        st.next_record += 1;
-        let mut fields: Vec<Option<FieldRef>> = vec![None; rt.fields.len()];
-        for (slot, data) in prealloc {
-            fields[slot] = Some(FieldBuffer::new(data));
-        }
-        st.records.insert(
-            id,
-            RecordEntry {
-                rt,
-                fields,
-                committed: false,
-                key: None,
-                unit: unit.map(str::to_string),
-            },
-        );
+        // Resolve the type and pre-allocation plan under the store lock
+        // alone, then charge and install under the unit lock so the
+        // charge, the insertion and the unit's record list stay
+        // consistent with concurrent eviction.
+        let (rt, prealloc, total) = self.store.prepare_record(type_name)?;
+        let mut st = self.units.lock();
+        self.units.charge(
+            &mut st,
+            &self.store,
+            &self.metrics,
+            &self.tracer,
+            total,
+            ctx,
+            unit,
+        )?;
+        let id = self.store.install_record(rt, prealloc, unit);
         if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
             u.records.push(id);
         }
         self.metrics.records_created.inc();
         Ok(id)
-    }
-
-    /// Resolve `(record, field)` to its slot, checking existence.
-    fn slot_of(st: &State, id: RecordId, field: &str) -> Result<(usize, FieldKind)> {
-        let rec = st
-            .records
-            .get(&id)
-            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
-        let slot = rec
-            .rt
-            .slot(field)
-            .ok_or_else(|| GodivaError::UnknownField {
-                record_type: rec.rt.name.clone(),
-                field: field.to_string(),
-            })?;
-        let kind = st.schema.field(field)?.kind;
-        Ok((slot, kind))
     }
 
     fn alloc_field(
@@ -492,8 +240,8 @@ impl Inner {
         ctx: AllocCtx,
     ) -> Result<FieldRef> {
         let data = {
-            let st = self.state.lock();
-            let (_, kind) = Self::slot_of(&st, id, field)?;
+            let st = self.store.lock();
+            let (_, kind) = Store::slot_of(&st, id, field)?;
             FieldData::zeroed(kind, bytes)?
         };
         self.set_field(id, field, data, ctx)
@@ -502,6 +250,12 @@ impl Inner {
 
     /// Install `data` as the contents of `(record, field)`; returns the
     /// buffer handle. Used by `alloc_field` and all `set_*` helpers.
+    ///
+    /// Validation, accounting and installation happen under their own
+    /// locks in turn (store → units → store), which is safe because a
+    /// unit being written is `Reading` (not evictable) and records are
+    /// single-writer by construction — every record is written by the
+    /// read function (or application thread) that created it.
     fn set_field(
         self: &Arc<Self>,
         id: RecordId,
@@ -509,47 +263,72 @@ impl Inner {
         data: FieldData,
         ctx: AllocCtx,
     ) -> Result<Option<FieldRef>> {
-        let mut st = self.state.lock();
-        let (slot, kind) = Self::slot_of(&st, id, field)?;
-        if data.kind() != kind {
-            return Err(GodivaError::TypeMismatch(format!(
-                "field '{field}' is declared {kind:?}, got {:?}",
-                data.kind()
-            )));
-        }
-        // Enforce a declared Known size exactly (the paper pre-allocates
-        // exactly that many bytes).
-        if let DeclaredSize::Known(declared) = st.schema.field(field)?.size {
-            if data.byte_len() > declared {
+        // Phase 1: validate against schema and record under the store
+        // lock; compute the accounting delta.
+        let (slot, unit, old_len) = {
+            let st = self.store.lock();
+            let (slot, kind) = Store::slot_of(&st, id, field)?;
+            if data.kind() != kind {
                 return Err(GodivaError::TypeMismatch(format!(
-                    "field '{field}' declared {declared} bytes, got {}",
-                    data.byte_len()
+                    "field '{field}' is declared {kind:?}, got {:?}",
+                    data.kind()
                 )));
             }
-        }
-        let rec = st.records.get(&id).expect("checked by slot_of");
-        if rec.committed && rec.rt.fields[slot].is_key {
-            return Err(GodivaError::TypeMismatch(format!(
-                "field '{field}' is a key field of a committed record and cannot be changed"
-            )));
-        }
-        let unit = rec.unit.clone();
-        let existing = rec.fields[slot].clone();
-        let old_len = existing.as_ref().map(|b| b.byte_len()).unwrap_or(0);
+            // Enforce a declared Known size exactly (the paper
+            // pre-allocates exactly that many bytes).
+            if let DeclaredSize::Known(declared) = st.schema.field(field)?.size {
+                if data.byte_len() > declared {
+                    return Err(GodivaError::TypeMismatch(format!(
+                        "field '{field}' declared {declared} bytes, got {}",
+                        data.byte_len()
+                    )));
+                }
+            }
+            let rec = st.records.get(&id).expect("checked by slot_of");
+            if rec.committed && rec.rt.fields[slot].is_key {
+                return Err(GodivaError::TypeMismatch(format!(
+                    "field '{field}' is a key field of a committed record and cannot be changed"
+                )));
+            }
+            let old_len = rec.fields[slot].as_ref().map(|b| b.byte_len()).unwrap_or(0);
+            (slot, rec.unit.clone(), old_len)
+        };
+        // Phase 2: account the delta under the unit lock (may evict or,
+        // for worker reads, block until memory frees).
         let new_len = data.byte_len();
-        if new_len > old_len {
-            self.charge(&mut st, new_len - old_len, ctx, unit.as_deref())?;
-        } else {
-            self.release(&mut st, old_len - new_len, unit.as_deref());
+        {
+            let mut st = self.units.lock();
+            if new_len > old_len {
+                self.units.charge(
+                    &mut st,
+                    &self.store,
+                    &self.metrics,
+                    &self.tracer,
+                    new_len - old_len,
+                    ctx,
+                    unit.as_deref(),
+                )?;
+            } else {
+                self.units
+                    .release(&mut st, &self.metrics, old_len - new_len, unit.as_deref());
+            }
         }
-        let buf = match existing {
+        // Phase 3: install under the store lock. If the record vanished
+        // meanwhile (delete_unit raced us), its whole allocation —
+        // including the delta charged above — was already returned by
+        // drop_unit_data, so no compensation is needed here.
+        let mut st = self.store.lock();
+        let Some(rec) = st.records.get_mut(&id) else {
+            return Err(GodivaError::NotFound(format!("record #{id}")));
+        };
+        let buf = match rec.fields[slot].clone() {
             Some(buf) => {
                 buf.replace(data);
                 buf
             }
             None => {
                 let buf = FieldBuffer::new(data);
-                st.records.get_mut(&id).expect("present").fields[slot] = Some(Arc::clone(&buf));
+                rec.fields[slot] = Some(Arc::clone(&buf));
                 buf
             }
         };
@@ -557,8 +336,8 @@ impl Inner {
     }
 
     fn field_of(&self, id: RecordId, field: &str) -> Result<FieldRef> {
-        let st = self.state.lock();
-        let (slot, _) = Self::slot_of(&st, id, field)?;
+        let st = self.store.lock();
+        let (slot, _) = Store::slot_of(&st, id, field)?;
         st.records.get(&id).expect("checked").fields[slot]
             .clone()
             .ok_or_else(|| GodivaError::Unallocated {
@@ -566,337 +345,29 @@ impl Inner {
             })
     }
 
-    fn commit_record(&self, id: RecordId) -> Result<()> {
-        let mut st = self.state.lock();
-        let rec = st
-            .records
-            .get(&id)
-            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
-        if rec.committed {
-            return Ok(());
-        }
-        let mut key = Vec::new();
-        for (slot, fs) in rec.rt.fields.iter().enumerate() {
-            if !fs.is_key {
-                continue;
-            }
-            let buf = rec.fields[slot]
-                .as_ref()
-                .ok_or_else(|| GodivaError::Unallocated {
-                    field: fs.field.clone(),
-                })?;
-            key.push(Key(buf.data().key_bytes()));
-        }
-        let type_name = rec.rt.name.clone();
-        let idx = st.index.entry(type_name.clone()).or_default();
-        if let Some(existing) = idx.get(&key) {
-            return Err(GodivaError::DuplicateKey(format!(
-                "record type '{type_name}': key {key:?} already identifies record #{existing}"
-            )));
-        }
-        idx.insert(key.clone(), id);
-        let rec = st.records.get_mut(&id).expect("present");
-        rec.committed = true;
-        rec.key = Some(key);
-        self.metrics.records_committed.inc();
-        if self.tracer.enabled() {
-            self.tracer.instant(
-                "gbo",
-                "record_commit",
-                vec![("type", type_name.into()), ("record", id.into())],
-            );
-        }
-        Ok(())
-    }
-
-    fn lookup(&self, record_type: &str, field: &str, keys: &[Key]) -> Result<FieldRef> {
-        let mut st = self.state.lock();
-        self.metrics.queries.inc();
-        let Some(&id) = st
-            .index
-            .get(record_type)
-            .and_then(|idx| idx.get(&keys.to_vec()))
-        else {
-            self.metrics.query_misses.inc();
-            if self.tracer.enabled() {
-                self.tracer.instant(
-                    "gbo",
-                    "key_lookup",
-                    vec![("type", record_type.into()), ("hit", false.into())],
-                );
-            }
-            // Distinguish "unknown type" from "no such key" for callers.
-            st.schema.committed_record(record_type)?;
-            return Err(GodivaError::NotFound(format!(
-                "record type '{record_type}' has no record with key {keys:?}"
-            )));
-        };
-        if self.tracer.enabled() {
-            self.tracer.instant(
-                "gbo",
-                "key_lookup",
-                vec![("type", record_type.into()), ("hit", true.into())],
-            );
-        }
-        let rec = st.records.get(&id).expect("index points at live record");
-        let slot = rec
-            .rt
-            .slot(field)
-            .ok_or_else(|| GodivaError::UnknownField {
-                record_type: record_type.to_string(),
-                field: field.to_string(),
-            })?;
-        let buf = rec.fields[slot]
-            .clone()
-            .ok_or_else(|| GodivaError::Unallocated {
-                field: field.to_string(),
-            })?;
-        // Touch the owning unit for LRU (interactive-mode locality).
-        if let Some(unit) = rec.unit.clone() {
-            st.touch(&unit);
+    /// Key lookup + LRU touch of the owning unit (store lock released
+    /// before the unit lock is taken — see the lock-order note in
+    /// [`crate::store`]).
+    pub(crate) fn lookup(&self, record_type: &str, field: &str, keys: &[Key]) -> Result<FieldRef> {
+        let (buf, unit) =
+            self.store
+                .lookup(&self.metrics, &self.tracer, record_type, field, keys)?;
+        if let Some(unit) = unit {
+            self.units.lock().touch(&unit);
         }
         Ok(buf)
-    }
-
-    // ------------------------------------------------------------------
-    // unit operations
-    // ------------------------------------------------------------------
-
-    fn add_unit(&self, name: &str, reader: ReadFn) -> Result<()> {
-        let mut st = self.state.lock();
-        if st.shutdown {
-            return Err(GodivaError::Shutdown);
-        }
-        match st.units.get_mut(name) {
-            None => {
-                st.units.insert(
-                    name.to_string(),
-                    UnitEntry {
-                        reader: Some(reader),
-                        state: UnitState::Queued,
-                        records: Vec::new(),
-                        refcount: 0,
-                        bytes: 0,
-                        last_access: 0,
-                        loaded_seq: 0,
-                    },
-                );
-            }
-            Some(entry) => match entry.state {
-                UnitState::Registered => {
-                    entry.reader = Some(reader);
-                    entry.state = UnitState::Queued;
-                }
-                _ => {
-                    return Err(GodivaError::UnitError(format!(
-                        "unit '{name}' already added (state {:?})",
-                        entry.state
-                    )))
-                }
-            },
-        }
-        st.queue.push_back(name.to_string());
-        self.metrics.units_added.inc();
-        self.metrics.queue_depth.set(st.queue.len() as u64);
-        if self.tracer.enabled() {
-            self.tracer.instant(
-                "gbo",
-                "unit_added",
-                vec![("unit", name.into()), ("queued", true.into())],
-            );
-        }
-        self.work_cv.notify_all();
-        Ok(())
-    }
-
-    /// Invoke `name`'s read function under `ctx`, with panic isolation
-    /// and the configured retry policy. The unit must already be marked
-    /// `Reading`; the state lock must *not* be held.
-    ///
-    /// A panicking read function is caught (`catch_unwind`) and reported
-    /// as a failed read, so it can never kill the background I/O thread
-    /// or unwind into application code. A *transient* error
-    /// ([`GodivaError::is_transient`]) is retried up to the policy's
-    /// attempt budget, rolling back the failed attempt's partial records
-    /// before each retry so the read function always starts clean.
-    fn run_reader(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<()> {
-        let reader = {
-            let st = self.state.lock();
-            st.units
-                .get(name)
-                .and_then(|u| u.reader.clone())
-                .ok_or_else(|| GodivaError::UnitError(format!("unit '{name}' has no reader")))?
-        };
-        let mut attempt = 1u32;
-        loop {
-            let span_start = self.tracer.now_us();
-            if self.tracer.enabled() {
-                self.tracer.instant(
-                    "gbo",
-                    "read_start",
-                    vec![("unit", name.into()), ("attempt", attempt.into())],
-                );
-            }
-            let attempt_t0 = Instant::now();
-            let session = UnitSession {
-                inner: Arc::clone(self),
-                unit: name.to_string(),
-                ctx,
-            };
-            let err = match catch_unwind(AssertUnwindSafe(|| reader.read(&session))) {
-                Ok(Ok(())) => {
-                    self.metrics.read_hist.record(attempt_t0.elapsed());
-                    if self.tracer.enabled() {
-                        self.tracer.instant(
-                            "gbo",
-                            "read_done",
-                            vec![("unit", name.into()), ("attempt", attempt.into())],
-                        );
-                        self.tracer.complete(
-                            "gbo",
-                            "read_unit",
-                            span_start,
-                            vec![("unit", name.into()), ("ok", true.into())],
-                        );
-                    }
-                    return Ok(());
-                }
-                Ok(Err(e)) => e,
-                Err(payload) => {
-                    self.metrics.panics_caught.inc();
-                    let message = format!("panicked: {}", panic_message(&payload));
-                    if self.tracer.enabled() {
-                        self.tracer.instant(
-                            "gbo",
-                            "read_failed",
-                            vec![
-                                ("unit", name.into()),
-                                ("attempt", attempt.into()),
-                                ("error", message.as_str().into()),
-                                ("panic", true.into()),
-                            ],
-                        );
-                        self.tracer.complete(
-                            "gbo",
-                            "read_unit",
-                            span_start,
-                            vec![("unit", name.into()), ("ok", false.into())],
-                        );
-                    }
-                    // A panicking read function is the flight recorder's
-                    // raison d'être: dump the ring now (no lock is held
-                    // here), while the tail still shows the lead-up.
-                    self.dump_postmortem("reader_panic");
-                    return Err(GodivaError::ReadFailed {
-                        unit: name.to_string(),
-                        message,
-                    });
-                }
-            };
-            if self.tracer.enabled() {
-                self.tracer.instant(
-                    "gbo",
-                    "read_failed",
-                    vec![
-                        ("unit", name.into()),
-                        ("attempt", attempt.into()),
-                        ("error", err.to_string().into()),
-                        ("transient", err.is_transient().into()),
-                    ],
-                );
-                self.tracer.complete(
-                    "gbo",
-                    "read_unit",
-                    span_start,
-                    vec![("unit", name.into()), ("ok", false.into())],
-                );
-            }
-            if attempt >= self.retry.attempts() || !err.is_transient() {
-                return Err(err);
-            }
-            let backoff = self.retry.backoff_for(attempt);
-            {
-                let mut st = self.state.lock();
-                if st.shutdown {
-                    return Err(err);
-                }
-                // Roll back the failed attempt's partial records so the
-                // retry starts from an empty unit (drop_unit_data parks
-                // the unit in Registered; restore Reading).
-                self.drop_unit_data(&mut st, name);
-                if let Some(u) = st.units.get_mut(name) {
-                    u.state = UnitState::Reading;
-                }
-            }
-            self.metrics.units_retried.inc();
-            self.metrics.retry_backoff.add_duration(backoff);
-            self.metrics.backoff_hist.record(backoff);
-            if self.tracer.enabled() {
-                self.tracer.instant(
-                    "gbo",
-                    "read_retry",
-                    vec![
-                        ("unit", name.into()),
-                        ("next_attempt", (attempt + 1).into()),
-                        ("backoff_us", (backoff.as_micros() as u64).into()),
-                    ],
-                );
-            }
-            if !backoff.is_zero() {
-                std::thread::sleep(backoff);
-            }
-            attempt += 1;
-        }
-    }
-
-    /// Run a unit's reader inline on the calling thread. The state lock
-    /// must *not* be held; the unit must already be marked `Reading`.
-    fn run_inline(self: &Arc<Self>, name: &str) -> Result<()> {
-        let result = self.run_reader(name, AllocCtx::Inline);
-        let mut st = self.state.lock();
-        st.clock += 1;
-        let clock = st.clock;
-        let entry = st.units.get_mut(name).expect("unit present");
-        match &result {
-            Ok(()) => {
-                entry.state = UnitState::Ready;
-                entry.loaded_seq = clock;
-                entry.last_access = clock;
-                self.metrics.units_read.inc();
-            }
-            Err(e) => {
-                entry.state = UnitState::Failed(e.to_string());
-                self.metrics.units_failed.inc();
-            }
-        }
-        self.unit_cv.notify_all();
-        result.map_err(|e| match e {
-            already @ GodivaError::ReadFailed { .. } => already,
-            other => GodivaError::ReadFailed {
-                unit: name.to_string(),
-                message: other.to_string(),
-            },
-        })
-    }
-
-    /// Remove `name` from the prefetch queue if enqueued.
-    fn unqueue(&self, st: &mut State, name: &str) {
-        if let Some(pos) = st.queue.iter().position(|n| n == name) {
-            st.queue.remove(pos);
-            self.metrics.queue_depth.set(st.queue.len() as u64);
-        }
     }
 
     /// Write the flight recorder's ring to the post-mortem path (the
     /// configured one, or `godiva-postmortem-<pid>.jsonl` in the temp
     /// dir). Returns the path on success; `None` when no recorder is
-    /// installed or the write failed. Must not be called with the state
+    /// installed or the write failed. Must not be called with a state
     /// lock held — this does file I/O.
     ///
     /// The destination is per-process, so repeated failures (common in
     /// fault-injection tests) overwrite rather than accumulate; the
     /// stderr announcement happens once per process for the same reason.
-    fn dump_postmortem(&self, reason: &str) -> Option<PathBuf> {
+    pub(crate) fn dump_postmortem(&self, reason: &str) -> Option<PathBuf> {
         let recorder = self.flight_recorder.as_ref()?;
         let path = self.postmortem_path.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!("godiva-postmortem-{}.jsonl", std::process::id()))
@@ -913,319 +384,6 @@ impl Inner {
                 Some(path)
             }
             Err(_) => None,
-        }
-    }
-
-    /// Block until `name` is loaded; pin it. Core of `wait_unit` and the
-    /// tail of `read_unit`. With a `timeout`, give up waiting on the
-    /// background thread after that long (inline reads performed on the
-    /// calling thread are not interruptible and ignore the timeout).
-    fn wait_loaded(
-        self: &Arc<Self>,
-        name: &str,
-        explicit_read: bool,
-        timeout: Option<Duration>,
-    ) -> Result<()> {
-        let started = Instant::now();
-        let span_start = self.tracer.now_us();
-        let deadline = timeout.map(|t| started + t);
-        let mut blocked = false;
-        let result = loop {
-            let mut st = self.state.lock();
-            let Some(entry) = st.units.get_mut(name) else {
-                break Err(GodivaError::UnitError(format!("unknown unit '{name}'")));
-            };
-            match entry.state.clone() {
-                UnitState::Ready | UnitState::Finished => {
-                    entry.state = UnitState::Ready;
-                    entry.refcount += 1;
-                    st.touch(name);
-                    if !blocked {
-                        self.metrics.cache_hits.inc();
-                    }
-                    break Ok(());
-                }
-                UnitState::Failed(msg) => {
-                    break Err(GodivaError::ReadFailed {
-                        unit: name.to_string(),
-                        message: msg,
-                    })
-                }
-                UnitState::Registered => {
-                    // Not queued: do a blocking read on this thread
-                    // (interactive mode, or a revisit after eviction).
-                    entry.state = UnitState::Reading;
-                    self.metrics.blocking_reads.inc();
-                    drop(st);
-                    blocked = true;
-                    if let Err(e) = self.run_inline(name) {
-                        break Err(e);
-                    }
-                    continue;
-                }
-                UnitState::Queued if !self.background_io || explicit_read => {
-                    // Single-thread GODIVA performs the read inside
-                    // wait_unit (§4.2); read_unit is always explicit.
-                    self.unqueue(&mut st, name);
-                    let entry = st.units.get_mut(name).expect("present");
-                    entry.state = UnitState::Reading;
-                    self.metrics.blocking_reads.inc();
-                    drop(st);
-                    blocked = true;
-                    if let Err(e) = self.run_inline(name) {
-                        break Err(e);
-                    }
-                    continue;
-                }
-                UnitState::Queued | UnitState::Reading => {
-                    // Deadlock detection (§3.3): we are blocked on this
-                    // unit while the I/O thread is blocked on memory and
-                    // nothing can be evicted. Re-verify the shortage so a
-                    // stale flag (budget raised, I/O thread not yet woken)
-                    // is not misreported as a deadlock.
-                    if st.io_blocked_on_memory
-                        && st.mem_used.saturating_add(st.io_blocked_need) > st.mem_limit
-                        && !st.has_evictable()
-                    {
-                        self.metrics.deadlocks_detected.inc();
-                        if self.tracer.enabled() {
-                            self.tracer.instant(
-                                "gbo",
-                                "deadlock_detected",
-                                vec![
-                                    ("unit", name.into()),
-                                    ("mem_used", st.mem_used.into()),
-                                    ("mem_limit", st.mem_limit.into()),
-                                ],
-                            );
-                        }
-                        break Err(GodivaError::Deadlock {
-                            unit: name.to_string(),
-                            mem_used: st.mem_used,
-                            mem_limit: st.mem_limit,
-                        });
-                    }
-                    blocked = true;
-                    match deadline {
-                        None => self.unit_cv.wait(&mut st),
-                        Some(d) => {
-                            if self.unit_cv.wait_until(&mut st, d).timed_out() {
-                                // Re-check under the lock: the unit may
-                                // have loaded in the race with the clock.
-                                let loaded = st
-                                    .units
-                                    .get(name)
-                                    .map(|u| u.state.is_loaded())
-                                    .unwrap_or(false);
-                                if !loaded {
-                                    self.metrics.wait_timeouts.inc();
-                                    if self.tracer.enabled() {
-                                        self.tracer.instant(
-                                            "gbo",
-                                            "wait_timeout",
-                                            vec![
-                                                ("unit", name.into()),
-                                                (
-                                                    "waited_us",
-                                                    (started.elapsed().as_micros() as u64).into(),
-                                                ),
-                                            ],
-                                        );
-                                    }
-                                    break Err(GodivaError::WaitTimeout {
-                                        unit: name.to_string(),
-                                        waited: started.elapsed(),
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        };
-        if blocked {
-            // Lock-free: the old implementation re-took the state lock
-            // just to bump this.
-            let waited = started.elapsed();
-            self.metrics.wait_time.add_duration(waited);
-            self.metrics.wait_hist.record(waited);
-            if self.tracer.enabled() {
-                self.tracer.complete(
-                    "gbo",
-                    "wait_unit",
-                    span_start,
-                    vec![("unit", name.into()), ("ok", result.is_ok().into())],
-                );
-            }
-        }
-        // Deadlock is detected under the state lock, but the post-mortem
-        // write is file I/O — do it out here, lock released.
-        if matches!(result, Err(GodivaError::Deadlock { .. })) {
-            self.dump_postmortem("deadlock");
-        }
-        result
-    }
-
-    fn finish_unit(&self, name: &str) -> Result<()> {
-        let mut st = self.state.lock();
-        let entry = st
-            .units
-            .get_mut(name)
-            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
-        if !entry.state.is_loaded() {
-            return Err(GodivaError::UnitError(format!(
-                "unit '{name}' is not loaded (state {:?})",
-                entry.state
-            )));
-        }
-        entry.refcount = entry.refcount.saturating_sub(1);
-        if entry.refcount == 0 {
-            entry.state = UnitState::Finished;
-            if self.tracer.enabled() {
-                self.tracer
-                    .instant("gbo", "unit_finished", vec![("unit", name.into())]);
-            }
-            // The I/O thread may have been waiting for evictable memory.
-            self.work_cv.notify_all();
-        }
-        Ok(())
-    }
-
-    fn delete_unit(&self, name: &str) -> Result<()> {
-        let mut st = self.state.lock();
-        let entry = st
-            .units
-            .get_mut(name)
-            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
-        match entry.state {
-            UnitState::Reading => {
-                return Err(GodivaError::UnitError(format!(
-                    "unit '{name}' is being read and cannot be deleted"
-                )))
-            }
-            UnitState::Queued => {
-                entry.state = UnitState::Registered;
-                self.unqueue(&mut st, name);
-            }
-            _ => {}
-        }
-        let st_ref = &mut *st;
-        if let Some(e) = st_ref.units.get_mut(name) {
-            e.refcount = 0;
-        }
-        let freed = self.drop_unit_data(&mut st, name);
-        if self.tracer.enabled() {
-            self.tracer.instant(
-                "gbo",
-                "unit_deleted",
-                vec![("unit", name.into()), ("freed_bytes", freed.into())],
-            );
-        }
-        Ok(())
-    }
-
-    /// Re-queue a `Failed` unit for another load attempt with its
-    /// existing read function, dropping any partial records first.
-    fn reset_unit(&self, name: &str) -> Result<()> {
-        let mut st = self.state.lock();
-        if st.shutdown {
-            return Err(GodivaError::Shutdown);
-        }
-        let entry = st
-            .units
-            .get_mut(name)
-            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
-        match entry.state {
-            UnitState::Failed(_) => {}
-            ref other => {
-                return Err(GodivaError::UnitError(format!(
-                    "unit '{name}' is not failed (state {other:?}) and cannot be reset"
-                )))
-            }
-        }
-        if entry.reader.is_none() {
-            return Err(GodivaError::UnitError(format!(
-                "unit '{name}' has no reader to retry with"
-            )));
-        }
-        entry.refcount = 0;
-        self.drop_unit_data(&mut st, name);
-        let entry = st.units.get_mut(name).expect("still present");
-        entry.state = UnitState::Queued;
-        st.queue.push_back(name.to_string());
-        self.metrics.units_reset.inc();
-        self.metrics.queue_depth.set(st.queue.len() as u64);
-        if self.tracer.enabled() {
-            self.tracer
-                .instant("gbo", "unit_reset", vec![("unit", name.into())]);
-        }
-        self.work_cv.notify_all();
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // background I/O thread
-    // ------------------------------------------------------------------
-
-    fn io_loop(self: Arc<Self>) {
-        loop {
-            // Wait for a queued unit and for memory headroom.
-            let name = {
-                let mut st = self.state.lock();
-                loop {
-                    if st.shutdown {
-                        return;
-                    }
-                    if !st.queue.is_empty() {
-                        if st.mem_used < st.mem_limit {
-                            break;
-                        }
-                        if self.evict_one(&mut st) {
-                            continue;
-                        }
-                        // Memory full, nothing evictable: block, flagged
-                        // for deadlock detection. Needing "1 byte" makes
-                        // the shortage test `mem_used >= mem_limit`.
-                        st.io_blocked_on_memory = true;
-                        st.io_blocked_need = 1;
-                        self.unit_cv.notify_all();
-                        self.work_cv.wait(&mut st);
-                        st.io_blocked_on_memory = false;
-                        continue;
-                    }
-                    self.work_cv.wait(&mut st);
-                }
-                let name = st.queue.pop_front().expect("non-empty");
-                self.metrics.queue_depth.set(st.queue.len() as u64);
-                let entry = st.units.get_mut(&name).expect("queued unit exists");
-                entry.state = UnitState::Reading;
-                self.metrics.background_reads.inc();
-                name
-            };
-
-            // Panic isolation + retry live inside run_reader: a
-            // panicking or transiently failing read function can never
-            // kill this thread — the unit just ends up Failed.
-            let result = self.run_reader(&name, AllocCtx::Background);
-
-            let mut st = self.state.lock();
-            st.clock += 1;
-            let clock = st.clock;
-            if let Some(entry) = st.units.get_mut(&name) {
-                match &result {
-                    Ok(()) => {
-                        entry.state = UnitState::Ready;
-                        entry.loaded_seq = clock;
-                        entry.last_access = clock;
-                        self.metrics.units_read.inc();
-                    }
-                    Err(e) => {
-                        entry.state = UnitState::Failed(e.to_string());
-                        self.metrics.units_failed.inc();
-                    }
-                }
-            }
-            self.unit_cv.notify_all();
         }
     }
 }
@@ -1251,44 +409,27 @@ impl Gbo {
                 .tee(Arc::clone(recorder) as Arc<dyn godiva_obs::TraceSink>),
             None => config.tracer,
         };
+        let workers = if config.background_io {
+            config.io_threads
+        } else {
+            0
+        };
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                schema: Schema::new(),
-                committed_types: HashMap::new(),
-                records: HashMap::new(),
-                index: HashMap::new(),
-                units: HashMap::new(),
-                queue: VecDeque::new(),
-                mem_used: 0,
-                mem_limit: config.mem_limit,
-                clock: 0,
-                next_record: 1,
-                io_blocked_on_memory: false,
-                io_blocked_need: 0,
-                shutdown: false,
-            }),
-            unit_cv: Condvar::new(),
-            work_cv: Condvar::new(),
-            background_io: config.background_io,
-            eviction: config.eviction,
+            store: Store::new(),
+            units: Units::new(
+                config.scheduler.build(),
+                config.mem_limit,
+                config.eviction,
+                workers,
+            ),
             retry: config.retry,
             metrics: GboMetrics::new(config.metrics.as_deref()),
             tracer,
             flight_recorder: config.flight_recorder,
             postmortem_path: config.postmortem_path,
         });
-        let io_thread = if config.background_io {
-            let inner2 = Arc::clone(&inner);
-            Some(
-                std::thread::Builder::new()
-                    .name("godiva-io".into())
-                    .spawn(move || inner2.io_loop())
-                    .expect("spawn GODIVA I/O thread"),
-            )
-        } else {
-            None
-        };
-        Gbo { inner, io_thread }
+        let exec = Executor::spawn(&inner, workers);
+        Gbo { inner, exec }
     }
 
     // --- schema (record operation interfaces, §3.1) ---------------------
@@ -1296,7 +437,7 @@ impl Gbo {
     /// `defineField(name, type, size)`.
     pub fn define_field(&self, name: &str, kind: FieldKind, size: DeclaredSize) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .define_field(name, kind, size)
@@ -1305,7 +446,7 @@ impl Gbo {
     /// `defineRecord(name, n_key_fields)`.
     pub fn define_record(&self, name: &str, key_fields: usize) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .define_record(name, key_fields)
@@ -1314,7 +455,7 @@ impl Gbo {
     /// `insertField(record, field, is_key)`.
     pub fn insert_field(&self, record: &str, field: &str, is_key: bool) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .insert_field(record, field, is_key)
@@ -1322,7 +463,7 @@ impl Gbo {
 
     /// `commitRecordType(record)`.
     pub fn commit_record_type(&self, record: &str) -> Result<()> {
-        self.inner.state.lock().schema.commit_record_type(record)
+        self.inner.store.lock().schema.commit_record_type(record)
     }
 
     /// `newRecord(type)`: create a record (outside any unit) and return a
@@ -1341,7 +482,9 @@ impl Gbo {
     /// `commitRecord(record)`: snapshot the key fields and insert the
     /// record into the index.
     pub fn commit_record(&self, record: &RecordHandle) -> Result<()> {
-        self.inner.commit_record(record.id)
+        self.inner
+            .store
+            .commit_record(&self.inner.metrics, &self.inner.tracer, record.id)
     }
 
     // --- dataset query interfaces (§3.1) --------------------------------
@@ -1372,16 +515,41 @@ impl Gbo {
     // --- background I/O interfaces (§3.2) --------------------------------
 
     /// `addUnit(name, readFunction)`: non-blocking; appends the unit to
-    /// the FIFO prefetch queue.
+    /// the prefetch queue (FIFO by default).
     pub fn add_unit(&self, name: &str, reader: impl ReadFunction + 'static) -> Result<()> {
-        self.inner.add_unit(name, Arc::new(reader))
+        self.inner.units.add_unit(
+            &self.inner.metrics,
+            &self.inner.tracer,
+            name,
+            0,
+            Arc::new(reader),
+        )
+    }
+
+    /// Like [`Gbo::add_unit`], with a scheduling priority (larger =
+    /// read sooner). Only meaningful under
+    /// [`SchedulerKind::Priority`]; the default FIFO scheduler ignores
+    /// priorities, preserving the paper's strict arrival order.
+    pub fn add_unit_with_priority(
+        &self,
+        name: &str,
+        priority: i64,
+        reader: impl ReadFunction + 'static,
+    ) -> Result<()> {
+        self.inner.units.add_unit(
+            &self.inner.metrics,
+            &self.inner.tracer,
+            name,
+            priority,
+            Arc::new(reader),
+        )
     }
 
     /// `readUnit(name, readFunction)`: blocking explicit read of a unit
     /// on the calling thread (used by interactive tools, §3.2).
     pub fn read_unit(&self, name: &str, reader: impl ReadFunction + 'static) -> Result<()> {
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.inner.units.lock();
             if st.shutdown {
                 return Err(GodivaError::Shutdown);
             }
@@ -1390,15 +558,7 @@ impl Gbo {
                 None => {
                     st.units.insert(
                         name.to_string(),
-                        UnitEntry {
-                            reader: Some(reader),
-                            state: UnitState::Registered,
-                            records: Vec::new(),
-                            refcount: 0,
-                            bytes: 0,
-                            last_access: 0,
-                            loaded_seq: 0,
-                        },
+                        UnitEntry::new(Some(reader), UnitState::Registered, 0),
                     );
                     self.inner.metrics.units_added.inc();
                     if self.inner.tracer.enabled() {
@@ -1426,7 +586,7 @@ impl Gbo {
     }
 
     /// Like [`Gbo::wait_unit`], but give up after `timeout` if the unit
-    /// is still loading on the background thread, returning
+    /// is still loading on a worker, returning
     /// [`GodivaError::WaitTimeout`]. The unit is *not* failed by a
     /// timeout — it keeps loading, and a later wait can still succeed.
     /// A read performed inline on the calling thread (single-thread
@@ -1441,7 +601,12 @@ impl Gbo {
     /// are dropped first, so the read function starts clean — no
     /// `delete_unit` + `add_unit` dance required after a fault clears.
     pub fn reset_unit(&self, name: &str) -> Result<()> {
-        self.inner.reset_unit(name)
+        self.inner.units.reset_unit(
+            &self.inner.store,
+            &self.inner.metrics,
+            &self.inner.tracer,
+            name,
+        )
     }
 
     /// Like [`Gbo::wait_unit`], but returns an RAII guard that calls
@@ -1461,20 +626,25 @@ impl Gbo {
     /// `finishUnit(name)`: unpin; at zero pins the unit becomes
     /// evictable but stays queryable until memory pressure evicts it.
     pub fn finish_unit(&self, name: &str) -> Result<()> {
-        self.inner.finish_unit(name)
+        self.inner.units.finish_unit(&self.inner.tracer, name)
     }
 
     /// `deleteUnit(name)`: drop the unit's records immediately. The unit
     /// stays registered and may be re-added or re-read later.
     pub fn delete_unit(&self, name: &str) -> Result<()> {
-        self.inner.delete_unit(name)
+        self.inner.units.delete_unit(
+            &self.inner.store,
+            &self.inner.metrics,
+            &self.inner.tracer,
+            name,
+        )
     }
 
     /// `setMemSpace(bytes)`: adjust the memory budget at runtime.
     pub fn set_mem_space(&self, bytes: u64) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.units.lock();
         st.mem_limit = bytes;
-        self.inner.work_cv.notify_all();
+        self.inner.units.work_cv.notify_all();
     }
 
     // --- introspection ----------------------------------------------------
@@ -1482,7 +652,7 @@ impl Gbo {
     /// Current state of a unit, if known.
     pub fn unit_state(&self, name: &str) -> Option<UnitState> {
         self.inner
-            .state
+            .units
             .lock()
             .units
             .get(name)
@@ -1491,7 +661,7 @@ impl Gbo {
 
     /// Names of all known units, sorted.
     pub fn unit_names(&self) -> Vec<String> {
-        let st = self.inner.state.lock();
+        let st = self.inner.units.lock();
         let mut names: Vec<String> = st.units.keys().cloned().collect();
         names.sort();
         names
@@ -1499,35 +669,41 @@ impl Gbo {
 
     /// Number of live records in the database.
     pub fn record_count(&self) -> usize {
-        self.inner.state.lock().records.len()
+        self.inner.store.lock().records.len()
     }
 
     /// Names of all defined record types, sorted.
     pub fn record_type_names(&self) -> Vec<String> {
-        self.inner.state.lock().schema.record_type_names()
+        self.inner.store.lock().schema.record_type_names()
     }
 
     /// Number of units waiting in the prefetch queue.
     pub fn queue_len(&self) -> usize {
-        self.inner.state.lock().queue.len()
+        self.inner.units.lock().queue.len()
     }
 
     /// Bytes currently charged against the budget.
     pub fn mem_used(&self) -> u64 {
-        self.inner.state.lock().mem_used
+        self.inner.units.lock().mem_used
     }
 
     /// The configured memory budget in bytes.
     pub fn mem_limit(&self) -> u64 {
-        self.inner.state.lock().mem_limit
+        self.inner.units.lock().mem_limit
+    }
+
+    /// Number of reader worker threads the I/O executor owns (0 =
+    /// single-thread inline mode).
+    pub fn io_workers(&self) -> usize {
+        self.inner.units.worker_count
     }
 
     /// Snapshot of the runtime statistics. Counter reads are lock-free;
-    /// only the authoritative `mem_used` figure comes from the state
+    /// only the authoritative `mem_used` figure comes from the unit
     /// lock.
     pub fn stats(&self) -> GboStats {
         let mut s = self.inner.metrics.snapshot();
-        s.mem_used = self.inner.state.lock().mem_used;
+        s.mem_used = self.inner.units.lock().mem_used;
         s
     }
 
@@ -1558,19 +734,17 @@ impl Gbo {
 impl Drop for Gbo {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.inner.units.lock();
             st.shutdown = true;
         }
-        self.inner.work_cv.notify_all();
-        self.inner.unit_cv.notify_all();
-        if let Some(h) = self.io_thread.take() {
-            let _ = h.join();
-        }
+        self.inner.units.work_cv.notify_all();
+        self.inner.units.unit_cv.notify_all();
+        self.exec.join();
     }
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -1602,7 +776,7 @@ impl UnitGuard {
     fn release(&mut self) {
         if !self.released {
             self.released = true;
-            let _ = self.inner.finish_unit(&self.name);
+            let _ = self.inner.units.finish_unit(&self.inner.tracer, &self.name);
         }
     }
 }
@@ -1617,9 +791,9 @@ impl Drop for UnitGuard {
 /// operations are available, and every record created is tagged with the
 /// unit being read.
 pub struct UnitSession {
-    inner: Arc<Inner>,
-    unit: String,
-    ctx: AllocCtx,
+    pub(crate) inner: Arc<Inner>,
+    pub(crate) unit: String,
+    pub(crate) ctx: AllocCtx,
 }
 
 impl UnitSession {
@@ -1632,7 +806,7 @@ impl UnitSession {
     /// `defineField` — see [`Gbo::define_field`].
     pub fn define_field(&self, name: &str, kind: FieldKind, size: DeclaredSize) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .define_field(name, kind, size)
@@ -1641,7 +815,7 @@ impl UnitSession {
     /// `defineRecord` — see [`Gbo::define_record`].
     pub fn define_record(&self, name: &str, key_fields: usize) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .define_record(name, key_fields)
@@ -1650,7 +824,7 @@ impl UnitSession {
     /// `insertField` — see [`Gbo::insert_field`].
     pub fn insert_field(&self, record: &str, field: &str, is_key: bool) -> Result<()> {
         self.inner
-            .state
+            .store
             .lock()
             .schema
             .insert_field(record, field, is_key)
@@ -1658,7 +832,7 @@ impl UnitSession {
 
     /// `commitRecordType` — see [`Gbo::commit_record_type`].
     pub fn commit_record_type(&self, record: &str) -> Result<()> {
-        self.inner.state.lock().schema.commit_record_type(record)
+        self.inner.store.lock().schema.commit_record_type(record)
     }
 
     /// `newRecord`: create a record owned by this unit.
@@ -1675,7 +849,9 @@ impl UnitSession {
 
     /// `commitRecord`.
     pub fn commit_record(&self, record: &RecordHandle) -> Result<()> {
-        self.inner.commit_record(record.id)
+        self.inner
+            .store
+            .commit_record(&self.inner.metrics, &self.inner.tracer, record.id)
     }
 
     /// Query interface, usable for cross-record metadata sharing during
@@ -1764,10 +940,10 @@ impl RecordHandle {
         let out = buf.update(f);
         let new = buf.byte_len();
         let unit = {
-            let st = self.inner.state.lock();
+            let st = self.inner.store.lock();
             st.records.get(&self.id).and_then(|r| r.unit.clone())
         };
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.units.lock();
         if new >= old {
             let delta = new - old;
             st.mem_used += delta;
@@ -1777,14 +953,17 @@ impl RecordHandle {
                 u.bytes += delta;
             }
         } else {
-            let inner = Arc::clone(&self.inner);
-            inner.release(&mut st, old - new, unit.as_deref());
+            self.inner
+                .units
+                .release(&mut st, &self.inner.metrics, old - new, unit.as_deref());
         }
         Ok(out)
     }
 
     /// Commit this record into the key index.
     pub fn commit(&self) -> Result<()> {
-        self.inner.commit_record(self.id)
+        self.inner
+            .store
+            .commit_record(&self.inner.metrics, &self.inner.tracer, self.id)
     }
 }

@@ -69,13 +69,19 @@ pub enum GodivaError {
         /// The read function's error message.
         message: String,
     },
-    /// The main thread is waiting for a unit while the I/O thread is
-    /// blocked on memory and nothing can be evicted — the deadlock the
-    /// paper's library detects (§3.3: a unit was processed but never
-    /// finished/deleted).
+    /// The caller is waiting for a unit that cannot progress: the I/O
+    /// worker reading it is blocked on memory (or the unit is queued
+    /// while every worker is blocked) and nothing can be evicted — the
+    /// deadlock the paper's library detects (§3.3: a unit was processed
+    /// but never finished/deleted).
     Deadlock {
         /// Unit the caller was waiting for.
         unit: String,
+        /// The blocked I/O worker that proves no progress is possible
+        /// (the one with the smallest unsatisfiable need).
+        worker: usize,
+        /// Bytes that worker is waiting for.
+        needed_bytes: u64,
         /// Memory currently charged to the database.
         mem_used: u64,
         /// The configured budget.
@@ -122,13 +128,16 @@ impl fmt::Display for GodivaError {
             }
             GodivaError::Deadlock {
                 unit,
+                worker,
+                needed_bytes,
                 mem_used,
                 mem_limit,
             } => write!(
                 f,
-                "deadlock detected waiting for unit '{unit}': I/O thread blocked on memory \
-                 ({mem_used} of {mem_limit} bytes used) and no finished unit is evictable — \
-                 did the application forget finish_unit/delete_unit?"
+                "deadlock detected waiting for unit '{unit}': I/O worker {worker} blocked \
+                 waiting for {needed_bytes} bytes ({mem_used} of {mem_limit} bytes used) and \
+                 no finished unit is evictable — did the application forget \
+                 finish_unit/delete_unit?"
             ),
             GodivaError::OutOfMemory {
                 requested,
@@ -192,11 +201,15 @@ mod tests {
     fn deadlock_message_mentions_remedy() {
         let e = GodivaError::Deadlock {
             unit: "snap7".into(),
+            worker: 2,
+            needed_bytes: 64,
             mem_used: 100,
             mem_limit: 120,
         };
         let s = e.to_string();
         assert!(s.contains("snap7"));
+        assert!(s.contains("worker 2"));
+        assert!(s.contains("64 bytes"));
         assert!(s.contains("finish_unit"));
     }
 

@@ -1,0 +1,486 @@
+//! The I/O executor — N reader worker threads draining the prefetch
+//! queue, plus the read-execution machinery they share with inline
+//! reads (panic isolation, retry with backoff, wait/deadlock logic).
+//!
+//! The paper's GBO has exactly one background I/O thread (§3.2). The
+//! executor generalizes that to `GboConfig::io_threads` workers named
+//! `godiva-io-0 … godiva-io-(N-1)`: 1 worker reproduces the paper
+//! byte-for-byte (same event order, same deadlock semantics), more
+//! workers overlap one unit's decode CPU with another's disk time, and
+//! 0 workers is single-thread mode (reads happen inside `wait_unit`).
+//!
+//! Every worker registers in `UnitsState::blocked_workers` while it
+//! waits for memory, so deadlock detection reasons about the whole
+//! worker set instead of a unique I/O thread: the database is stuck
+//! when the waited-for unit cannot progress — it is being read by a
+//! memory-blocked worker, or queued while *every* worker is blocked —
+//! and nothing is evictable.
+
+use crate::db::{Inner, UnitSession};
+use crate::error::{GodivaError, Result};
+use crate::unit::UnitState;
+use crate::units::AllocCtx;
+use godiva_obs::ArgValue;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handle to the worker threads; owned by `Gbo`, joined on drop (after
+/// the facade sets the shutdown flag and wakes both condvars).
+pub(crate) struct Executor {
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawn `n` reader workers (0 = inline mode, nothing spawned).
+    pub(crate) fn spawn(inner: &Arc<Inner>, n: usize) -> Executor {
+        let workers = (0..n)
+            .map(|worker| {
+                let inner = Arc::clone(inner);
+                std::thread::Builder::new()
+                    .name(format!("godiva-io-{worker}"))
+                    .spawn(move || inner.worker_loop(worker))
+                    .expect("spawn GODIVA I/O worker")
+            })
+            .collect();
+        Executor { workers }
+    }
+
+    /// Join every worker. The shutdown flag must already be set and the
+    /// condvars notified, or this blocks forever.
+    pub(crate) fn join(&mut self) {
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The worker id as a trace argument: the actual id on a worker, `-1`
+/// for inline reads on an application thread.
+fn worker_arg(ctx: AllocCtx) -> ArgValue {
+    match ctx.worker() {
+        Some(id) => (id as u64).into(),
+        None => (-1i64).into(),
+    }
+}
+
+impl Inner {
+    /// Invoke `name`'s read function under `ctx`, with panic isolation
+    /// and the configured retry policy. The unit must already be marked
+    /// `Reading`; the unit lock must *not* be held.
+    ///
+    /// A panicking read function is caught (`catch_unwind`) and reported
+    /// as a failed read, so it can never kill an I/O worker or unwind
+    /// into application code. A *transient* error
+    /// ([`GodivaError::is_transient`]) is retried up to the policy's
+    /// attempt budget, rolling back the failed attempt's partial records
+    /// before each retry so the read function always starts clean.
+    pub(crate) fn run_reader(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<()> {
+        let reader = {
+            let st = self.units.lock();
+            st.units
+                .get(name)
+                .and_then(|u| u.reader.clone())
+                .ok_or_else(|| GodivaError::UnitError(format!("unit '{name}' has no reader")))?
+        };
+        let mut attempt = 1u32;
+        loop {
+            let span_start = self.tracer.now_us();
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_start",
+                    vec![
+                        ("unit", name.into()),
+                        ("attempt", attempt.into()),
+                        ("worker", worker_arg(ctx)),
+                    ],
+                );
+            }
+            let attempt_t0 = Instant::now();
+            let session = UnitSession {
+                inner: Arc::clone(self),
+                unit: name.to_string(),
+                ctx,
+            };
+            let err = match catch_unwind(AssertUnwindSafe(|| reader.read(&session))) {
+                Ok(Ok(())) => {
+                    self.metrics.read_hist.record(attempt_t0.elapsed());
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            "gbo",
+                            "read_done",
+                            vec![
+                                ("unit", name.into()),
+                                ("attempt", attempt.into()),
+                                ("worker", worker_arg(ctx)),
+                            ],
+                        );
+                        self.tracer.complete(
+                            "gbo",
+                            "read_unit",
+                            span_start,
+                            vec![("unit", name.into()), ("ok", true.into())],
+                        );
+                    }
+                    return Ok(());
+                }
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    self.metrics.panics_caught.inc();
+                    let message = format!("panicked: {}", crate::db::panic_message(&payload));
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            "gbo",
+                            "read_failed",
+                            vec![
+                                ("unit", name.into()),
+                                ("attempt", attempt.into()),
+                                ("worker", worker_arg(ctx)),
+                                ("error", message.as_str().into()),
+                                ("panic", true.into()),
+                            ],
+                        );
+                        self.tracer.complete(
+                            "gbo",
+                            "read_unit",
+                            span_start,
+                            vec![("unit", name.into()), ("ok", false.into())],
+                        );
+                    }
+                    // A panicking read function is the flight recorder's
+                    // raison d'être: dump the ring now (no lock is held
+                    // here), while the tail still shows the lead-up.
+                    self.dump_postmortem("reader_panic");
+                    return Err(GodivaError::ReadFailed {
+                        unit: name.to_string(),
+                        message,
+                    });
+                }
+            };
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_failed",
+                    vec![
+                        ("unit", name.into()),
+                        ("attempt", attempt.into()),
+                        ("worker", worker_arg(ctx)),
+                        ("error", err.to_string().into()),
+                        ("transient", err.is_transient().into()),
+                    ],
+                );
+                self.tracer.complete(
+                    "gbo",
+                    "read_unit",
+                    span_start,
+                    vec![("unit", name.into()), ("ok", false.into())],
+                );
+            }
+            if attempt >= self.retry.attempts() || !err.is_transient() {
+                return Err(err);
+            }
+            let backoff = self.retry.backoff_for(attempt);
+            {
+                let mut st = self.units.lock();
+                if st.shutdown {
+                    return Err(err);
+                }
+                // Roll back the failed attempt's partial records so the
+                // retry starts from an empty unit (drop_unit_data parks
+                // the unit in Registered; restore Reading).
+                self.units
+                    .drop_unit_data(&mut st, &self.store, &self.metrics, name);
+                if let Some(u) = st.units.get_mut(name) {
+                    u.state = UnitState::Reading;
+                }
+            }
+            self.metrics.units_retried.inc();
+            self.metrics.retry_backoff.add_duration(backoff);
+            self.metrics.backoff_hist.record(backoff);
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    "gbo",
+                    "read_retry",
+                    vec![
+                        ("unit", name.into()),
+                        ("next_attempt", (attempt + 1).into()),
+                        ("backoff_us", (backoff.as_micros() as u64).into()),
+                    ],
+                );
+            }
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Run a unit's reader inline on the calling thread. The unit lock
+    /// must *not* be held; the unit must already be marked `Reading`.
+    pub(crate) fn run_inline(self: &Arc<Self>, name: &str) -> Result<()> {
+        let result = self.run_reader(name, AllocCtx::Inline);
+        let mut st = self.units.lock();
+        st.clock += 1;
+        let clock = st.clock;
+        let entry = st.units.get_mut(name).expect("unit present");
+        match &result {
+            Ok(()) => {
+                entry.state = UnitState::Ready;
+                entry.loaded_seq = clock;
+                entry.last_access = clock;
+                self.metrics.units_read.inc();
+            }
+            Err(e) => {
+                entry.state = UnitState::Failed(e.to_string());
+                self.metrics.units_failed.inc();
+            }
+        }
+        self.units.unit_cv.notify_all();
+        result.map_err(|e| match e {
+            already @ GodivaError::ReadFailed { .. } => already,
+            other => GodivaError::ReadFailed {
+                unit: name.to_string(),
+                message: other.to_string(),
+            },
+        })
+    }
+
+    /// Block until `name` is loaded; pin it. Core of `wait_unit` and the
+    /// tail of `read_unit`. With a `timeout`, give up waiting on a
+    /// worker after that long (inline reads performed on the calling
+    /// thread are not interruptible and ignore the timeout).
+    pub(crate) fn wait_loaded(
+        self: &Arc<Self>,
+        name: &str,
+        explicit_read: bool,
+        timeout: Option<Duration>,
+    ) -> Result<()> {
+        let started = Instant::now();
+        let span_start = self.tracer.now_us();
+        let deadline = timeout.map(|t| started + t);
+        let background = self.units.worker_count > 0;
+        let mut blocked = false;
+        let result = loop {
+            let mut st = self.units.lock();
+            let Some(entry) = st.units.get_mut(name) else {
+                break Err(GodivaError::UnitError(format!("unknown unit '{name}'")));
+            };
+            match entry.state.clone() {
+                UnitState::Ready | UnitState::Finished => {
+                    entry.state = UnitState::Ready;
+                    entry.refcount += 1;
+                    st.touch(name);
+                    if !blocked {
+                        self.metrics.cache_hits.inc();
+                    }
+                    break Ok(());
+                }
+                UnitState::Failed(msg) => {
+                    break Err(GodivaError::ReadFailed {
+                        unit: name.to_string(),
+                        message: msg,
+                    })
+                }
+                UnitState::Registered => {
+                    // Not queued: do a blocking read on this thread
+                    // (interactive mode, or a revisit after eviction).
+                    entry.state = UnitState::Reading;
+                    self.metrics.blocking_reads.inc();
+                    drop(st);
+                    blocked = true;
+                    if let Err(e) = self.run_inline(name) {
+                        break Err(e);
+                    }
+                    continue;
+                }
+                UnitState::Queued if !background || explicit_read => {
+                    // Single-thread GODIVA performs the read inside
+                    // wait_unit (§4.2); read_unit is always explicit.
+                    self.units.unqueue(&mut st, &self.metrics, name);
+                    let entry = st.units.get_mut(name).expect("present");
+                    entry.state = UnitState::Reading;
+                    self.metrics.blocking_reads.inc();
+                    drop(st);
+                    blocked = true;
+                    if let Err(e) = self.run_inline(name) {
+                        break Err(e);
+                    }
+                    continue;
+                }
+                state @ (UnitState::Queued | UnitState::Reading) => {
+                    // Deadlock detection (§3.3): the unit we wait for
+                    // cannot progress — it is being read by a worker
+                    // that is itself blocked on memory, or it is queued
+                    // while every worker is blocked — and nothing can be
+                    // evicted. Needs are re-verified against the budget,
+                    // so a stale blocked entry (set_mem_space raised the
+                    // budget but the worker has not yet woken) is not
+                    // misreported as a deadlock.
+                    let reading_worker = entry.reading_worker;
+                    let stuck = match state {
+                        UnitState::Reading => reading_worker
+                            .and_then(|w| st.blocked_workers.get(&w).map(|&need| (w, need)))
+                            .filter(|(_, need)| st.mem_used.saturating_add(*need) > st.mem_limit),
+                        _ => (st.blocked_workers.len() == self.units.worker_count)
+                            .then(|| st.stuck_worker())
+                            .flatten(),
+                    };
+                    if let Some((worker, need)) = stuck {
+                        if !st.has_evictable() {
+                            self.metrics.deadlocks_detected.inc();
+                            if self.tracer.enabled() {
+                                self.tracer.instant(
+                                    "gbo",
+                                    "deadlock_detected",
+                                    vec![
+                                        ("unit", name.into()),
+                                        ("worker", (worker as u64).into()),
+                                        ("needed_bytes", need.into()),
+                                        ("mem_used", st.mem_used.into()),
+                                        ("mem_limit", st.mem_limit.into()),
+                                    ],
+                                );
+                            }
+                            break Err(GodivaError::Deadlock {
+                                unit: name.to_string(),
+                                worker,
+                                needed_bytes: need,
+                                mem_used: st.mem_used,
+                                mem_limit: st.mem_limit,
+                            });
+                        }
+                    }
+                    blocked = true;
+                    match deadline {
+                        None => self.units.unit_cv.wait(&mut st),
+                        Some(d) => {
+                            if self.units.unit_cv.wait_until(&mut st, d).timed_out() {
+                                // Re-check under the lock: the unit may
+                                // have loaded in the race with the clock.
+                                let loaded = st
+                                    .units
+                                    .get(name)
+                                    .map(|u| u.state.is_loaded())
+                                    .unwrap_or(false);
+                                if !loaded {
+                                    self.metrics.wait_timeouts.inc();
+                                    if self.tracer.enabled() {
+                                        self.tracer.instant(
+                                            "gbo",
+                                            "wait_timeout",
+                                            vec![
+                                                ("unit", name.into()),
+                                                (
+                                                    "waited_us",
+                                                    (started.elapsed().as_micros() as u64).into(),
+                                                ),
+                                            ],
+                                        );
+                                    }
+                                    break Err(GodivaError::WaitTimeout {
+                                        unit: name.to_string(),
+                                        waited: started.elapsed(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if blocked {
+            // Lock-free: the old implementation re-took the state lock
+            // just to bump this.
+            let waited = started.elapsed();
+            self.metrics.wait_time.add_duration(waited);
+            self.metrics.wait_hist.record(waited);
+            if self.tracer.enabled() {
+                self.tracer.complete(
+                    "gbo",
+                    "wait_unit",
+                    span_start,
+                    vec![("unit", name.into()), ("ok", result.is_ok().into())],
+                );
+            }
+        }
+        // Deadlock is detected under the unit lock, but the post-mortem
+        // write is file I/O — do it out here, lock released.
+        if matches!(result, Err(GodivaError::Deadlock { .. })) {
+            self.dump_postmortem("deadlock");
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // worker threads
+    // ------------------------------------------------------------------
+
+    pub(crate) fn worker_loop(self: Arc<Self>, worker: usize) {
+        loop {
+            // Wait for a queued unit and for memory headroom.
+            let name = {
+                let mut st = self.units.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if !st.queue.is_empty() {
+                        if st.mem_used < st.mem_limit {
+                            break;
+                        }
+                        if self
+                            .units
+                            .evict_one(&mut st, &self.store, &self.metrics, &self.tracer)
+                        {
+                            continue;
+                        }
+                        // Memory full, nothing evictable: block, flagged
+                        // for deadlock detection. Needing "1 byte" makes
+                        // the shortage test `mem_used >= mem_limit`.
+                        st.blocked_workers.insert(worker, 1);
+                        self.units.unit_cv.notify_all();
+                        self.units.work_cv.wait(&mut st);
+                        st.blocked_workers.remove(&worker);
+                        continue;
+                    }
+                    self.units.work_cv.wait(&mut st);
+                }
+                let name = st.queue.pop().expect("non-empty");
+                self.metrics.queue_depth.set(st.queue.len() as u64);
+                let entry = st.units.get_mut(&name).expect("queued unit exists");
+                entry.state = UnitState::Reading;
+                entry.reading_worker = Some(worker);
+                self.metrics.background_reads.inc();
+                name
+            };
+
+            // Panic isolation + retry live inside run_reader: a
+            // panicking or transiently failing read function can never
+            // kill this worker — the unit just ends up Failed.
+            self.metrics.io_workers_busy.inc();
+            let result = self.run_reader(&name, AllocCtx::Worker(worker));
+            self.metrics.io_workers_busy.dec();
+
+            let mut st = self.units.lock();
+            st.clock += 1;
+            let clock = st.clock;
+            if let Some(entry) = st.units.get_mut(&name) {
+                entry.reading_worker = None;
+                match &result {
+                    Ok(()) => {
+                        entry.state = UnitState::Ready;
+                        entry.loaded_seq = clock;
+                        entry.last_access = clock;
+                        self.metrics.units_read.inc();
+                    }
+                    Err(e) => {
+                        entry.state = UnitState::Failed(e.to_string());
+                        self.metrics.units_failed.inc();
+                    }
+                }
+            }
+            self.units.unit_cv.notify_all();
+        }
+    }
+}

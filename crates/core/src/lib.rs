@@ -21,9 +21,11 @@
 //!   predicates; GODIVA manages buffer locations, not contents.
 //! - A **processing unit** is a named group of records read together by a
 //!   developer-supplied [`ReadFunction`] ([`unit`]). Units are the
-//!   granularity of **prefetching** (FIFO queue served by one background
-//!   I/O thread) and **caching** (LRU eviction of *finished* units under
-//!   a developer-set memory budget).
+//!   granularity of **prefetching** (a FIFO queue served by the I/O
+//!   executor's reader workers — one by default, matching the paper's
+//!   single background I/O thread; see `GboConfig::io_threads`) and
+//!   **caching** (LRU eviction of *finished* units under a
+//!   developer-set memory budget).
 //!
 //! ## Quick taste
 //!
@@ -74,14 +76,19 @@
 pub mod buffer;
 pub mod db;
 pub mod error;
+mod exec;
 mod metrics;
+pub mod sched;
 pub mod schema;
 pub mod stats;
+mod store;
 pub mod unit;
+mod units;
 
 pub use buffer::{FieldBuffer, FieldData, FieldRef, Key};
 pub use db::{Gbo, GboConfig, RecordHandle, RecordId, RetryPolicy, UnitGuard, UnitSession};
 pub use error::{GodivaError, Result};
+pub use sched::{FifoPolicy, PriorityPolicy, QueuePolicy, SchedulerKind};
 pub use schema::{DeclaredSize, FieldKind, FieldSlot, FieldTypeDef, RecordTypeDef, Schema};
 pub use stats::GboStats;
 pub use unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};

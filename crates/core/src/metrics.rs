@@ -37,10 +37,13 @@ pub(crate) struct GboMetrics {
     pub wait_time: Arc<Counter>,
     /// Nanoseconds slept in retry backoff (`retry_backoff_total`).
     pub retry_backoff: Arc<Counter>,
-    /// Mirror of `State::mem_used`; its max is `mem_peak`.
+    /// Mirror of the unit layer's `mem_used`; its max is `mem_peak`.
     pub mem: Arc<Gauge>,
     /// Prefetch-queue depth (live only; not part of [`GboStats`]).
     pub queue_depth: Arc<Gauge>,
+    /// I/O workers currently running a read function (live only; its
+    /// max shows how much of the executor a workload ever used).
+    pub io_workers_busy: Arc<Gauge>,
     /// Per-call blocked-wait latency (µs).
     pub wait_hist: Arc<Histogram>,
     /// Per-attempt successful read-function latency (µs).
@@ -89,6 +92,7 @@ impl GboMetrics {
             retry_backoff: c("gbo.retry_backoff_ns"),
             mem: g("gbo.mem_bytes"),
             queue_depth: g("gbo.queue_depth"),
+            io_workers_busy: g("gbo.io_workers_busy"),
             wait_hist: h("gbo.wait_latency_us"),
             read_hist: h("gbo.read_latency_us"),
             backoff_hist: h("gbo.retry_backoff_us"),

@@ -1,0 +1,214 @@
+//! Prefetch scheduling — the queue between `add_unit` and the I/O
+//! executor.
+//!
+//! The paper's GBO serves prefetch requests strictly in arrival order
+//! (§3.2: a FIFO queue drained by the background I/O thread). That
+//! policy is preserved as the default [`FifoPolicy`]; the layer exists
+//! so alternatives can be plugged in without touching the unit table or
+//! the executor. [`PriorityPolicy`] is the first such alternative:
+//! units carry an application-assigned priority
+//! ([`crate::Gbo::add_unit_with_priority`]) and the highest one is read
+//! next, FIFO among equals.
+//!
+//! A policy only orders *names*; unit state, memory accounting and
+//! worker management live in the `units` and `exec` layers.
+
+use std::collections::VecDeque;
+
+/// Ordering policy for the prefetch queue.
+///
+/// Implementations are driven entirely under the unit-table lock, so
+/// they need no interior synchronization — just `Send` so the executor's
+/// worker threads may touch them.
+pub trait QueuePolicy: Send {
+    /// Enqueue `unit` with the given priority (larger = read sooner;
+    /// FIFO implementations may ignore it).
+    fn push(&mut self, unit: String, priority: i64);
+    /// Dequeue the next unit to read, if any.
+    fn pop(&mut self) -> Option<String>;
+    /// Remove `unit` from the queue wherever it sits. Returns whether it
+    /// was present.
+    fn remove(&mut self, unit: &str) -> bool;
+    /// Number of queued units.
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The paper's policy: strict arrival order, priorities ignored.
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<String>,
+}
+
+impl QueuePolicy for FifoPolicy {
+    fn push(&mut self, unit: String, _priority: i64) {
+        self.queue.push_back(unit);
+    }
+
+    fn pop(&mut self) -> Option<String> {
+        self.queue.pop_front()
+    }
+
+    fn remove(&mut self, unit: &str) -> bool {
+        match self.queue.iter().position(|n| n == unit) {
+            Some(pos) => {
+                self.queue.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Highest priority first; FIFO among equal priorities (a stable
+/// tie-break via an admission sequence number, so `Priority` with all
+/// priorities equal behaves exactly like [`FifoPolicy`]).
+#[derive(Debug, Default)]
+pub struct PriorityPolicy {
+    /// `(priority, admission_seq, unit)`; queues are short (bounded by
+    /// the number of registered units), so a linear scan beats
+    /// maintaining a heap plus a by-name side index.
+    entries: Vec<(i64, u64, String)>,
+    next_seq: u64,
+}
+
+impl QueuePolicy for PriorityPolicy {
+    fn push(&mut self, unit: String, priority: i64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((priority, seq, unit));
+    }
+
+    fn pop(&mut self) -> Option<String> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (prio, seq, _))| (std::cmp::Reverse(*prio), *seq))
+            .map(|(i, _)| i)?;
+        Some(self.entries.remove(best).2)
+    }
+
+    fn remove(&mut self, unit: &str) -> bool {
+        match self.entries.iter().position(|(_, _, n)| n == unit) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Which [`QueuePolicy`] a [`crate::GboConfig`] installs.
+///
+/// An enum rather than a boxed trait object so the config stays `Clone +
+/// Debug`; the policy instance itself is built once at database
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Arrival order (the paper's behaviour). Default.
+    #[default]
+    Fifo,
+    /// Highest [`crate::Gbo::add_unit_with_priority`] priority first,
+    /// FIFO among equals.
+    Priority,
+}
+
+impl SchedulerKind {
+    /// Instantiate the policy.
+    pub(crate) fn build(self) -> Box<dyn QueuePolicy> {
+        match self {
+            SchedulerKind::Fifo => Box::<FifoPolicy>::default(),
+            SchedulerKind::Priority => Box::<PriorityPolicy>::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = FifoPolicy::default();
+        q.push("a".into(), 9);
+        q.push("b".into(), 0);
+        q.push("c".into(), 5);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop().as_deref(), Some("b"));
+        assert_eq!(q.pop().as_deref(), Some("c"));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_remove_plucks_from_middle() {
+        let mut q = FifoPolicy::default();
+        for n in ["a", "b", "c"] {
+            q.push(n.into(), 0);
+        }
+        assert!(q.remove("b"));
+        assert!(!q.remove("b"));
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop().as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn priority_orders_by_priority_then_arrival() {
+        let mut q = PriorityPolicy::default();
+        q.push("low".into(), -1);
+        q.push("hi1".into(), 10);
+        q.push("mid".into(), 3);
+        q.push("hi2".into(), 10);
+        assert_eq!(q.pop().as_deref(), Some("hi1"));
+        assert_eq!(q.pop().as_deref(), Some("hi2"));
+        assert_eq!(q.pop().as_deref(), Some("mid"));
+        assert_eq!(q.pop().as_deref(), Some("low"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_with_equal_priorities_is_fifo() {
+        let mut q = PriorityPolicy::default();
+        for n in ["a", "b", "c", "d"] {
+            q.push(n.into(), 7);
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn priority_remove_and_len() {
+        let mut q = PriorityPolicy::default();
+        q.push("a".into(), 1);
+        q.push("b".into(), 2);
+        assert_eq!(q.len(), 2);
+        assert!(q.remove("a"));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn kinds_build_their_policies() {
+        let mut fifo = SchedulerKind::Fifo.build();
+        fifo.push("x".into(), 0);
+        assert_eq!(fifo.pop().as_deref(), Some("x"));
+        let mut prio = SchedulerKind::Priority.build();
+        prio.push("lo".into(), 0);
+        prio.push("hi".into(), 1);
+        assert_eq!(prio.pop().as_deref(), Some("hi"));
+    }
+}

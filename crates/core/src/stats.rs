@@ -21,7 +21,7 @@ pub struct GboStats {
     pub cache_hits: u64,
     /// Reads performed inline on the calling thread (blocking).
     pub blocking_reads: u64,
-    /// Reads performed by the background I/O thread.
+    /// Reads performed by the I/O executor's worker threads.
     pub background_reads: u64,
     /// Records created.
     pub records_created: u64,

@@ -1,0 +1,273 @@
+//! The record store — schema registry, record table and key index
+//! behind their own lock.
+//!
+//! This is the bottom layer of the database (see DESIGN.md §5e): it
+//! knows nothing about units, memory budgets or I/O workers. Record
+//! *bytes* are accounted by the `units` layer; the store only owns the
+//! buffers' locations and the ordered key index (§3.3's RB-tree
+//! equivalent).
+//!
+//! ## Lock order
+//!
+//! The store lock is the **innermost** lock: code holding the unit-table
+//! lock may take the store lock (eviction does, to drop a unit's
+//! records), but never the reverse. Paths that need both in the other
+//! direction (e.g. key lookup touching the owning unit's LRU clock)
+//! release the store lock first.
+
+use crate::buffer::{FieldData, FieldRef, Key};
+use crate::error::{GodivaError, Result};
+use crate::metrics::GboMetrics;
+use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
+use godiva_obs::Tracer;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Identifier of a record inside one database.
+pub type RecordId = u64;
+
+/// Pre-allocation plan for a new record: the committed type, the
+/// zeroed known-size buffers (by field slot), and the bytes to charge.
+pub(crate) type RecordPlan = (Arc<RecordTypeDef>, Vec<(usize, FieldData)>, u64);
+
+pub(crate) struct RecordEntry {
+    pub(crate) rt: Arc<RecordTypeDef>,
+    /// One slot per field of the record type, in definition order.
+    pub(crate) fields: Vec<Option<FieldRef>>,
+    pub(crate) committed: bool,
+    /// Key snapshot taken at commit (guards the index against later key
+    /// buffer modification — see DESIGN.md).
+    pub(crate) key: Option<Vec<Key>>,
+    pub(crate) unit: Option<String>,
+}
+
+pub(crate) struct StoreState {
+    pub(crate) schema: Schema,
+    pub(crate) committed_types: HashMap<String, Arc<RecordTypeDef>>,
+    pub(crate) records: HashMap<RecordId, RecordEntry>,
+    pub(crate) index: HashMap<String, BTreeMap<Vec<Key>, RecordId>>,
+    pub(crate) next_record: RecordId,
+}
+
+/// The store layer: one lock over schema + records + index.
+pub(crate) struct Store {
+    state: Mutex<StoreState>,
+}
+
+impl Store {
+    pub(crate) fn new() -> Self {
+        Store {
+            state: Mutex::new(StoreState {
+                schema: Schema::new(),
+                committed_types: HashMap::new(),
+                records: HashMap::new(),
+                index: HashMap::new(),
+                next_record: 1,
+            }),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, StoreState> {
+        self.state.lock()
+    }
+
+    /// Resolve `(record, field)` to its slot, checking existence.
+    pub(crate) fn slot_of(
+        st: &StoreState,
+        id: RecordId,
+        field: &str,
+    ) -> Result<(usize, FieldKind)> {
+        let rec = st
+            .records
+            .get(&id)
+            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
+        let slot = rec
+            .rt
+            .slot(field)
+            .ok_or_else(|| GodivaError::UnknownField {
+                record_type: rec.rt.name.clone(),
+                field: field.to_string(),
+            })?;
+        let kind = st.schema.field(field)?.kind;
+        Ok((slot, kind))
+    }
+
+    /// Resolve the committed record type and the pre-allocation plan for
+    /// a new record of `type_name`: `(type, zeroed known-size buffers,
+    /// total bytes to charge)`. §3.1: "If a field's size is not UNKNOWN,
+    /// its data buffer will be allocated when the new record is created".
+    pub(crate) fn prepare_record(&self, type_name: &str) -> Result<RecordPlan> {
+        let mut st = self.lock();
+        let rt = match st.committed_types.get(type_name) {
+            Some(rt) => Arc::clone(rt),
+            None => {
+                // Promote a freshly committed definition into the cache.
+                let def = st.schema.committed_record(type_name)?.clone();
+                let rt = Arc::new(def);
+                st.committed_types
+                    .insert(type_name.to_string(), Arc::clone(&rt));
+                rt
+            }
+        };
+        let mut prealloc: Vec<(usize, FieldData)> = Vec::new();
+        let mut total = 0u64;
+        for (slot, fs) in rt.fields.iter().enumerate() {
+            let def = st.schema.field(&fs.field)?;
+            if let DeclaredSize::Known(bytes) = def.size {
+                prealloc.push((slot, FieldData::zeroed(def.kind, bytes)?));
+                total += bytes;
+            }
+        }
+        Ok((rt, prealloc, total))
+    }
+
+    /// Install a prepared record and return its id. Safe to call with
+    /// the unit-table lock held (lock order units → store).
+    pub(crate) fn install_record(
+        &self,
+        rt: Arc<RecordTypeDef>,
+        prealloc: Vec<(usize, FieldData)>,
+        unit: Option<&str>,
+    ) -> RecordId {
+        use crate::buffer::FieldBuffer;
+        let mut st = self.lock();
+        let id = st.next_record;
+        st.next_record += 1;
+        let mut fields: Vec<Option<FieldRef>> = vec![None; rt.fields.len()];
+        for (slot, data) in prealloc {
+            fields[slot] = Some(FieldBuffer::new(data));
+        }
+        st.records.insert(
+            id,
+            RecordEntry {
+                rt,
+                fields,
+                committed: false,
+                key: None,
+                unit: unit.map(str::to_string),
+            },
+        );
+        id
+    }
+
+    /// Remove `ids` from the record table and the key index. Called by
+    /// the units layer with its lock held (lock order units → store)
+    /// when a unit is evicted, deleted or rolled back.
+    pub(crate) fn remove_records(&self, ids: &[RecordId]) {
+        let mut st = self.lock();
+        for rid in ids {
+            if let Some(rec) = st.records.remove(rid) {
+                if let Some(key) = rec.key {
+                    if let Some(idx) = st.index.get_mut(&rec.rt.name) {
+                        idx.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Snapshot the key fields of `id` and insert it into the index.
+    pub(crate) fn commit_record(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        id: RecordId,
+    ) -> Result<()> {
+        let mut st = self.lock();
+        let rec = st
+            .records
+            .get(&id)
+            .ok_or_else(|| GodivaError::NotFound(format!("record #{id}")))?;
+        if rec.committed {
+            return Ok(());
+        }
+        let mut key = Vec::new();
+        for (slot, fs) in rec.rt.fields.iter().enumerate() {
+            if !fs.is_key {
+                continue;
+            }
+            let buf = rec.fields[slot]
+                .as_ref()
+                .ok_or_else(|| GodivaError::Unallocated {
+                    field: fs.field.clone(),
+                })?;
+            key.push(Key(buf.data().key_bytes()));
+        }
+        let type_name = rec.rt.name.clone();
+        let idx = st.index.entry(type_name.clone()).or_default();
+        if let Some(existing) = idx.get(&key) {
+            return Err(GodivaError::DuplicateKey(format!(
+                "record type '{type_name}': key {key:?} already identifies record #{existing}"
+            )));
+        }
+        idx.insert(key.clone(), id);
+        let rec = st.records.get_mut(&id).expect("present");
+        rec.committed = true;
+        rec.key = Some(key);
+        metrics.records_committed.inc();
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "record_commit",
+                vec![("type", type_name.into()), ("record", id.into())],
+            );
+        }
+        Ok(())
+    }
+
+    /// Key lookup. Returns the buffer handle plus the owning unit's name
+    /// so the caller can touch that unit's LRU clock — the store lock is
+    /// released before the caller takes the unit-table lock.
+    pub(crate) fn lookup(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        record_type: &str,
+        field: &str,
+        keys: &[Key],
+    ) -> Result<(FieldRef, Option<String>)> {
+        let st = self.lock();
+        metrics.queries.inc();
+        let Some(&id) = st
+            .index
+            .get(record_type)
+            .and_then(|idx| idx.get(&keys.to_vec()))
+        else {
+            metrics.query_misses.inc();
+            if tracer.enabled() {
+                tracer.instant(
+                    "gbo",
+                    "key_lookup",
+                    vec![("type", record_type.into()), ("hit", false.into())],
+                );
+            }
+            // Distinguish "unknown type" from "no such key" for callers.
+            st.schema.committed_record(record_type)?;
+            return Err(GodivaError::NotFound(format!(
+                "record type '{record_type}' has no record with key {keys:?}"
+            )));
+        };
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "key_lookup",
+                vec![("type", record_type.into()), ("hit", true.into())],
+            );
+        }
+        let rec = st.records.get(&id).expect("index points at live record");
+        let slot = rec
+            .rt
+            .slot(field)
+            .ok_or_else(|| GodivaError::UnknownField {
+                record_type: record_type.to_string(),
+                field: field.to_string(),
+            })?;
+        let buf = rec.fields[slot]
+            .clone()
+            .ok_or_else(|| GodivaError::Unallocated {
+                field: field.to_string(),
+            })?;
+        Ok((buf, rec.unit.clone()))
+    }
+}

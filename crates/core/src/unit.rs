@@ -23,14 +23,15 @@ use std::sync::Arc;
 /// registered for many units and dispatches on the name (e.g. reads the
 /// file the unit is named after).
 ///
-/// Read functions run on the background I/O thread in multi-thread mode
-/// and on the calling thread in single-thread mode; they must therefore
-/// be `Send + Sync`.
+/// Read functions run on the I/O executor's worker threads in
+/// multi-thread mode (one worker by default — the paper's background
+/// I/O thread) and on the calling thread in single-thread mode; they
+/// must therefore be `Send + Sync`.
 ///
 /// The database isolates failures in read functions: a returned error
 /// marks the unit [`UnitState::Failed`]; a *panic* is caught
 /// (`catch_unwind`) and likewise marks the unit failed — it can never
-/// kill the background I/O thread or unwind into application code. A
+/// kill an I/O worker or unwind into application code. A
 /// transient I/O error (see [`GodivaError::is_transient`]) is retried
 /// per the database's [`crate::db::RetryPolicy`], with the attempt's
 /// partial records rolled back first.
@@ -57,7 +58,7 @@ pub enum UnitState {
     /// Known to the database (has a read function) but holds no data —
     /// the state after registration, `delete_unit`, or eviction.
     Registered,
-    /// In the FIFO prefetch queue, waiting for the I/O thread.
+    /// In the prefetch queue, waiting for an I/O worker.
     Queued,
     /// A read function is currently loading it.
     Reading,

@@ -1,0 +1,497 @@
+//! The unit layer — unit table, reference counts, LRU clock, prefetch
+//! queue and the memory budget.
+//!
+//! Everything here sits behind one lock (`Units::state`), which is also
+//! the lock both condition variables are tied to: `unit_cv` wakes
+//! waiters on unit state changes, `work_cv` wakes I/O workers when the
+//! queue or the budget changes. The record store has its *own* lock;
+//! the order is always **units → store** (eviction holds the unit lock
+//! and takes the store lock to drop records), never the reverse.
+//!
+//! Blocked-worker accounting generalizes the paper's single
+//! `io_blocked_on_memory` flag: each executor worker that is waiting for
+//! memory registers itself in [`UnitsState::blocked_workers`] with the
+//! bytes it needs, and the deadlock check (§3.3, in the `exec` layer)
+//! inspects that set instead of a unique I/O thread.
+
+use crate::error::{GodivaError, Result};
+use crate::metrics::GboMetrics;
+use crate::sched::QueuePolicy;
+use crate::store::{RecordId, Store};
+use crate::unit::{EvictionPolicy, ReadFn, UnitState};
+use godiva_obs::Tracer;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::{BTreeMap, HashMap};
+
+/// Where an allocation request comes from; decides its blocking
+/// behaviour when the budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AllocCtx {
+    /// Application code outside any unit read. Never blocks: the paper
+    /// assumes active data fits in memory, so these proceed (counted as
+    /// over-budget if they exceed the limit).
+    Foreground,
+    /// Executor worker `n`. Blocks until eviction or a finish/delete
+    /// frees memory, registered in `blocked_workers` meanwhile.
+    Worker(usize),
+    /// An inline (blocking) read on the calling thread. Cannot block on
+    /// other threads, so budget exhaustion is an error.
+    Inline,
+}
+
+impl AllocCtx {
+    /// The executor worker id, if this is a worker allocation.
+    pub(crate) fn worker(self) -> Option<usize> {
+        match self {
+            AllocCtx::Worker(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) struct UnitEntry {
+    pub(crate) reader: Option<ReadFn>,
+    pub(crate) state: UnitState,
+    pub(crate) records: Vec<RecordId>,
+    pub(crate) refcount: usize,
+    /// Bytes charged by this unit's records.
+    pub(crate) bytes: u64,
+    /// LRU clock value of the most recent access.
+    pub(crate) last_access: u64,
+    /// Monotonic sequence assigned when the unit finished loading (FIFO
+    /// eviction order).
+    pub(crate) loaded_seq: u64,
+    /// Scheduling priority carried across re-queues (`reset_unit`).
+    pub(crate) priority: i64,
+    /// Executor worker currently reading this unit (`None` when idle or
+    /// read inline on an application thread). The deadlock check uses
+    /// it to see whether the unit a caller waits for is stuck behind a
+    /// memory-blocked worker.
+    pub(crate) reading_worker: Option<usize>,
+}
+
+impl UnitEntry {
+    pub(crate) fn new(reader: Option<ReadFn>, state: UnitState, priority: i64) -> Self {
+        UnitEntry {
+            reader,
+            state,
+            records: Vec::new(),
+            refcount: 0,
+            bytes: 0,
+            last_access: 0,
+            loaded_seq: 0,
+            priority,
+            reading_worker: None,
+        }
+    }
+
+    pub(crate) fn evictable(&self) -> bool {
+        self.state == UnitState::Finished && self.refcount == 0 && self.bytes > 0
+    }
+}
+
+pub(crate) struct UnitsState {
+    pub(crate) units: HashMap<String, UnitEntry>,
+    pub(crate) queue: Box<dyn QueuePolicy>,
+    pub(crate) mem_used: u64,
+    pub(crate) mem_limit: u64,
+    pub(crate) clock: u64,
+    /// Executor workers currently blocked waiting for memory, keyed by
+    /// worker id, with the bytes each needs. The deadlock check
+    /// re-verifies the shortage against these needs, so a stale entry
+    /// (`set_mem_space` raised the budget but the worker has not yet
+    /// woken) is never reported as a deadlock.
+    pub(crate) blocked_workers: BTreeMap<usize, u64>,
+    pub(crate) shutdown: bool,
+}
+
+impl UnitsState {
+    pub(crate) fn touch(&mut self, unit: &str) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(u) = self.units.get_mut(unit) {
+            u.last_access = clock;
+        }
+    }
+
+    pub(crate) fn has_evictable(&self) -> bool {
+        self.units.values().any(|u| u.evictable())
+    }
+
+    /// The memory-blocked worker with the smallest need that still does
+    /// not fit in the budget — i.e. proof that *no* blocked worker can
+    /// proceed. `None` when some blocked worker's need now fits (or none
+    /// is blocked).
+    pub(crate) fn stuck_worker(&self) -> Option<(usize, u64)> {
+        let (&worker, &need) = self.blocked_workers.iter().min_by_key(|(_, &need)| need)?;
+        (self.mem_used.saturating_add(need) > self.mem_limit).then_some((worker, need))
+    }
+}
+
+/// The unit layer: unit table + queue + budget behind one lock, with
+/// the two condition variables the rest of the database synchronizes
+/// through.
+pub(crate) struct Units {
+    pub(crate) state: Mutex<UnitsState>,
+    /// Signaled on unit state changes and on blocked-worker
+    /// transitions; `wait_unit` waits here.
+    pub(crate) unit_cv: Condvar,
+    /// Signaled when a worker may have work or memory: queue push,
+    /// memory freed, budget raised, shutdown.
+    pub(crate) work_cv: Condvar,
+    pub(crate) eviction: EvictionPolicy,
+    /// Number of executor worker threads (0 = inline mode).
+    pub(crate) worker_count: usize,
+}
+
+impl Units {
+    pub(crate) fn new(
+        queue: Box<dyn QueuePolicy>,
+        mem_limit: u64,
+        eviction: EvictionPolicy,
+        worker_count: usize,
+    ) -> Self {
+        Units {
+            state: Mutex::new(UnitsState {
+                units: HashMap::new(),
+                queue,
+                mem_used: 0,
+                mem_limit,
+                clock: 0,
+                blocked_workers: BTreeMap::new(),
+                shutdown: false,
+            }),
+            unit_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            eviction,
+            worker_count,
+        }
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, UnitsState> {
+        self.state.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // memory accounting
+    // ------------------------------------------------------------------
+
+    /// Charge `bytes` to the budget on behalf of `unit` (if any),
+    /// blocking or failing according to `ctx`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn charge<'a>(
+        &'a self,
+        st: &mut MutexGuard<'a, UnitsState>,
+        store: &Store,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        bytes: u64,
+        ctx: AllocCtx,
+        unit: Option<&str>,
+    ) -> Result<()> {
+        loop {
+            if st.shutdown && matches!(ctx, AllocCtx::Worker(_)) {
+                return Err(GodivaError::Shutdown);
+            }
+            if st.mem_used + bytes <= st.mem_limit {
+                break;
+            }
+            if self.evict_one(st, store, metrics, tracer) {
+                continue;
+            }
+            // Nothing evictable. If everything currently charged belongs
+            // to the unit being read, the unit is simply larger than the
+            // budget; proceed over budget rather than hang (the paper
+            // assumes one unit always fits).
+            let own = unit
+                .and_then(|u| st.units.get(u))
+                .map(|u| u.bytes)
+                .unwrap_or(0);
+            if st.mem_used.saturating_sub(own) == 0 {
+                metrics.over_budget_allocs.inc();
+                break;
+            }
+            match ctx {
+                AllocCtx::Foreground => {
+                    metrics.over_budget_allocs.inc();
+                    break;
+                }
+                AllocCtx::Inline => {
+                    return Err(GodivaError::OutOfMemory {
+                        requested: bytes,
+                        mem_used: st.mem_used,
+                        mem_limit: st.mem_limit,
+                    });
+                }
+                AllocCtx::Worker(id) => {
+                    st.blocked_workers.insert(id, bytes);
+                    // Wake any `wait_unit` callers so they can run the
+                    // deadlock check (§3.3).
+                    self.unit_cv.notify_all();
+                    self.work_cv.wait(st);
+                    st.blocked_workers.remove(&id);
+                }
+            }
+        }
+        st.mem_used += bytes;
+        metrics.bytes_allocated.add(bytes);
+        metrics.mem.set(st.mem_used);
+        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
+            u.bytes += bytes;
+        }
+        Ok(())
+    }
+
+    /// Return `bytes` to the budget (and to `unit`'s account).
+    pub(crate) fn release(
+        &self,
+        st: &mut UnitsState,
+        metrics: &GboMetrics,
+        bytes: u64,
+        unit: Option<&str>,
+    ) {
+        st.mem_used = st.mem_used.saturating_sub(bytes);
+        metrics.mem.set(st.mem_used);
+        if let Some(u) = unit.and_then(|u| st.units.get_mut(u)) {
+            u.bytes = u.bytes.saturating_sub(bytes);
+        }
+        if bytes > 0 {
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Evict one finished, unpinned unit according to the policy.
+    /// Returns whether anything was evicted.
+    pub(crate) fn evict_one(
+        &self,
+        st: &mut UnitsState,
+        store: &Store,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+    ) -> bool {
+        let candidate = st
+            .units
+            .iter()
+            .filter(|(_, u)| u.evictable())
+            .min_by_key(|(_, u)| match self.eviction {
+                EvictionPolicy::Lru => u.last_access,
+                EvictionPolicy::Fifo => u.loaded_seq,
+            })
+            .map(|(name, _)| name.clone());
+        let Some(name) = candidate else {
+            return false;
+        };
+        let freed = self.drop_unit_data(st, store, metrics, &name);
+        metrics.evictions.inc();
+        metrics.bytes_evicted.add(freed);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "unit_evicted",
+                vec![
+                    ("unit", name.as_str().into()),
+                    ("freed_bytes", freed.into()),
+                    // Post-eviction occupancy: an occupancy-timeline
+                    // sample for trace analytics (godiva-report).
+                    ("mem_used", st.mem_used.into()),
+                ],
+            );
+        }
+        true
+    }
+
+    /// Remove a unit's records from the store and index, free its bytes,
+    /// and return the unit to `Registered`. Returns bytes freed.
+    /// Takes the store lock (lock order units → store).
+    pub(crate) fn drop_unit_data(
+        &self,
+        st: &mut UnitsState,
+        store: &Store,
+        metrics: &GboMetrics,
+        name: &str,
+    ) -> u64 {
+        let Some(entry) = st.units.get_mut(name) else {
+            return 0;
+        };
+        let records = std::mem::take(&mut entry.records);
+        let freed = entry.bytes;
+        entry.bytes = 0;
+        entry.state = UnitState::Registered;
+        store.remove_records(&records);
+        st.mem_used = st.mem_used.saturating_sub(freed);
+        metrics.mem.set(st.mem_used);
+        if freed > 0 {
+            self.work_cv.notify_all();
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // unit lifecycle
+    // ------------------------------------------------------------------
+
+    /// `addUnit`: register (or re-arm) the unit and enqueue it.
+    pub(crate) fn add_unit(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        name: &str,
+        priority: i64,
+        reader: ReadFn,
+    ) -> Result<()> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(GodivaError::Shutdown);
+        }
+        match st.units.get_mut(name) {
+            None => {
+                st.units.insert(
+                    name.to_string(),
+                    UnitEntry::new(Some(reader), UnitState::Queued, priority),
+                );
+            }
+            Some(entry) => match entry.state {
+                UnitState::Registered => {
+                    entry.reader = Some(reader);
+                    entry.state = UnitState::Queued;
+                    entry.priority = priority;
+                }
+                _ => {
+                    return Err(GodivaError::UnitError(format!(
+                        "unit '{name}' already added (state {:?})",
+                        entry.state
+                    )))
+                }
+            },
+        }
+        st.queue.push(name.to_string(), priority);
+        metrics.units_added.inc();
+        metrics.queue_depth.set(st.queue.len() as u64);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "unit_added",
+                vec![("unit", name.into()), ("queued", true.into())],
+            );
+        }
+        self.work_cv.notify_all();
+        Ok(())
+    }
+
+    /// Remove `name` from the prefetch queue if enqueued.
+    pub(crate) fn unqueue(&self, st: &mut UnitsState, metrics: &GboMetrics, name: &str) {
+        if st.queue.remove(name) {
+            metrics.queue_depth.set(st.queue.len() as u64);
+        }
+    }
+
+    /// `finishUnit`: unpin; at zero pins the unit becomes evictable.
+    pub(crate) fn finish_unit(&self, tracer: &Tracer, name: &str) -> Result<()> {
+        let mut st = self.lock();
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        if !entry.state.is_loaded() {
+            return Err(GodivaError::UnitError(format!(
+                "unit '{name}' is not loaded (state {:?})",
+                entry.state
+            )));
+        }
+        entry.refcount = entry.refcount.saturating_sub(1);
+        if entry.refcount == 0 {
+            entry.state = UnitState::Finished;
+            if tracer.enabled() {
+                tracer.instant("gbo", "unit_finished", vec![("unit", name.into())]);
+            }
+            // A worker may have been waiting for evictable memory.
+            self.work_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// `deleteUnit`: drop the unit's records immediately.
+    pub(crate) fn delete_unit(
+        &self,
+        store: &Store,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        name: &str,
+    ) -> Result<()> {
+        let mut st = self.lock();
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        match entry.state {
+            UnitState::Reading => {
+                return Err(GodivaError::UnitError(format!(
+                    "unit '{name}' is being read and cannot be deleted"
+                )))
+            }
+            UnitState::Queued => {
+                entry.state = UnitState::Registered;
+                self.unqueue(&mut st, metrics, name);
+            }
+            _ => {}
+        }
+        if let Some(e) = st.units.get_mut(name) {
+            e.refcount = 0;
+        }
+        let freed = self.drop_unit_data(&mut st, store, metrics, name);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "unit_deleted",
+                vec![("unit", name.into()), ("freed_bytes", freed.into())],
+            );
+        }
+        Ok(())
+    }
+
+    /// Re-queue a `Failed` unit for another load attempt with its
+    /// existing read function, dropping any partial records first. The
+    /// unit keeps the priority it was added with.
+    pub(crate) fn reset_unit(
+        &self,
+        store: &Store,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        name: &str,
+    ) -> Result<()> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(GodivaError::Shutdown);
+        }
+        let entry = st
+            .units
+            .get_mut(name)
+            .ok_or_else(|| GodivaError::UnitError(format!("unknown unit '{name}'")))?;
+        match entry.state {
+            UnitState::Failed(_) => {}
+            ref other => {
+                return Err(GodivaError::UnitError(format!(
+                    "unit '{name}' is not failed (state {other:?}) and cannot be reset"
+                )))
+            }
+        }
+        if entry.reader.is_none() {
+            return Err(GodivaError::UnitError(format!(
+                "unit '{name}' has no reader to retry with"
+            )));
+        }
+        entry.refcount = 0;
+        self.drop_unit_data(&mut st, store, metrics, name);
+        let entry = st.units.get_mut(name).expect("still present");
+        entry.state = UnitState::Queued;
+        let priority = entry.priority;
+        st.queue.push(name.to_string(), priority);
+        metrics.units_reset.inc();
+        metrics.queue_depth.set(st.queue.len() as u64);
+        if tracer.enabled() {
+            tracer.instant("gbo", "unit_reset", vec![("unit", name.into())]);
+        }
+        self.work_cv.notify_all();
+        Ok(())
+    }
+}

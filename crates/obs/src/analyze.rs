@@ -51,6 +51,20 @@ pub struct ChurnReport {
     pub re_read_us: u64,
 }
 
+/// One reader thread's share of the load work. With the multi-worker
+/// I/O executor each worker shows up as its own tid; the breakdown is
+/// how stall attribution is balanced across workers (a lopsided table
+/// means the queue starved all but one of them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReaderReport {
+    /// The reader's thread id.
+    pub tid: u64,
+    /// `read_unit` spans executed on this tid.
+    pub reads: usize,
+    /// Union of those spans (µs) — the tid's load-busy time.
+    pub busy_us: u64,
+}
+
 /// Memory-budget occupancy over the run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OccupancyReport {
@@ -83,6 +97,9 @@ pub struct TraceReport {
     pub compute_us: u64,
     /// Union of `render_snapshot` spans (µs) — the renderer's busy time.
     pub render_us: u64,
+    /// Per-reader-tid load breakdown, sorted by tid (see
+    /// [`ReaderReport`]).
+    pub readers: Vec<ReaderReport>,
     /// Prefetch effectiveness.
     pub prefetch: PrefetchReport,
     /// Eviction churn and re-read waste.
@@ -205,6 +222,28 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
             .collect(),
     );
 
+    // Per-reader-tid load breakdown: every tid that executed a
+    // `read_unit` span, including the render thread when it read inline.
+    let mut reader_spans: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for e in &events {
+        if e.name == "read_unit" {
+            if let Some(d) = e.dur {
+                reader_spans
+                    .entry(e.tid)
+                    .or_default()
+                    .push((e.ts, e.ts + d));
+            }
+        }
+    }
+    let readers: Vec<ReaderReport> = reader_spans
+        .into_iter()
+        .map(|(tid, spans)| ReaderReport {
+            tid,
+            reads: spans.len(),
+            busy_us: interval_union_us(spans),
+        })
+        .collect();
+
     // --- per-unit bookkeeping ----------------------------------------
     #[derive(Default)]
     struct Unit {
@@ -284,6 +323,7 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
         wait_blocked_us,
         compute_us: wall_us.saturating_sub(wait_blocked_us),
         render_us,
+        readers,
         prefetch,
         churn,
         occupancy: OccupancyReport {
@@ -359,6 +399,22 @@ impl TraceReport {
             pct(self.wait_blocked_us, self.wall_us),
             fmt_us(self.render_us),
         ));
+        if !self.readers.is_empty() {
+            out.push_str("reader threads:\n");
+            for r in &self.readers {
+                out.push_str(&format!(
+                    "  tid {:<6} {:>4} reads, load-busy {:>10}{}\n",
+                    r.tid,
+                    r.reads,
+                    fmt_us(r.busy_us),
+                    if r.tid == self.main_tid {
+                        "  (render thread, inline)"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+        }
         out.push_str(&format!(
             "prefetch effectiveness:\n  ready before wait  {:>6}\n  late (blocked)     {:>6}  (total block {})\n  never loaded       {:>6}\n",
             self.prefetch.ready,
@@ -402,6 +458,17 @@ impl TraceReport {
             self.render_us,
             self.attribution_sum_us(),
         ));
+        out.push_str("\"readers\":[");
+        for (i, r) in self.readers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tid\":{},\"reads\":{},\"busy_us\":{}}}",
+                r.tid, r.reads, r.busy_us
+            ));
+        }
+        out.push_str("],");
         out.push_str(&format!(
             "\"prefetch\":{{\"ready\":{},\"late\":{},\"never\":{},\"late_wait_us\":{}}},",
             self.prefetch.ready,
@@ -553,6 +620,30 @@ mod tests {
         assert_eq!(r.prefetch.late, 2);
         assert_eq!(r.prefetch.never, 1);
         assert_eq!(r.prefetch.late_wait_us, 42);
+    }
+
+    #[test]
+    fn reader_breakdown_by_tid() {
+        let r = analyze_trace(&sample_trace()).unwrap();
+        // tid 2 (the worker) ran two read_unit spans of 4 µs each; tid 1
+        // (the render thread) ran the 10 µs inline re-read of unit a.
+        assert_eq!(r.readers.len(), 2);
+        assert_eq!(r.readers[0].tid, 1);
+        assert_eq!(r.readers[0].reads, 1);
+        assert_eq!(r.readers[0].busy_us, 10);
+        assert_eq!(r.readers[1].tid, 2);
+        assert_eq!(r.readers[1].reads, 2);
+        assert_eq!(r.readers[1].busy_us, 8);
+        let human = r.render_human();
+        assert!(human.contains("reader threads"), "{human}");
+        assert!(human.contains("tid 2"), "{human}");
+        assert!(human.contains("(render thread, inline)"), "{human}");
+        let v = parse_json(&r.to_json()).expect("valid JSON");
+        let readers = v
+            .get("readers")
+            .and_then(|x| x.as_array())
+            .expect("readers array");
+        assert_eq!(readers[1].get("busy_us").and_then(|x| x.as_u64()), Some(8));
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! 2. every event carries the required fields (`ts`, `ph`, `cat`,
 //!    `name`, `pid`, `tid`) with `dur` present iff `ph == "X"`,
 //! 3. the read lifecycle balances: every `read_start` instant is
-//!    resolved by a `read_done` or `read_failed` (counted per unit),
-//!    and no unit is evicted before it finished.
+//!    resolved by a `read_done` or `read_failed` *on the same `tid`*
+//!    (one unit is read by one worker at a time, but different units
+//!    may be read by different I/O workers concurrently — the summary
+//!    reports how many distinct reader tids appeared), and no unit is
+//!    evicted before it finished.
 //!
 //! A post-mortem dump (recognized by its `{"postmortem": …}` header
 //! line) is an arbitrary *window* of a trace, so only checks 1–2 apply
@@ -98,8 +101,12 @@ fn check_trace(text: &str) -> Result<String, String> {
         return Err("trace is empty".to_string());
     }
 
-    // Per-unit read balance and finish-before-evict ordering.
-    let mut open_reads: HashMap<String, i64> = HashMap::new();
+    // Per-unit read balance (tids of still-open reads, in start order)
+    // and finish-before-evict ordering. With a multi-worker executor,
+    // different units' reads interleave on distinct tids; each unit's
+    // read must still be closed by the tid that opened it.
+    let mut open_reads: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut reader_tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut finished: HashMap<String, bool> = HashMap::new();
     let mut spans = 0usize;
     for (i, v) in events.iter().enumerate() {
@@ -107,18 +114,28 @@ fn check_trace(text: &str) -> Result<String, String> {
         if v.get("ph").and_then(|x| x.as_str()) == Some("X") {
             spans += 1;
         }
+        let tid = v.get("tid").and_then(|x| x.as_u64()).unwrap_or(0);
         let Some(unit) = unit_arg(v) else { continue };
         match name {
-            "read_start" => *open_reads.entry(unit).or_insert(0) += 1,
+            "read_start" => {
+                reader_tids.insert(tid);
+                open_reads.entry(unit).or_default().push(tid);
+            }
             "read_done" | "read_failed" => {
-                let open = open_reads.entry(unit.clone()).or_insert(0);
-                if *open <= 0 {
+                let open = open_reads.entry(unit.clone()).or_default();
+                let Some(start_tid) = open.pop() else {
                     return Err(format!(
                         "line {}: '{name}' for unit '{unit}' without a prior read_start",
                         i + 1
                     ));
+                };
+                if start_tid != tid {
+                    return Err(format!(
+                        "line {}: '{name}' for unit '{unit}' on tid {tid} but its \
+                         read_start was on tid {start_tid}",
+                        i + 1
+                    ));
                 }
-                *open -= 1;
             }
             "unit_finished" => {
                 finished.insert(unit, true);
@@ -136,17 +153,19 @@ fn check_trace(text: &str) -> Result<String, String> {
         }
     }
     for (unit, open) in &open_reads {
-        if *open != 0 {
+        if !open.is_empty() {
             return Err(format!(
-                "unit '{unit}' has {open} read_start event(s) without read_done/read_failed"
+                "unit '{unit}' has {} read_start event(s) without read_done/read_failed",
+                open.len()
             ));
         }
     }
     Ok(format!(
-        "ok: {} events ({} spans), {} unit(s) with balanced reads",
+        "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader tid(s)",
         events.len(),
         spans,
-        open_reads.len()
+        open_reads.len(),
+        reader_tids.len()
     ))
 }
 
@@ -282,9 +301,13 @@ mod tests {
     }
 
     fn ev_cat(cat: &str, name: &str, unit: &str, ph: &str) -> String {
+        ev_tid(cat, name, unit, ph, 1)
+    }
+
+    fn ev_tid(cat: &str, name: &str, unit: &str, ph: &str, tid: u64) -> String {
         let dur = if ph == "X" { ",\"dur\":3" } else { "" };
         format!(
-            "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":1,\"args\":{{\"unit\":\"{unit}\"}}}}"
+            "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"args\":{{\"unit\":\"{unit}\"}}}}"
         )
     }
 
@@ -348,6 +371,34 @@ mod tests {
         ]
         .join("\n");
         check_trace(&trace).expect("retried lifecycle is balanced");
+    }
+
+    #[test]
+    fn counts_multiple_reader_tids() {
+        // Two units read concurrently by two workers, events interleaved.
+        let trace = [
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("gbo", "read_start", "b", "i", 3),
+            ev_tid("gbo", "read_done", "a", "i", 2),
+            ev_tid("gbo", "read_done", "b", "i", 3),
+            ev("unit_finished", "a", "i"),
+            ev("unit_finished", "b", "i"),
+        ]
+        .join("\n");
+        let summary = check_trace(&trace).expect("interleaved workers are valid");
+        assert!(summary.contains("2 reader tid(s)"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_read_closed_on_wrong_tid() {
+        let trace = [
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("gbo", "read_done", "a", "i", 3),
+        ]
+        .join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("tid 3"), "{err}");
+        assert!(err.contains("tid 2"), "{err}");
     }
 
     #[test]

@@ -72,6 +72,23 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Add one (also folds the result into the maximum).
+    #[inline]
+    pub fn inc(&self) {
+        let v = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Subtract one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)

@@ -339,6 +339,9 @@ pub struct GodivaBackendOptions {
     /// `true` = the paper's TG build (background I/O thread), `false` =
     /// its G build (reads happen inside `wait_unit`).
     pub background_io: bool,
+    /// Number of I/O executor workers when `background_io` is on
+    /// (1 = the paper's single background thread).
+    pub io_threads: usize,
     /// GODIVA memory budget in bytes (paper: 384 MB).
     pub mem_limit: u64,
     /// Unit granularity.
@@ -374,6 +377,7 @@ impl GodivaBackendOptions {
         GodivaBackendOptions {
             vars,
             background_io,
+            io_threads: 1,
             mem_limit,
             granularity: Granularity::Snapshot,
             delete_after_use: true,
@@ -507,6 +511,8 @@ impl GodivaBackend {
         let db = Gbo::with_config(GboConfig {
             mem_limit: options.mem_limit,
             background_io: options.background_io,
+            io_threads: options.io_threads,
+            scheduler: Default::default(),
             eviction: options.eviction,
             retry: options.retry,
             tracer: options.tracer,

@@ -9,7 +9,7 @@
 //! ```text
 //! voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]
 //! voyager render   --data DIR --ops OPS.txt [--camera CAM.txt]
-//!                  [--mode O|G|TG] [--mem MB] [--out DIR]
+//!                  [--mode O|G|TG] [--mem MB] [--io-threads N] [--out DIR]
 //!                  [--retries N] [--fault-mode abort|degrade]
 //!                  [--trace-out PATH] [--trace-format chrome|jsonl]
 //!                  [--metrics-summary]
@@ -45,7 +45,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]\n  \
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
-         [--mem MB] [--out DIR] [--width W] [--height H] [--format ppm|png] \
+         [--mem MB] [--io-threads N] [--out DIR] [--width W] [--height H] [--format ppm|png] \
          [--retries N] [--fault-mode abort|degrade] [--trace-out PATH] \
          [--trace-format chrome|jsonl] [--metrics-summary] [--metrics-json PATH] \
          [--metrics-listen ADDR]\n  \
@@ -179,6 +179,10 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         .value_or("--mem", "384")
         .parse()
         .map_err(|_| "--mem must be an integer (MB)")?;
+    let io_threads: usize = args
+        .value_or("--io-threads", "1")
+        .parse()
+        .map_err(|_| "--io-threads must be an integer (reader workers, TG mode)")?;
     let width: usize = args
         .value_or("--width", "384")
         .parse()
@@ -194,6 +198,7 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         .max(2); // give the I/O thread somewhere to run
     let mut opts = VoyagerOptions::new(storage, CpuPool::new(cores, 1.0), genx.clone(), spec, mode);
     opts.mem_limit = mem_mb << 20;
+    opts.io_threads = io_threads;
     opts.image_size = (width, height);
     opts.camera = camera;
     opts.image_format = match args.value_or("--format", "ppm") {

@@ -66,6 +66,9 @@ pub struct VoyagerOptions {
     /// GODIVA memory budget in bytes (ignored for `Mode::Original`;
     /// paper: 384 MB).
     pub mem_limit: u64,
+    /// I/O executor workers for `Mode::GodivaMulti` (1 = the paper's
+    /// single background thread; ignored for the other modes).
+    pub io_threads: usize,
     /// Synthetic decode cost charged per KiB read (the HDF
     /// interpretation overhead; runs on whichever thread reads).
     pub decode_work_per_kib: u64,
@@ -135,6 +138,7 @@ impl VoyagerOptions {
             spec,
             mode,
             mem_limit: 384 << 20,
+            io_threads: 1,
             decode_work_per_kib: 25,
             granularity: Granularity::Snapshot,
             image_size: (192, 144),
@@ -262,6 +266,7 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
                 opts.mode == Mode::GodivaMulti,
                 opts.mem_limit,
             );
+            boptions.io_threads = opts.io_threads;
             boptions.granularity = opts.granularity;
             boptions.retry = opts.retry;
             boptions.fault_mode = opts.fault_mode;

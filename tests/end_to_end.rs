@@ -162,6 +162,43 @@ fn memory_budget_respected_during_batch_run() {
 }
 
 #[test]
+fn four_worker_render_matches_single_worker() {
+    // The executor knob must not change what gets rendered: the same
+    // run with 1 and 4 reader workers produces bit-identical images,
+    // reads every unit in the background, and stays inside the budget.
+    let genx = small_genx();
+    let platform = Platform::instant(4);
+    godiva::genx::generate(platform.storage().as_ref(), &genx).unwrap();
+
+    let run = |io_threads: usize| {
+        let mut opts = options(&platform, &genx, Mode::GodivaMulti);
+        opts.io_threads = io_threads;
+        opts.mem_limit = 8 << 20;
+        run_voyager(opts).unwrap()
+    };
+    let one = run(1);
+    let four = run(4);
+
+    assert_eq!(one.image_checksums, four.image_checksums);
+    assert_eq!(one.images, four.images);
+    for (label, report) in [("1 worker", &one), ("4 workers", &four)] {
+        let stats = report.gbo_stats.as_ref().expect("gbo stats");
+        assert_eq!(
+            stats.blocking_reads, 0,
+            "{label}: all reads must happen on the executor"
+        );
+        assert_eq!(stats.background_reads, genx.snapshots as u64, "{label}");
+        assert_eq!(stats.units_failed, 0, "{label}");
+        assert_eq!(stats.deadlocks_detected, 0, "{label}");
+        assert!(
+            stats.mem_peak <= 8 << 20,
+            "{label}: peak {} exceeded the budget",
+            stats.mem_peak
+        );
+    }
+}
+
+#[test]
 fn all_three_tests_run_on_all_platforms() {
     let genx = small_genx();
     for platform in [Platform::instant(1), Platform::instant(2)] {

@@ -21,6 +21,26 @@ fn faulty_dataset() -> (Arc<FaultyFs>, GenxConfig) {
     (Arc::new(FaultyFs::new(mem)), genx)
 }
 
+/// Reader-worker count under test. CI reruns this whole suite with
+/// `GODIVA_IO_THREADS=2` so every fault path (failed units, retries,
+/// panics, timeouts, degraded rendering) is also exercised on a
+/// multi-worker executor; unset it defaults to 1, the paper's single
+/// background I/O thread.
+fn io_threads() -> usize {
+    std::env::var("GODIVA_IO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// `GodivaBackendOptions::batch` with the suite's worker count applied.
+fn batch_options(background_io: bool, mem_limit: u64) -> GodivaBackendOptions {
+    let mut options =
+        GodivaBackendOptions::batch(vec!["stress_avg".into()], background_io, mem_limit);
+    options.io_threads = io_threads();
+    options
+}
+
 #[test]
 fn failing_unit_reports_and_other_units_survive() {
     let (fs, genx) = faulty_dataset();
@@ -29,7 +49,7 @@ fn failing_unit_reports_and_other_units_survive() {
         fs.clone() as Arc<dyn Storage>,
         genx.clone(),
         ReadOptions::new(),
-        GodivaBackendOptions::batch(vec!["stress_avg".into()], true, 64 << 20),
+        batch_options(true, 64 << 20),
     );
     be.begin_run(&[0, 1, 2, 3]).unwrap();
     // Healthy snapshots before and after the bad one load fine.
@@ -57,6 +77,7 @@ fn failed_unit_recovers_after_fault_clears() {
     let db = godiva::core::Gbo::with_config(godiva::core::GboConfig {
         mem_limit: 64 << 20,
         background_io: true,
+        io_threads: io_threads(),
         ..Default::default()
     });
     let storage = fs.clone() as Arc<dyn Storage>;
@@ -99,7 +120,7 @@ fn corruption_is_caught_by_checksums_not_rendered() {
         fs as Arc<dyn Storage>,
         genx,
         ReadOptions::new(),
-        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+        batch_options(false, 64 << 20),
     );
     be.begin_run(&[2]).unwrap();
     let err = be.load_pass(2, "stress_avg").unwrap_err();
@@ -116,7 +137,7 @@ fn retry_policy_recovers_transient_fault() {
     // The first two reads touching snapshot 0 fail, then the fault
     // clears — within a 3-attempt budget.
     fs.fail_first_k_reads_of("snap_0000", 2);
-    let mut options = GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20);
+    let mut options = batch_options(false, 64 << 20);
     options.retry = RetryPolicy::new(3, Duration::from_millis(1), Duration::from_millis(4));
     let mut be = GodivaBackend::new(
         fs.clone() as Arc<dyn Storage>,
@@ -142,7 +163,7 @@ fn transient_fault_without_retries_fails_unit() {
         fs as Arc<dyn Storage>,
         genx.clone(),
         ReadOptions::new(),
-        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+        batch_options(false, 64 << 20),
     );
     be.begin_run(&[0]).unwrap();
     let err = be.db().wait_unit(&genx.snapshot_name(0)).unwrap_err();
@@ -155,6 +176,7 @@ fn panicking_read_function_is_contained() {
     let db = godiva::core::Gbo::with_config(godiva::core::GboConfig {
         mem_limit: 64 << 20,
         background_io: true,
+        io_threads: io_threads(),
         ..Default::default()
     });
     db.add_unit(
@@ -184,7 +206,7 @@ fn reset_unit_requeues_after_fault_clears() {
         fs.clone() as Arc<dyn Storage>,
         genx.clone(),
         ReadOptions::new(),
-        GodivaBackendOptions::batch(vec!["stress_avg".into()], false, 64 << 20),
+        batch_options(false, 64 << 20),
     );
     be.begin_run(&[0]).unwrap();
     let name = genx.snapshot_name(0);
@@ -205,7 +227,7 @@ fn wait_unit_timeout_expires_then_unit_arrives() {
         fs as Arc<dyn Storage>,
         genx.clone(),
         ReadOptions::new(),
-        GodivaBackendOptions::batch(vec!["stress_avg".into()], true, 64 << 20),
+        batch_options(true, 64 << 20),
     );
     be.begin_run(&[0]).unwrap();
     let name = genx.snapshot_name(0);
@@ -233,6 +255,7 @@ fn voyager_run_fails_cleanly_under_faults() {
         );
         opts.decode_work_per_kib = 0;
         opts.spec.work_per_op = godiva::platform::Work::ZERO;
+        opts.io_threads = io_threads();
         let err = run_voyager(opts);
         assert!(err.is_err(), "{mode:?} must propagate the fault");
     }
@@ -276,6 +299,7 @@ fn degrade_opts(fs: Arc<FaultyFs>, genx: GenxConfig, mode: Mode) -> VoyagerOptio
     opts.decode_work_per_kib = 0;
     opts.spec.work_per_op = godiva::platform::Work::ZERO;
     opts.fault_mode = FaultMode::Degrade;
+    opts.io_threads = io_threads();
     opts
 }
 

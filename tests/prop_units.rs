@@ -169,6 +169,79 @@ proptest! {
     }
 
     #[test]
+    fn multi_worker_interleavings_keep_invariants(
+        workers in 1usize..5,
+        n_units in 2usize..10,
+        unit_kb in 1usize..5,
+        budget_units in 3usize..5,
+    ) {
+        // N reader workers prefetch concurrently while two application
+        // threads wait/finish their halves of the unit list. Whatever
+        // the interleaving, worker allocations must respect the budget
+        // and no unit may be read twice.
+        let bytes = unit_kb * 1024 + 64; // payload + key + slack
+        let db = Gbo::with_config(GboConfig {
+            mem_limit: (bytes * budget_units) as u64,
+            background_io: true,
+            io_threads: workers,
+            eviction: EvictionPolicy::Lru,
+            ..Default::default()
+        });
+        for u in 0..n_units {
+            db.add_unit(&format!("u{u}"), reader(unit_kb * 1024)).unwrap();
+        }
+        // With several workers, read-ahead units that are Ready but not
+        // yet finished can legitimately fill the whole budget while an
+        // earlier unit's worker is still blocked — the detector then
+        // reports a (real) deadlock to the waiter. The property
+        // tolerates that rare schedule; everything else must hold.
+        let deadlocked = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for half in 0..2usize {
+                let db = &db;
+                let deadlocked = &deadlocked;
+                s.spawn(move || {
+                    for u in (half..n_units).step_by(2) {
+                        let name = format!("u{u}");
+                        match db.wait_unit(&name) {
+                            Ok(()) => db.finish_unit(&name).unwrap(),
+                            Err(godiva::core::GodivaError::Deadlock { .. }) => {
+                                deadlocked.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return;
+                            }
+                            Err(e) => panic!("unexpected wait failure for {name}: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = db.stats();
+        // Worker allocations block instead of over-running the budget.
+        prop_assert!(
+            stats.mem_peak <= db.mem_limit(),
+            "peak {} exceeded budget {} with {} workers",
+            stats.mem_peak, db.mem_limit(), workers
+        );
+        prop_assert_eq!(stats.over_budget_allocs, 0);
+        if !deadlocked.load(std::sync::atomic::Ordering::Relaxed) {
+            prop_assert_eq!(
+                stats.units_read, n_units as u64,
+                "every unit read exactly once (no double reads)"
+            );
+            prop_assert_eq!(stats.units_failed, 0);
+            prop_assert!(db.mem_used() <= db.mem_limit());
+            for u in 0..n_units {
+                let name = format!("u{u}");
+                let st = db.unit_state(&name).unwrap();
+                prop_assert!(
+                    matches!(st, UnitState::Finished | UnitState::Registered),
+                    "unit {} ended in {:?}", name, st
+                );
+            }
+        }
+    }
+
+    #[test]
     fn delete_always_returns_memory(
         loads in prop::collection::vec(1usize..8, 1..12),
     ) {
