@@ -1,0 +1,149 @@
+//! Ablation: spill-tier budget (DESIGN.md §5f, beyond the paper).
+//!
+//! The 2004 library discards evicted buffers outright, so every revisit
+//! of an evicted unit re-runs the developer's read function against the
+//! dataset. The spill tier keeps a checksummed copy of evicted units in
+//! a local cache directory and re-materializes revisits from it with one
+//! sequential read. This sweep replays a back-and-forth browsing trace
+//! (snapshots stay cached via `finishUnit`, §3.2) through the three
+//! paper pipelines under a deliberately tight memory budget (~2.5
+//! units, so revisits find their snapshot evicted) and varies the spill
+//! budget from "off" to "everything fits", reporting how many callback
+//! bytes the dataset storage still serves beyond the one unavoidable
+//! cold load per snapshot.
+//!
+//! The spill directory lives on its own simulated disk (same model as
+//! the platform's) so the dataset storage's counters measure developer
+//! callback traffic only; spill writes are free there, like the
+//! platform's own writes.
+
+use godiva_bench::table::mean_ci;
+use godiva_bench::{measure, repeat, ExperimentEnv, HarnessArgs, Table};
+use godiva_core::SpillConfig;
+use godiva_platform::{DiskModel, Platform, SimFs, Storage};
+use godiva_viz::{Mode, TestSpec, VoyagerOptions};
+use std::sync::Arc;
+
+/// Spill budget as a multiple of one unit's bytes (`None` = spill off).
+const BUDGETS: [Option<f64>; 3] = [None, Some(1.5), Some(64.0)];
+
+fn budget_label(factor: Option<f64>) -> String {
+    match factor {
+        None => "off".into(),
+        Some(f) => format!("{f:.1}x unit"),
+    }
+}
+
+/// Two sweeps over the time series: 0..N then 0..N again. Under a
+/// ~2-unit budget every second-pass visit finds its snapshot evicted —
+/// the pure "eviction re-read waste" pattern.
+fn trace(snapshots: usize) -> Vec<usize> {
+    (0..snapshots).chain(0..snapshots).collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    let env = ExperimentEnv::prepare(Platform::turing(args.scale), &genx);
+    let visits = trace(args.snapshots);
+    println!(
+        "== Ablation: spill-tier budget (Turing node, G build, browsing trace) ==\n\
+         {} visits over {} snapshots, {} blocks, scale {}\n",
+        visits.len(),
+        args.snapshots,
+        genx.blocks,
+        args.scale
+    );
+
+    let base_opts = |spec: &TestSpec| -> VoyagerOptions {
+        let mut opts = env.voyager_options(spec.clone(), Mode::GodivaSingle);
+        opts.snapshots = visits.clone();
+        // Interactive retirement: revisits are the point of this sweep.
+        opts.delete_after_use = Some(false);
+        opts
+    };
+
+    let mut table = Table::new(&[
+        "test",
+        "spill budget",
+        "total (s)",
+        "visible I/O (s)",
+        "re-read MB",
+        "hits",
+        "misses",
+        "writes",
+    ]);
+    let mut ample_reread_bytes = 0u64;
+    for spec in TestSpec::all() {
+        // Calibrate per pipeline: an unbounded-memory run never evicts,
+        // so its storage traffic is one cold load of every snapshot and
+        // its images are the reference output.
+        let (cold_bytes, reference_checksums, unit_bytes) = {
+            let mut opts = base_opts(&spec);
+            opts.mem_limit = 1 << 40;
+            let m = measure(&env, opts);
+            let stats = m.report.gbo_stats.as_ref().expect("godiva stats");
+            let unit = stats.bytes_allocated / args.snapshots as u64;
+            (m.bytes_read, m.report.image_checksums.clone(), unit)
+        };
+        let mem_limit = unit_bytes * 5 / 2; // ~2.5 units: forces re-reads
+
+        for factor in BUDGETS {
+            let spill_budget = factor.map(|f| (unit_bytes as f64 * f) as u64);
+            let rr = repeat(&env, args.repeats, || {
+                let mut opts = base_opts(&spec);
+                opts.mem_limit = mem_limit;
+                opts.spill = spill_budget.map(|budget| SpillConfig {
+                    // Fresh cache disk per run: same device model as the
+                    // platform, so restores pay seek + stream time.
+                    storage: Arc::new(
+                        SimFs::new(DiskModel::cluster_scsi().scaled(args.scale)).with_free_writes(),
+                    ) as Arc<dyn Storage>,
+                    dir: "spill".into(),
+                    budget,
+                });
+                opts
+            });
+            let (mut reread, mut hits, mut misses, mut writes) = (0u64, 0u64, 0u64, 0u64);
+            for run in &rr.runs {
+                assert_eq!(
+                    reference_checksums,
+                    run.report.image_checksums,
+                    "{}: images diverged at spill budget {}",
+                    spec.name,
+                    budget_label(factor)
+                );
+                let stats = run.report.gbo_stats.as_ref().expect("godiva stats");
+                assert_eq!(stats.spill_corrupt, 0, "unexpected spill corruption");
+                reread += run.bytes_read.saturating_sub(cold_bytes);
+                hits += stats.spill_hits;
+                misses += stats.spill_misses;
+                writes += stats.spill_writes;
+            }
+            let runs = rr.runs.len() as u64;
+            if factor.is_some_and(|f| f > 2.0) {
+                ample_reread_bytes += reread / runs;
+            }
+            table.row(&[
+                spec.name.clone(),
+                budget_label(factor),
+                mean_ci(rr.total),
+                mean_ci(rr.visible_io),
+                format!("{:.2}", (reread / runs) as f64 / (1024.0 * 1024.0)),
+                (hits / runs).to_string(),
+                (misses / runs).to_string(),
+                (writes / runs).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expectation: with spill off, every revisit of an evicted snapshot re-reads\n\
+         the dataset ('re-read MB' > 0); at an ample budget the spill serves those\n\
+         revisits and callback re-reads drop to ~0, with identical images throughout."
+    );
+    assert_eq!(
+        ample_reread_bytes, 0,
+        "ample spill budget should eliminate callback re-reads"
+    );
+}

@@ -146,6 +146,12 @@ pub struct GboConfig {
     /// Where post-mortem dumps go. `None` (the default) writes to
     /// `godiva-postmortem-<pid>.jsonl` in the system temp directory.
     pub postmortem_path: Option<PathBuf>,
+    /// Second-tier spill cache for evicted units (DESIGN.md §5f): when
+    /// set, eviction writes a unit's buffers to a checksummed file and a
+    /// later read re-materializes them with one sequential read instead
+    /// of re-running the developer callback. `None` (the default) is the
+    /// paper's discard-on-evict behaviour.
+    pub spill: Option<crate::spill::SpillConfig>,
 }
 
 impl Default for GboConfig {
@@ -161,6 +167,7 @@ impl Default for GboConfig {
             metrics: None,
             flight_recorder: Some(Arc::new(FlightRecorder::default())),
             postmortem_path: None,
+            spill: None,
         }
     }
 }
@@ -193,7 +200,7 @@ pub(crate) struct Inner {
 
 /// The GODIVA database object. See the [module docs](self).
 pub struct Gbo {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
     exec: Executor,
 }
 
@@ -421,6 +428,7 @@ impl Gbo {
                 config.mem_limit,
                 config.eviction,
                 workers,
+                config.spill.map(crate::spill::SpillTier::new),
             ),
             retry: config.retry,
             metrics: GboMetrics::new(config.metrics.as_deref()),

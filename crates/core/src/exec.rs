@@ -76,6 +76,13 @@ impl Inner {
     /// attempt budget, rolling back the failed attempt's partial records
     /// before each retry so the read function always starts clean.
     pub(crate) fn run_reader(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<()> {
+        // Fast path: the unit may have been evicted with its buffers
+        // spilled to the second-tier cache — one sequential file read
+        // re-materializes them without invoking the developer callback.
+        // A miss or a corrupt frame falls through to the normal path.
+        if self.try_restore_spill(name, ctx)? {
+            return Ok(());
+        }
         let reader = {
             let st = self.units.lock();
             st.units
@@ -355,7 +362,16 @@ impl Inner {
                     match deadline {
                         None => self.units.unit_cv.wait(&mut st),
                         Some(d) => {
-                            if self.units.unit_cv.wait_until(&mut st, d).timed_out() {
+                            // `timed_out()` alone is not enough: a storm
+                            // of unrelated notifications wakes this wait
+                            // before the clock runs out every time, and
+                            // each re-wait restarts against the same
+                            // deadline — so also check the deadline
+                            // directly, or the effective timeout would
+                            // stretch for as long as the storm lasts.
+                            let timed_out = self.units.unit_cv.wait_until(&mut st, d).timed_out()
+                                || Instant::now() >= d;
+                            if timed_out {
                                 // Re-check under the lock: the unit may
                                 // have loaded in the race with the clock.
                                 let loaded = st
@@ -447,7 +463,7 @@ impl Inner {
                     self.units.work_cv.wait(&mut st);
                 }
                 let name = st.queue.pop().expect("non-empty");
-                self.metrics.queue_depth.set(st.queue.len() as u64);
+                self.units.sync_queue_gauge(&st, &self.metrics);
                 let entry = st.units.get_mut(&name).expect("queued unit exists");
                 entry.state = UnitState::Reading;
                 entry.reading_worker = Some(worker);
@@ -482,5 +498,66 @@ impl Inner {
             }
             self.units.unit_cv.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::db::UnitSession;
+    use crate::db::{Gbo, GboConfig};
+    use crate::error::GodivaError;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Regression: `wait_unit_timeout` must honour its deadline across
+    /// spurious condvar wakeups. A thread deliberately notifying
+    /// `unit_cv` every millisecond used to restart the full timeout on
+    /// every wakeup (each wait returned `timed_out() == false`), so the
+    /// effective timeout stretched for as long as the storm lasted.
+    #[test]
+    fn wait_timeout_survives_notify_storm() {
+        let db = Gbo::with_config(GboConfig::default());
+        let gate = Arc::new(AtomicBool::new(false));
+        let reader_gate = Arc::clone(&gate);
+        db.add_unit("slow", move |_s: &UnitSession| {
+            while !reader_gate.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(())
+        })
+        .unwrap();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let storm = {
+            let inner = Arc::clone(&db.inner);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    inner.units.unit_cv.notify_all();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+
+        let t0 = Instant::now();
+        let err = db
+            .wait_unit_timeout("slow", Duration::from_millis(50))
+            .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            matches!(err, GodivaError::WaitTimeout { .. }),
+            "expected WaitTimeout, got: {err}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "notify storm stretched a 50ms timeout to {elapsed:?}"
+        );
+
+        gate.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed);
+        storm.join().unwrap();
+        db.wait_unit("slow").unwrap();
+        db.finish_unit("slow").unwrap();
     }
 }

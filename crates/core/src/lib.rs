@@ -80,6 +80,7 @@ mod exec;
 mod metrics;
 pub mod sched;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 mod store;
 pub mod unit;
@@ -90,5 +91,6 @@ pub use db::{Gbo, GboConfig, RecordHandle, RecordId, RetryPolicy, UnitGuard, Uni
 pub use error::{GodivaError, Result};
 pub use sched::{FifoPolicy, PriorityPolicy, QueuePolicy, SchedulerKind};
 pub use schema::{DeclaredSize, FieldKind, FieldSlot, FieldTypeDef, RecordTypeDef, Schema};
+pub use spill::SpillConfig;
 pub use stats::GboStats;
 pub use unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};

@@ -37,10 +37,20 @@ pub(crate) struct GboMetrics {
     pub wait_time: Arc<Counter>,
     /// Nanoseconds slept in retry backoff (`retry_backoff_total`).
     pub retry_backoff: Arc<Counter>,
+    /// Evicted units spilled to the second-tier cache.
+    pub spill_writes: Arc<Counter>,
+    /// Unit reads satisfied from the spill tier (no callback).
+    pub spill_hits: Arc<Counter>,
+    /// Reads of evicted units whose spill frame was absent.
+    pub spill_misses: Arc<Counter>,
+    /// Spill frames rejected by checksum or framing checks.
+    pub spill_corrupt: Arc<Counter>,
     /// Mirror of the unit layer's `mem_used`; its max is `mem_peak`.
     pub mem: Arc<Gauge>,
     /// Prefetch-queue depth (live only; not part of [`GboStats`]).
     pub queue_depth: Arc<Gauge>,
+    /// Bytes currently held by the spill tier's files.
+    pub spill_bytes: Arc<Gauge>,
     /// I/O workers currently running a read function (live only; its
     /// max shows how much of the executor a workload ever used).
     pub io_workers_busy: Arc<Gauge>,
@@ -90,8 +100,13 @@ impl GboMetrics {
             units_reset: c("gbo.units_reset"),
             wait_time: c("gbo.wait_time_ns"),
             retry_backoff: c("gbo.retry_backoff_ns"),
+            spill_writes: c("gbo.spill_writes"),
+            spill_hits: c("gbo.spill_hits"),
+            spill_misses: c("gbo.spill_misses"),
+            spill_corrupt: c("gbo.spill_corrupt"),
             mem: g("gbo.mem_bytes"),
             queue_depth: g("gbo.queue_depth"),
+            spill_bytes: g("gbo.spill_bytes"),
             io_workers_busy: g("gbo.io_workers_busy"),
             wait_hist: h("gbo.wait_latency_us"),
             read_hist: h("gbo.read_latency_us"),
@@ -127,6 +142,11 @@ impl GboMetrics {
             panics_caught: self.panics_caught.get(),
             wait_timeouts: self.wait_timeouts.get(),
             units_reset: self.units_reset.get(),
+            spill_writes: self.spill_writes.get(),
+            spill_hits: self.spill_hits.get(),
+            spill_misses: self.spill_misses.get(),
+            spill_corrupt: self.spill_corrupt.get(),
+            spill_bytes: self.spill_bytes.get(),
             wait_hist: self.wait_hist.snapshot(),
         }
     }

@@ -1,0 +1,794 @@
+//! The second-tier spill cache (DESIGN.md §5f).
+//!
+//! §3.3 eviction discards a finished unit's buffers; every re-visit then
+//! re-runs the developer read callback against the (simulated) disk —
+//! the "eviction churn + re-read waste" `godiva-report` quantifies. The
+//! spill tier keeps those bytes: when `units::evict_one` reclaims a
+//! unit, its records are serialized into a single length-prefixed,
+//! checksummed frame file under one `spill/` directory, and a later
+//! read of the unit first tries that file — one sequential read, no
+//! developer callback — falling back to the callback on miss or
+//! checksum mismatch.
+//!
+//! The tier has its own LRU over spill files, capped by
+//! [`SpillConfig::budget`] independently of the in-memory budget. A
+//! spill file is kept on hit (the unit may be evicted again),
+//! overwritten on re-evict, and invalidated by `deleteUnit` — the
+//! developer's statement that the data is gone. Re-adding a unit with a
+//! new read function does *not* invalidate: the unit name identifies
+//! the data (the paper's model), so a revisit through `readUnit` or
+//! `addUnit`/`waitUnit` hits the spill. Only *evicted* units are
+//! spilled — never a failed or rolled-back attempt's partial records.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! "GSPL" magic, version u8
+//! unit name          u32 len + bytes
+//! record count       u32
+//! per record:
+//!   type name        u32 len + bytes
+//!   committed        u8
+//!   key present      u8   (committed key snapshot, if any)
+//!     key count      u32
+//!     per key        u32 len + bytes
+//!   field slots      u32  (record type's slot count)
+//!   per slot:
+//!     present        u8
+//!     kind tag       u8
+//!     byte length    u64
+//!     payload        bytes (little-endian element encoding)
+//! checksum           u64 (XXH64 of everything above, little-endian)
+//! ```
+//!
+//! All integers are little-endian. The checksum is the last 8 bytes of
+//! the file; a mismatch (or any decode failure) counts as
+//! `spill_corrupt`, deletes the file and falls back to the callback.
+
+use crate::buffer::{FieldData, Key};
+use crate::db::Inner;
+use crate::error::Result;
+use crate::metrics::GboMetrics;
+use crate::schema::FieldKind;
+use crate::store::{RecordId, Store};
+use crate::units::AllocCtx;
+use godiva_obs::Tracer;
+use godiva_platform::Storage;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"GSPL";
+const VERSION: u8 = 1;
+
+/// Where and how large the spill tier is. Handed to the database via
+/// `GboConfig::spill`.
+#[derive(Clone)]
+pub struct SpillConfig {
+    /// Backing storage the spill files are written to. Use a dedicated
+    /// storage (or at least a dedicated directory) — spill traffic is
+    /// cache traffic, not dataset traffic.
+    pub storage: Arc<dyn Storage>,
+    /// Directory prefix for spill files (e.g. `"spill"`). One file per
+    /// unit, `<dir>/<sanitized-unit-name>.gsp`.
+    pub dir: String,
+    /// Byte budget for all spill files together; the tier's own LRU
+    /// evicts (deletes) the least-recently-used files to stay under it.
+    pub budget: u64,
+}
+
+impl std::fmt::Debug for SpillConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillConfig")
+            .field("dir", &self.dir)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+struct SpillEntry {
+    len: u64,
+    last_use: u64,
+}
+
+struct SpillState {
+    entries: HashMap<String, SpillEntry>,
+    used: u64,
+    clock: u64,
+}
+
+/// The spill tier: storage handle + its own LRU state behind its own
+/// lock (innermost — never held while taking a database lock).
+pub(crate) struct SpillTier {
+    storage: Arc<dyn Storage>,
+    dir: String,
+    budget: u64,
+    state: Mutex<SpillState>,
+}
+
+impl SpillTier {
+    pub(crate) fn new(config: SpillConfig) -> Self {
+        SpillTier {
+            storage: config.storage,
+            dir: config.dir,
+            budget: config.budget,
+            state: Mutex::new(SpillState {
+                entries: HashMap::new(),
+                used: 0,
+                clock: 0,
+            }),
+        }
+    }
+
+    fn path_of(&self, unit: &str) -> String {
+        format!("{}/{}.gsp", self.dir, sanitize(unit))
+    }
+
+    /// Store `frame` as `unit`'s spill file, evicting LRU files to make
+    /// room. Called by `evict_one` with the units lock held (the write
+    /// must be atomic with the in-memory drop); the tier's own lock is
+    /// innermost, so that nesting is safe.
+    pub(crate) fn store_unit(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        unit: &str,
+        frame: Vec<u8>,
+    ) {
+        let len = frame.len() as u64;
+        if len > self.budget {
+            return; // would evict the whole tier for one unit
+        }
+        let mut st = self.state.lock();
+        if let Some(old) = st.entries.remove(unit) {
+            st.used = st.used.saturating_sub(old.len);
+        }
+        while st.used + len > self.budget {
+            let victim = st
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else { break };
+            self.remove_entry(&mut st, metrics, tracer, &victim, "budget");
+        }
+        if self.storage.write(&self.path_of(unit), &frame).is_err() {
+            metrics.spill_bytes.set(st.used);
+            return;
+        }
+        st.clock += 1;
+        let entry = SpillEntry {
+            len,
+            last_use: st.clock,
+        };
+        st.entries.insert(unit.to_string(), entry);
+        st.used += len;
+        metrics.spill_writes.inc();
+        metrics.spill_bytes.set(st.used);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "spill_write",
+                vec![
+                    ("unit", unit.into()),
+                    ("bytes", len.into()),
+                    ("spill_bytes", st.used.into()),
+                ],
+            );
+        }
+    }
+
+    /// Drop `unit`'s spill file (if any) because its data became invalid
+    /// — the unit was deleted, or re-armed with a new read function.
+    pub(crate) fn invalidate(&self, metrics: &GboMetrics, tracer: &Tracer, unit: &str) {
+        let mut st = self.state.lock();
+        if st.entries.contains_key(unit) {
+            self.remove_entry(&mut st, metrics, tracer, unit, "invalidate");
+            metrics.spill_bytes.set(st.used);
+        }
+    }
+
+    /// Remove one entry and delete its file. Caller updates the gauge.
+    fn remove_entry(
+        &self,
+        st: &mut SpillState,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        unit: &str,
+        cause: &str,
+    ) {
+        let Some(entry) = st.entries.remove(unit) else {
+            return;
+        };
+        st.used = st.used.saturating_sub(entry.len);
+        let _ = self.storage.delete(&self.path_of(unit));
+        metrics.spill_bytes.set(st.used);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "spill_evict",
+                vec![
+                    ("unit", unit.into()),
+                    ("freed_bytes", entry.len.into()),
+                    ("spill_bytes", st.used.into()),
+                    ("cause", cause.into()),
+                ],
+            );
+        }
+    }
+
+    /// Load and verify `unit`'s spill frame. `None` on miss; corruption
+    /// is counted, traced, and the bad file deleted before returning
+    /// `None`. The file is *kept* on a successful load (LRU touch only)
+    /// so the unit can be evicted straight back to it.
+    fn load_verified(&self, metrics: &GboMetrics, tracer: &Tracer, unit: &str) -> Option<Vec<u8>> {
+        {
+            let mut st = self.state.lock();
+            if !st.entries.contains_key(unit) {
+                return None;
+            }
+            st.clock += 1;
+            let clock = st.clock;
+            st.entries.get_mut(unit).expect("present").last_use = clock;
+        }
+        // File I/O outside the tier lock; a concurrent budget eviction
+        // deleting the file mid-read just turns this into a miss.
+        let path = self.path_of(unit);
+        let frame = self.storage.read(&path).ok()?;
+        if frame.len() >= 8 {
+            let body = &frame[..frame.len() - 8];
+            let stored = u64::from_le_bytes(frame[frame.len() - 8..].try_into().expect("8 bytes"));
+            if xxh64(body, 0) == stored {
+                return Some(frame);
+            }
+        }
+        // Checksum (or framing) failure: the file is useless — drop it
+        // so the next eviction rewrites it cleanly.
+        metrics.spill_corrupt.inc();
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "spill_corrupt",
+                vec![
+                    ("unit", unit.into()),
+                    ("bytes", (frame.len() as u64).into()),
+                ],
+            );
+        }
+        let mut st = self.state.lock();
+        self.remove_entry(&mut st, metrics, tracer, unit, "corrupt");
+        None
+    }
+}
+
+/// A spill file name must be a single path component: percent-encode
+/// every byte outside `[A-Za-z0-9._-]` (and `.`/`..` themselves).
+fn sanitize(unit: &str) -> String {
+    let mut out = String::with_capacity(unit.len());
+    for b in unit.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    if out == "." || out == ".." {
+        out = out.replace('.', "%2E");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// frame encode / decode
+// ---------------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn kind_tag(kind: FieldKind) -> u8 {
+    match kind {
+        FieldKind::Str => 0,
+        FieldKind::F64 => 1,
+        FieldKind::F32 => 2,
+        FieldKind::I32 => 3,
+        FieldKind::I64 => 4,
+        FieldKind::Bytes => 5,
+    }
+}
+
+fn encode_data(out: &mut Vec<u8>, data: &FieldData) {
+    out.push(kind_tag(data.kind()));
+    out.extend_from_slice(&data.byte_len().to_le_bytes());
+    match data {
+        FieldData::Str(s) => out.extend_from_slice(s.as_bytes()),
+        FieldData::Bytes(v) => out.extend_from_slice(v),
+        FieldData::F64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        FieldData::F32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        FieldData::I32(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+        FieldData::I64(v) => v
+            .iter()
+            .for_each(|x| out.extend_from_slice(&x.to_le_bytes())),
+    }
+}
+
+/// Serialize `unit`'s records into a checksummed frame. Takes the store
+/// lock (caller holds the units lock; lock order units → store).
+/// `None` when a record has vanished (nothing useful to spill).
+pub(crate) fn encode_unit(store: &Store, unit: &str, records: &[RecordId]) -> Option<Vec<u8>> {
+    let st = store.lock();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_bytes(&mut out, unit.as_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for rid in records {
+        let rec = st.records.get(rid)?;
+        put_bytes(&mut out, rec.rt.name.as_bytes());
+        out.push(rec.committed as u8);
+        match &rec.key {
+            Some(keys) => {
+                out.push(1);
+                out.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    put_bytes(&mut out, &k.0);
+                }
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(rec.fields.len() as u32).to_le_bytes());
+        for slot in &rec.fields {
+            match slot {
+                Some(buf) => {
+                    out.push(1);
+                    encode_data(&mut out, &buf.data());
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    let sum = xxh64(&out, 0);
+    out.extend_from_slice(&sum.to_le_bytes());
+    Some(out)
+}
+
+/// One decoded record, ready for [`Store::restore_record`].
+pub(crate) struct RecordFrame {
+    pub(crate) type_name: String,
+    pub(crate) committed: bool,
+    pub(crate) key: Option<Vec<Key>>,
+    pub(crate) fields: Vec<Option<FieldData>>,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?.to_vec()).ok()
+    }
+}
+
+fn decode_data(r: &mut Reader) -> Option<FieldData> {
+    let tag = r.u8()?;
+    let len = r.u64()? as usize;
+    let payload = r.take(len)?;
+    let chunks8 = |p: &[u8]| -> Option<Vec<[u8; 8]>> {
+        if !p.len().is_multiple_of(8) {
+            return None;
+        }
+        Some(p.chunks_exact(8).map(|c| c.try_into().unwrap()).collect())
+    };
+    let chunks4 = |p: &[u8]| -> Option<Vec<[u8; 4]>> {
+        if !p.len().is_multiple_of(4) {
+            return None;
+        }
+        Some(p.chunks_exact(4).map(|c| c.try_into().unwrap()).collect())
+    };
+    Some(match tag {
+        0 => FieldData::Str(String::from_utf8(payload.to_vec()).ok()?),
+        1 => FieldData::F64(
+            chunks8(payload)?
+                .into_iter()
+                .map(f64::from_le_bytes)
+                .collect(),
+        ),
+        2 => FieldData::F32(
+            chunks4(payload)?
+                .into_iter()
+                .map(f32::from_le_bytes)
+                .collect(),
+        ),
+        3 => FieldData::I32(
+            chunks4(payload)?
+                .into_iter()
+                .map(i32::from_le_bytes)
+                .collect(),
+        ),
+        4 => FieldData::I64(
+            chunks8(payload)?
+                .into_iter()
+                .map(i64::from_le_bytes)
+                .collect(),
+        ),
+        5 => FieldData::Bytes(payload.to_vec()),
+        _ => return None,
+    })
+}
+
+/// Decode a verified frame into record frames. `None` on any framing
+/// error (treated as corruption by the caller) or unit-name mismatch.
+pub(crate) fn decode_unit(frame: &[u8], unit: &str) -> Option<Vec<RecordFrame>> {
+    if frame.len() < 8 {
+        return None;
+    }
+    let mut r = Reader {
+        buf: &frame[..frame.len() - 8],
+        pos: 0,
+    };
+    if r.take(4)? != MAGIC || r.u8()? != VERSION {
+        return None;
+    }
+    if r.string()? != unit {
+        return None;
+    }
+    let count = r.u32()? as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let type_name = r.string()?;
+        let committed = r.u8()? != 0;
+        let key = match r.u8()? {
+            0 => None,
+            _ => {
+                let n = r.u32()? as usize;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(Key(r.bytes()?.to_vec()));
+                }
+                Some(keys)
+            }
+        };
+        let slots = r.u32()? as usize;
+        let mut fields = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            fields.push(match r.u8()? {
+                0 => None,
+                _ => Some(decode_data(&mut r)?),
+            });
+        }
+        records.push(RecordFrame {
+            type_name,
+            committed,
+            key,
+            fields,
+        });
+    }
+    if r.pos != r.buf.len() {
+        return None; // trailing garbage
+    }
+    Some(records)
+}
+
+// ---------------------------------------------------------------------------
+// re-materialization
+// ---------------------------------------------------------------------------
+
+impl Inner {
+    /// Try to re-materialize `name` from the spill tier instead of
+    /// running its read function. `Ok(true)` = restored (the caller
+    /// finalizes the unit exactly as after a successful read);
+    /// `Ok(false)` = miss or corruption, fall through to the callback;
+    /// `Err` = a real failure while charging the restored bytes
+    /// (shutdown, out of memory). Must be called without the units lock
+    /// held, with the unit already marked `Reading`.
+    pub(crate) fn try_restore_spill(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<bool> {
+        let Some(spill) = &self.units.spill else {
+            return Ok(false);
+        };
+        let miss = || {
+            // Only a *re-read* counts as a miss — a unit that was never
+            // loaded before has nothing the tier could have kept
+            // (`loaded_seq` survives eviction, so it marks revisits).
+            let re_read = self
+                .units
+                .lock()
+                .units
+                .get(name)
+                .is_some_and(|u| u.loaded_seq > 0);
+            if re_read {
+                self.metrics.spill_misses.inc();
+                if self.tracer.enabled() {
+                    self.tracer
+                        .instant("gbo", "spill_miss", vec![("unit", name.into())]);
+                }
+            }
+        };
+        let Some(frame) = spill.load_verified(&self.metrics, &self.tracer, name) else {
+            miss();
+            return Ok(false);
+        };
+        let Some(records) = decode_unit(&frame, name) else {
+            // Checksum passed but the structure is unreadable: same
+            // treatment as a checksum failure.
+            self.metrics.spill_corrupt.inc();
+            if self.tracer.enabled() {
+                self.tracer
+                    .instant("gbo", "spill_corrupt", vec![("unit", name.into())]);
+            }
+            spill.invalidate(&self.metrics, &self.tracer, name);
+            miss();
+            return Ok(false);
+        };
+        let total: u64 = records
+            .iter()
+            .flat_map(|r| r.fields.iter().flatten())
+            .map(|d| d.byte_len())
+            .sum();
+        let span_start = self.tracer.now_us();
+        let mut st = self.units.lock();
+        self.units.charge(
+            &mut st,
+            &self.store,
+            &self.metrics,
+            &self.tracer,
+            total,
+            ctx,
+            Some(name),
+        )?;
+        let mut installed: Vec<RecordId> = Vec::with_capacity(records.len());
+        for rec in records {
+            match self.store.restore_record(
+                &rec.type_name,
+                rec.committed,
+                rec.key,
+                rec.fields,
+                name,
+            ) {
+                Ok(id) => installed.push(id),
+                Err(_) => {
+                    // Partial restore (schema drift, duplicate key):
+                    // roll everything back and fall back to the reader.
+                    self.store.remove_records(&installed);
+                    self.units
+                        .release(&mut st, &self.metrics, total, Some(name));
+                    drop(st);
+                    spill.invalidate(&self.metrics, &self.tracer, name);
+                    miss();
+                    return Ok(false);
+                }
+            }
+        }
+        if let Some(entry) = st.units.get_mut(name) {
+            entry.records.extend(installed);
+        }
+        drop(st);
+        self.metrics.spill_hits.inc();
+        if self.tracer.enabled() {
+            self.tracer.instant(
+                "gbo",
+                "spill_hit",
+                vec![("unit", name.into()), ("bytes", total.into())],
+            );
+            self.tracer.complete(
+                "gbo",
+                "spill_restore",
+                span_start,
+                vec![("unit", name.into()), ("bytes", total.into())],
+            );
+        }
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XXH64 (from scratch; the spill frame's trailing checksum)
+// ---------------------------------------------------------------------------
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+fn read_u64(data: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(data[i..i + 8].try_into().expect("8 bytes"))
+}
+
+fn read_u32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"))
+}
+
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+/// The reference XXH64 hash of `data` under `seed`.
+pub(crate) fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut i = 0usize;
+    let mut h = if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while i + 32 <= data.len() {
+            v1 = round(v1, read_u64(data, i));
+            v2 = round(v2, read_u64(data, i + 8));
+            v3 = round(v3, read_u64(data, i + 16));
+            v4 = round(v4, read_u64(data, i + 24));
+            i += 32;
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(PRIME64_5)
+    };
+    h = h.wrapping_add(data.len() as u64);
+    while i + 8 <= data.len() {
+        h ^= round(0, read_u64(data, i));
+        h = h
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        i += 8;
+    }
+    if i + 4 <= data.len() {
+        h ^= u64::from(read_u32(data, i)).wrapping_mul(PRIME64_1);
+        h = h
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        i += 4;
+    }
+    while i < data.len() {
+        h ^= u64::from(data[i]).wrapping_mul(PRIME64_5);
+        h = h.rotate_left(11).wrapping_mul(PRIME64_1);
+        i += 1;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the xxHash specification (XXH64, seed 0
+    /// and a non-zero seed).
+    #[test]
+    fn xxh64_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCE_A83C_8A37_8BF1
+        );
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0xDEAD_BEEF),
+            0x1366_D5F6_09C4_4B7D
+        );
+    }
+
+    #[test]
+    fn xxh64_long_input_exercises_stripe_loop() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        // Self-consistency: one flipped byte changes the hash.
+        let h = xxh64(&data, 0);
+        let mut bad = data.clone();
+        bad[512] ^= 0xFF;
+        assert_ne!(h, xxh64(&bad, 0));
+        assert_eq!(h, xxh64(&data, 0));
+    }
+
+    #[test]
+    fn sanitize_is_single_component() {
+        assert_eq!(sanitize("snap_0001"), "snap_0001");
+        assert_eq!(sanitize("snap/0001.sdf"), "snap%2F0001.sdf");
+        assert_eq!(sanitize(".."), "%2E%2E");
+        assert_eq!(sanitize("a b"), "a%20b");
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frames = [RecordFrame {
+            type_name: "t".into(),
+            committed: true,
+            key: Some(vec![Key::from(7i64)]),
+            fields: vec![
+                Some(FieldData::F64(vec![1.5, -2.5])),
+                None,
+                Some(FieldData::Str("hello".into())),
+                Some(FieldData::I32(vec![1, 2, 3])),
+            ],
+        }];
+        // Hand-encode via the same helpers encode_unit uses.
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        put_bytes(&mut out, b"u1");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        let rec = &frames[0];
+        put_bytes(&mut out, rec.type_name.as_bytes());
+        out.push(1);
+        out.push(1);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        put_bytes(&mut out, &rec.key.as_ref().unwrap()[0].0);
+        out.extend_from_slice(&(rec.fields.len() as u32).to_le_bytes());
+        for f in &rec.fields {
+            match f {
+                Some(d) => {
+                    out.push(1);
+                    encode_data(&mut out, d);
+                }
+                None => out.push(0),
+            }
+        }
+        let sum = xxh64(&out, 0);
+        out.extend_from_slice(&sum.to_le_bytes());
+
+        let decoded = decode_unit(&out, "u1").expect("decodes");
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].type_name, "t");
+        assert!(decoded[0].committed);
+        assert_eq!(decoded[0].key.as_ref().unwrap()[0], Key::from(7i64));
+        assert_eq!(decoded[0].fields[0], Some(FieldData::F64(vec![1.5, -2.5])));
+        assert_eq!(decoded[0].fields[1], None);
+        assert_eq!(decoded[0].fields[2], Some(FieldData::Str("hello".into())));
+        assert_eq!(decoded[0].fields[3], Some(FieldData::I32(vec![1, 2, 3])));
+        // Wrong unit name is a decode failure, not a silent hit.
+        assert!(decode_unit(&out, "u2").is_none());
+        // Truncation is a decode failure.
+        assert!(decode_unit(&out[..out.len() - 9], "u1").is_none());
+    }
+}

@@ -60,6 +60,16 @@ pub struct GboStats {
     pub wait_timeouts: u64,
     /// Failed units re-queued via `reset_unit`.
     pub units_reset: u64,
+    /// Evicted units whose buffers were spilled to the second-tier cache.
+    pub spill_writes: u64,
+    /// Unit reads satisfied from the spill tier (no developer callback).
+    pub spill_hits: u64,
+    /// Reads of evicted units that found no usable spill frame.
+    pub spill_misses: u64,
+    /// Spill frames rejected by checksum or framing verification.
+    pub spill_corrupt: u64,
+    /// Bytes currently held in spill files.
+    pub spill_bytes: u64,
     /// Distribution of individual blocked-wait latencies (one sample per
     /// `wait_unit`/`read_unit` call that had to block).
     pub wait_hist: HistogramSnapshot,
@@ -118,6 +128,15 @@ impl std::fmt::Display for GboStats {
             self.wait_timeouts,
             self.units_reset
         )?;
+        writeln!(
+            f,
+            "spill: {} writes, {} hits, {} misses, {} corrupt; {:.2} MB on disk",
+            self.spill_writes,
+            self.spill_hits,
+            self.spill_misses,
+            self.spill_corrupt,
+            mb(self.spill_bytes)
+        )?;
         let hit_rate = match self.hit_rate() {
             Some(r) => format!("{:.1}%", r * 100.0),
             None => "n/a".to_string(),
@@ -166,6 +185,7 @@ mod tests {
         assert!(text.contains("1 wait timeouts"));
         assert!(text.contains("blocked in waits"));
         assert!(text.contains("wait latency"));
+        assert!(text.contains("spill: 0 writes"));
     }
 
     #[test]

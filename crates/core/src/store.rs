@@ -151,6 +151,77 @@ impl Store {
         id
     }
 
+    /// Re-install a record decoded from a spill frame, restoring its
+    /// commit-time key snapshot verbatim (the snapshot is authoritative —
+    /// recomputing it from the buffers would lose the index guard the
+    /// snapshot exists for). No creation/commit counters are bumped: the
+    /// record was already counted when it was first created. Safe to call
+    /// with the unit-table lock held (lock order units → store).
+    pub(crate) fn restore_record(
+        &self,
+        type_name: &str,
+        committed: bool,
+        key: Option<Vec<Key>>,
+        fields: Vec<Option<FieldData>>,
+        unit: &str,
+    ) -> Result<RecordId> {
+        use crate::buffer::FieldBuffer;
+        let mut st = self.lock();
+        let rt = match st.committed_types.get(type_name) {
+            Some(rt) => Arc::clone(rt),
+            None => {
+                let def = st.schema.committed_record(type_name)?.clone();
+                let rt = Arc::new(def);
+                st.committed_types
+                    .insert(type_name.to_string(), Arc::clone(&rt));
+                rt
+            }
+        };
+        if fields.len() != rt.fields.len() {
+            return Err(GodivaError::TypeMismatch(format!(
+                "spill frame for record type '{type_name}' has {} field slots, schema has {}",
+                fields.len(),
+                rt.fields.len()
+            )));
+        }
+        if committed {
+            if let Some(key) = &key {
+                let idx = st.index.entry(type_name.to_string()).or_default();
+                if let Some(existing) = idx.get(key) {
+                    return Err(GodivaError::DuplicateKey(format!(
+                        "record type '{type_name}': key {key:?} already identifies record \
+                         #{existing}"
+                    )));
+                }
+            }
+        }
+        let id = st.next_record;
+        st.next_record += 1;
+        let fields: Vec<Option<FieldRef>> = fields
+            .into_iter()
+            .map(|slot| slot.map(FieldBuffer::new))
+            .collect();
+        if committed {
+            if let Some(key) = &key {
+                st.index
+                    .entry(type_name.to_string())
+                    .or_default()
+                    .insert(key.clone(), id);
+            }
+        }
+        st.records.insert(
+            id,
+            RecordEntry {
+                rt,
+                fields,
+                committed,
+                key,
+                unit: Some(unit.to_string()),
+            },
+        );
+        Ok(id)
+    }
+
     /// Remove `ids` from the record table and the key index. Called by
     /// the units layer with its lock held (lock order units → store)
     /// when a unit is evicted, deleted or rolled back.

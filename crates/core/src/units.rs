@@ -17,6 +17,7 @@
 use crate::error::{GodivaError, Result};
 use crate::metrics::GboMetrics;
 use crate::sched::QueuePolicy;
+use crate::spill::SpillTier;
 use crate::store::{RecordId, Store};
 use crate::unit::{EvictionPolicy, ReadFn, UnitState};
 use godiva_obs::Tracer;
@@ -86,7 +87,10 @@ impl UnitEntry {
     }
 
     pub(crate) fn evictable(&self) -> bool {
-        self.state == UnitState::Finished && self.refcount == 0 && self.bytes > 0
+        // No `bytes > 0` condition: a zero-byte finished unit frees no
+        // memory, but evicting it returns it to `Registered` so it stops
+        // pinning a unit-table slot and an LRU entry forever.
+        self.state == UnitState::Finished && self.refcount == 0
     }
 }
 
@@ -142,6 +146,10 @@ pub(crate) struct Units {
     pub(crate) eviction: EvictionPolicy,
     /// Number of executor worker threads (0 = inline mode).
     pub(crate) worker_count: usize,
+    /// Second-tier spill cache for evicted units (DESIGN.md §5f), or
+    /// `None` when spilling is off (the default — the paper's
+    /// discard-on-evict behaviour).
+    pub(crate) spill: Option<SpillTier>,
 }
 
 impl Units {
@@ -150,6 +158,7 @@ impl Units {
         mem_limit: u64,
         eviction: EvictionPolicy,
         worker_count: usize,
+        spill: Option<SpillTier>,
     ) -> Self {
         Units {
             state: Mutex::new(UnitsState {
@@ -165,7 +174,16 @@ impl Units {
             work_cv: Condvar::new(),
             eviction,
             worker_count,
+            spill,
         }
+    }
+
+    /// Re-assert the `gbo.queue_depth` gauge from the queue itself.
+    /// Every path that pushes to, pops from or edits the queue calls
+    /// this, so the gauge can never go stale or (being recomputed, not
+    /// adjusted by deltas) negative.
+    pub(crate) fn sync_queue_gauge(&self, st: &UnitsState, metrics: &GboMetrics) {
+        metrics.queue_depth.set(st.queue.len() as u64);
     }
 
     pub(crate) fn lock(&self) -> MutexGuard<'_, UnitsState> {
@@ -281,6 +299,22 @@ impl Units {
         let Some(name) = candidate else {
             return false;
         };
+        // Spill the unit's buffers before they are dropped, atomically
+        // with the eviction (both happen under the units lock, so a
+        // concurrent reader can never observe "evicted but not yet
+        // spilled"). Empty units have nothing worth a file.
+        if let Some(spill) = &self.spill {
+            let records = st
+                .units
+                .get(&name)
+                .map(|u| u.records.clone())
+                .unwrap_or_default();
+            if !records.is_empty() {
+                if let Some(frame) = crate::spill::encode_unit(store, &name, &records) {
+                    spill.store_unit(metrics, tracer, &name, frame);
+                }
+            }
+        }
         let freed = self.drop_unit_data(st, store, metrics, &name);
         metrics.evictions.inc();
         metrics.bytes_evicted.add(freed);
@@ -366,7 +400,7 @@ impl Units {
         }
         st.queue.push(name.to_string(), priority);
         metrics.units_added.inc();
-        metrics.queue_depth.set(st.queue.len() as u64);
+        self.sync_queue_gauge(&st, metrics);
         if tracer.enabled() {
             tracer.instant(
                 "gbo",
@@ -380,9 +414,9 @@ impl Units {
 
     /// Remove `name` from the prefetch queue if enqueued.
     pub(crate) fn unqueue(&self, st: &mut UnitsState, metrics: &GboMetrics, name: &str) {
-        if st.queue.remove(name) {
-            metrics.queue_depth.set(st.queue.len() as u64);
-        }
+        st.queue.remove(name);
+        // Unconditional: even a no-op removal re-asserts the gauge.
+        self.sync_queue_gauge(st, metrics);
     }
 
     /// `finishUnit`: unpin; at zero pins the unit becomes evictable.
@@ -439,6 +473,11 @@ impl Units {
             e.refcount = 0;
         }
         let freed = self.drop_unit_data(&mut st, store, metrics, name);
+        // `deleteUnit` is the developer saying the data is gone — a
+        // spilled copy must not resurrect it on the next read.
+        if let Some(spill) = &self.spill {
+            spill.invalidate(metrics, tracer, name);
+        }
         if tracer.enabled() {
             tracer.instant(
                 "gbo",
@@ -487,7 +526,7 @@ impl Units {
         let priority = entry.priority;
         st.queue.push(name.to_string(), priority);
         metrics.units_reset.inc();
-        metrics.queue_depth.set(st.queue.len() as u64);
+        self.sync_queue_gauge(&st, metrics);
         if tracer.enabled() {
             tracer.instant("gbo", "unit_reset", vec![("unit", name.into())]);
         }

@@ -51,6 +51,27 @@ pub struct ChurnReport {
     pub re_read_us: u64,
 }
 
+/// Spill-tier activity: evicted units re-materialized from the local
+/// cache instead of re-running the developer callback (DESIGN.md §5f).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpillReport {
+    /// Evicted units written to the spill cache (`spill_write`).
+    pub writes: usize,
+    /// Revisits served from the cache (`spill_hit`).
+    pub hits: usize,
+    /// Revisits that fell back to the callback (`spill_miss`).
+    pub misses: usize,
+    /// Frames that failed checksum/decode verification (`spill_corrupt`).
+    pub corrupt: usize,
+    /// Bytes re-materialized by the hits.
+    pub restored_bytes: u64,
+    /// Union of `spill_restore` spans (µs) — time spent restoring.
+    pub restore_us: u64,
+    /// Estimated callback time the hits avoided (µs): hits × the mean
+    /// successful `read_unit` duration, minus the restore time.
+    pub saved_us: u64,
+}
+
 /// One reader thread's share of the load work. With the multi-worker
 /// I/O executor each worker shows up as its own tid; the breakdown is
 /// how stall attribution is balanced across workers (a lopsided table
@@ -104,6 +125,8 @@ pub struct TraceReport {
     pub prefetch: PrefetchReport,
     /// Eviction churn and re-read waste.
     pub churn: ChurnReport,
+    /// Spill-tier activity and the time it saved.
+    pub spill: SpillReport,
     /// Memory occupancy timeline.
     pub occupancy: OccupancyReport,
 }
@@ -255,6 +278,8 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
     }
     let mut units: BTreeMap<String, Unit> = BTreeMap::new();
     let mut churn = ChurnReport::default();
+    let mut spill = SpillReport::default();
+    let mut restore_spans: Vec<(u64, u64)> = Vec::new();
     let mut timeline: Vec<(u64, u64)> = Vec::new();
     for e in &events {
         // Occupancy samples: snapshotter gauge_sample instants…
@@ -286,9 +311,22 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
                     .and_then(|b| b.as_u64())
                     .unwrap_or(0);
             }
+            "spill_write" => spill.writes += 1,
+            "spill_hit" => {
+                spill.hits += 1;
+                spill.restored_bytes += e.args.get("bytes").and_then(|b| b.as_u64()).unwrap_or(0);
+            }
+            "spill_miss" => spill.misses += 1,
+            "spill_corrupt" => spill.corrupt += 1,
+            "spill_restore" => {
+                if let Some(d) = e.dur {
+                    restore_spans.push((e.ts, e.ts + d));
+                }
+            }
             _ => {}
         }
     }
+    spill.restore_us = interval_union_us(restore_spans);
     timeline.sort_unstable();
     let peak_bytes = timeline.iter().map(|&(_, v)| v).max().unwrap_or(0);
 
@@ -313,6 +351,18 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
         }
     }
 
+    // Saved time: each hit replaced one callback read with a restore.
+    // Estimate the avoided callbacks at the mean successful read_unit
+    // duration seen in this trace.
+    let (read_total_us, read_count): (u64, usize) = units
+        .values()
+        .flat_map(|u| u.read_us.iter())
+        .fold((0, 0), |(t, n), &d| (t + d, n + 1));
+    if read_count > 0 && spill.hits > 0 {
+        let avoided = spill.hits as u64 * (read_total_us / read_count as u64);
+        spill.saved_us = avoided.saturating_sub(spill.restore_us);
+    }
+
     Ok(TraceReport {
         events: events.len(),
         spans: events.iter().filter(|e| e.dur.is_some()).count(),
@@ -326,6 +376,7 @@ pub fn analyze_trace(text: &str) -> Result<TraceReport, String> {
         readers,
         prefetch,
         churn,
+        spill,
         occupancy: OccupancyReport {
             timeline,
             peak_bytes,
@@ -430,6 +481,19 @@ impl TraceReport {
             self.churn.re_reads,
             fmt_us(self.churn.re_read_us),
         ));
+        let s = &self.spill;
+        if s.writes + s.hits + s.misses + s.corrupt > 0 {
+            out.push_str(&format!(
+                "spill tier:\n  writes      {:>6}\n  hits        {:>6}  ({} restored in {}, ~{} callback time saved)\n  misses      {:>6}\n  corrupt     {:>6}\n",
+                s.writes,
+                s.hits,
+                fmt_bytes(s.restored_bytes),
+                fmt_us(s.restore_us),
+                fmt_us(s.saved_us),
+                s.misses,
+                s.corrupt,
+            ));
+        }
         let final_bytes = self.occupancy.timeline.last().map(|&(_, v)| v).unwrap_or(0);
         out.push_str(&format!(
             "memory occupancy: {} samples, peak {}, final {}\n",
@@ -483,6 +547,17 @@ impl TraceReport {
             self.churn.reads,
             self.churn.re_reads,
             self.churn.re_read_us
+        ));
+        out.push_str(&format!(
+            "\"spill\":{{\"writes\":{},\"hits\":{},\"misses\":{},\"corrupt\":{},\
+             \"restored_bytes\":{},\"restore_us\":{},\"saved_us\":{}}},",
+            self.spill.writes,
+            self.spill.hits,
+            self.spill.misses,
+            self.spill.corrupt,
+            self.spill.restored_bytes,
+            self.spill.restore_us,
+            self.spill.saved_us
         ));
         out.push_str(&format!(
             "\"occupancy\":{{\"peak_bytes\":{},\"samples\":[",
@@ -657,6 +732,63 @@ mod tests {
         // Two samples: the eviction's mem_used and the gauge_sample.
         assert_eq!(r.occupancy.timeline, vec![(45, 4096), (80, 1024)]);
         assert_eq!(r.occupancy.peak_bytes, 4096);
+    }
+
+    #[test]
+    fn spill_attribution() {
+        // Extend the sample trace: unit a's spill lifecycle around its
+        // eviction — written at ts 46, hit with a 2 µs restore at ts 64.
+        let text = [
+            sample_trace(),
+            line(
+                46,
+                None,
+                "gbo",
+                "spill_write",
+                1,
+                "{\"unit\":\"a\",\"bytes\":2048,\"spill_bytes\":2048}",
+            ),
+            line(63, None, "gbo", "spill_miss", 1, "{\"unit\":\"b\"}"),
+            line(
+                64,
+                None,
+                "gbo",
+                "spill_hit",
+                1,
+                "{\"unit\":\"a\",\"bytes\":2048}",
+            ),
+            line(
+                64,
+                Some(2),
+                "gbo",
+                "spill_restore",
+                1,
+                "{\"unit\":\"a\",\"bytes\":2048}",
+            ),
+        ]
+        .join("\n");
+        let r = analyze_trace(&text).unwrap();
+        assert_eq!(r.spill.writes, 1);
+        assert_eq!(r.spill.hits, 1);
+        assert_eq!(r.spill.misses, 1);
+        assert_eq!(r.spill.corrupt, 0);
+        assert_eq!(r.spill.restored_bytes, 2048);
+        assert_eq!(r.spill.restore_us, 2);
+        // Mean successful read_unit is (4+4+10)/3 = 6 µs; one hit
+        // avoided one such read, minus the 2 µs restore.
+        assert_eq!(r.spill.saved_us, 4);
+        let human = r.render_human();
+        assert!(human.contains("spill tier"), "{human}");
+        assert!(human.contains("callback time saved"), "{human}");
+        let v = parse_json(&r.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("spill").and_then(|s| s.get("saved_us")?.as_u64()),
+            Some(4)
+        );
+        // Traces without spill events keep the quiet output.
+        let quiet = analyze_trace(&sample_trace()).unwrap();
+        assert_eq!(quiet.spill, SpillReport::default());
+        assert!(!quiet.render_human().contains("spill tier"));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!    (one unit is read by one worker at a time, but different units
 //!    may be read by different I/O workers concurrently — the summary
 //!    reports how many distinct reader tids appeared), and no unit is
-//!    evicted before it finished.
+//!    evicted before it finished,
+//! 4. the spill lifecycle pairs up: a `spill_hit`, `spill_evict` or
+//!    `spill_corrupt` for a unit requires a prior `spill_write` for the
+//!    same unit (and evict/corrupt consume the written frame, so a
+//!    second hit needs a fresh write).
 //!
 //! A post-mortem dump (recognized by its `{"postmortem": …}` header
 //! line) is an arbitrary *window* of a trace, so only checks 1–2 apply
@@ -108,6 +112,10 @@ fn check_trace(text: &str) -> Result<String, String> {
     let mut open_reads: HashMap<String, Vec<u64>> = HashMap::new();
     let mut reader_tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     let mut finished: HashMap<String, bool> = HashMap::new();
+    // Units with a live spilled frame (spill_write seen, not yet
+    // evicted or found corrupt).
+    let mut spilled: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut spill_events = 0usize;
     let mut spans = 0usize;
     for (i, v) in events.iter().enumerate() {
         let name = v.get("name").and_then(|x| x.as_str()).unwrap_or("");
@@ -149,6 +157,24 @@ fn check_trace(text: &str) -> Result<String, String> {
                     i + 1
                 ));
             }
+            "spill_write" => {
+                spill_events += 1;
+                spilled.insert(unit);
+            }
+            "spill_hit" | "spill_evict" | "spill_corrupt" => {
+                spill_events += 1;
+                if !spilled.contains(&unit) {
+                    return Err(format!(
+                        "line {}: '{name}' for unit '{unit}' without a live spill_write",
+                        i + 1
+                    ));
+                }
+                // Evict and corrupt delete the frame; a later hit needs
+                // a fresh write.
+                if name != "spill_hit" {
+                    spilled.remove(&unit);
+                }
+            }
             _ => {}
         }
     }
@@ -160,8 +186,13 @@ fn check_trace(text: &str) -> Result<String, String> {
             ));
         }
     }
+    let spill_note = if spill_events > 0 {
+        format!(", {spill_events} paired spill event(s)")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader tid(s)",
+        "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader tid(s){spill_note}",
         events.len(),
         spans,
         open_reads.len(),
@@ -399,6 +430,36 @@ mod tests {
         let err = check_trace(&trace).unwrap_err();
         assert!(err.contains("tid 3"), "{err}");
         assert!(err.contains("tid 2"), "{err}");
+    }
+
+    #[test]
+    fn spill_lifecycle_pairs_up() {
+        // write → hit → evict is valid; a second hit after the evict
+        // needs a fresh write.
+        let trace = [
+            ev("spill_write", "a", "i"),
+            ev("spill_hit", "a", "i"),
+            ev("spill_hit", "a", "i"),
+            ev("spill_evict", "a", "i"),
+            ev("spill_write", "a", "i"),
+            ev("spill_corrupt", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_trace(&trace).expect("paired spill lifecycle");
+        assert!(summary.contains("6 paired spill event(s)"), "{summary}");
+
+        for orphan in ["spill_hit", "spill_evict", "spill_corrupt"] {
+            let trace = [ev("spill_miss", "a", "i"), ev(orphan, "a", "i")].join("\n");
+            let err = check_trace(&trace).unwrap_err();
+            assert!(err.contains("without a live spill_write"), "{err}");
+        }
+        let stale = [
+            ev("spill_write", "a", "i"),
+            ev("spill_evict", "a", "i"),
+            ev("spill_hit", "a", "i"),
+        ]
+        .join("\n");
+        assert!(check_trace(&stale).is_err(), "hit after evict must fail");
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod serve;
 pub mod sink;
 pub mod trace;
 
-pub use analyze::{analyze_trace, ChurnReport, OccupancyReport, PrefetchReport, TraceReport};
+pub use analyze::{
+    analyze_trace, ChurnReport, OccupancyReport, PrefetchReport, SpillReport, TraceReport,
+};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 pub use json::{parse_json, JsonValue};
 pub use metrics::{

@@ -369,6 +369,11 @@ pub struct GodivaBackendOptions {
     pub flight_recorder: Option<Arc<godiva_obs::FlightRecorder>>,
     /// Post-mortem dump destination override.
     pub postmortem_path: Option<std::path::PathBuf>,
+    /// Second-tier spill cache for evicted units: evicted buffers are
+    /// written to a checksummed cache file and revisits re-materialize
+    /// from it instead of re-running the read callback. `None` (the
+    /// default) keeps the paper's discard-on-evict behaviour.
+    pub spill: Option<godiva_core::SpillConfig>,
 }
 
 impl GodivaBackendOptions {
@@ -389,6 +394,7 @@ impl GodivaBackendOptions {
             metrics: None,
             flight_recorder: Some(Arc::new(godiva_obs::FlightRecorder::default())),
             postmortem_path: None,
+            spill: None,
         }
     }
 
@@ -519,6 +525,7 @@ impl GodivaBackend {
             metrics: options.metrics,
             flight_recorder: options.flight_recorder,
             postmortem_path: options.postmortem_path,
+            spill: options.spill,
         });
         let blocks = options
             .block_subset
@@ -656,7 +663,13 @@ impl SnapshotSource for GodivaBackend {
         // Batch mode: announce every unit up front, in processing order
         // (§3.2 — "notify the GODIVA database about all the units to be
         // read … in the order that they are going to be processed").
+        // Browsing traces visit snapshots repeatedly; each unit is
+        // announced once, at its first visit.
+        let mut seen = HashSet::new();
         for &s in snapshots {
+            if !seen.insert(s) {
+                continue;
+            }
             match self.granularity {
                 Granularity::Snapshot => {
                     self.db

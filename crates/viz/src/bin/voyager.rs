@@ -46,9 +46,9 @@ fn usage() -> ExitCode {
         "usage:\n  voyager generate --data DIR [--snapshots N] [--blocks B] [--files F]\n  \
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
          [--mem MB] [--io-threads N] [--out DIR] [--width W] [--height H] [--format ppm|png] \
-         [--retries N] [--fault-mode abort|degrade] [--trace-out PATH] \
-         [--trace-format chrome|jsonl] [--metrics-summary] [--metrics-json PATH] \
-         [--metrics-listen ADDR]\n  \
+         [--retries N] [--fault-mode abort|degrade] [--spill-dir DIR] [--spill-budget MB] \
+         [--trace-out PATH] [--trace-format chrome|jsonl] [--metrics-summary] \
+         [--metrics-json PATH] [--metrics-listen ADDR]\n  \
          voyager example-specs DIR"
     );
     ExitCode::from(2)
@@ -235,6 +235,22 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         let fs = RealFs::new(out).map_err(|e| e.to_string())?;
         opts.images_out = Some((Arc::new(fs) as Arc<dyn Storage>, "frames".into()));
     }
+    // Second-tier spill cache: evicted units land in DIR and revisits
+    // re-materialize from there instead of re-running the read.
+    if let Some(dir) = args.value("--spill-dir") {
+        let budget_mb: u64 = args
+            .value_or("--spill-budget", "1024")
+            .parse()
+            .map_err(|_| "--spill-budget must be an integer (MB)")?;
+        let fs = RealFs::new(dir).map_err(|e| e.to_string())?;
+        opts.spill = Some(godiva_core::SpillConfig {
+            storage: Arc::new(fs) as Arc<dyn Storage>,
+            dir: "spill".into(),
+            budget: budget_mb << 20,
+        });
+    } else if args.value("--spill-budget").is_some() {
+        return Err("--spill-budget requires --spill-dir".into());
+    }
 
     let trace_sink: Option<Arc<dyn TraceSink>> = match args.value("--trace-out") {
         Some(path) => {
@@ -336,6 +352,12 @@ fn cmd_render(args: &Args) -> Result<(), String> {
             stats.cache_hits,
             stats.mem_peak as f64 / (1024.0 * 1024.0)
         );
+        if stats.spill_writes + stats.spill_hits + stats.spill_misses > 0 {
+            println!(
+                "spill: {} writes, {} hits, {} misses, {} corrupt",
+                stats.spill_writes, stats.spill_hits, stats.spill_misses, stats.spill_corrupt
+            );
+        }
     }
     let faults = &report.fault_report;
     if !faults.is_clean() {

@@ -98,6 +98,14 @@ pub struct VoyagerOptions {
     pub flight_recorder: Option<Arc<godiva_obs::FlightRecorder>>,
     /// Post-mortem dump destination override (`None` = temp dir).
     pub postmortem_path: Option<std::path::PathBuf>,
+    /// Second-tier spill cache for evicted units (GODIVA modes only;
+    /// `None` disables spilling).
+    pub spill: Option<godiva_core::SpillConfig>,
+    /// Override the mode's unit-retirement behaviour: `Some(false)`
+    /// keeps finished units cached for revisits (interactive-style
+    /// browsing traces), `Some(true)` deletes them after each snapshot,
+    /// `None` uses the mode default (batch deletes).
+    pub delete_after_use: Option<bool>,
 }
 
 /// Output image encodings.
@@ -151,6 +159,8 @@ impl VoyagerOptions {
             metrics: None,
             flight_recorder: Some(Arc::new(godiva_obs::FlightRecorder::default())),
             postmortem_path: None,
+            spill: None,
+            delete_after_use: None,
         }
     }
 }
@@ -274,6 +284,10 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             boptions.metrics = opts.metrics.clone();
             boptions.flight_recorder = opts.flight_recorder.clone();
             boptions.postmortem_path = opts.postmortem_path.clone();
+            boptions.spill = opts.spill.clone();
+            if let Some(delete) = opts.delete_after_use {
+                boptions.delete_after_use = delete;
+            }
             Box::new(GodivaBackend::new(
                 opts.storage.clone(),
                 opts.genx.clone(),
@@ -534,6 +548,81 @@ mod tests {
         }
         assert!(!registry.is_empty(), "metrics registry was populated");
         assert!(registry.render().contains("gbo.units_read"));
+    }
+
+    #[test]
+    fn spill_restores_show_up_in_trace_analytics() {
+        use godiva_core::SpillConfig;
+        use godiva_obs::{analyze_trace, JsonlSink};
+        use std::sync::Mutex;
+
+        // A `Write` handle the test can read back after the run.
+        #[derive(Clone)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (fs, config) = dataset();
+        let browse = |mut opts: VoyagerOptions| {
+            opts.decode_work_per_kib = 0;
+            opts.spec.work_per_op = godiva_platform::Work::ZERO;
+            // Two sweeps with interactive retirement: second-pass
+            // visits find their snapshot evicted.
+            opts.snapshots = (0..config.snapshots).chain(0..config.snapshots).collect();
+            opts.delete_after_use = Some(false);
+            opts
+        };
+        // Calibration pass: unbounded memory, no spill — yields the
+        // per-unit footprint and the reference images.
+        let mut opts = browse(VoyagerOptions::new(
+            fs.clone(),
+            CpuPool::new(2, 4.0),
+            config.clone(),
+            TestSpec::simple(),
+            Mode::GodivaSingle,
+        ));
+        opts.mem_limit = 1 << 40;
+        let reference = run_voyager(opts).unwrap();
+        let stats = reference.gbo_stats.as_ref().unwrap();
+        let unit_bytes = stats.bytes_allocated / config.snapshots as u64;
+
+        // Traced run under a ~2.5-unit budget with an ample spill.
+        let buf = Buf(Arc::new(Mutex::new(Vec::new())));
+        let mut opts = browse(VoyagerOptions::new(
+            fs,
+            CpuPool::new(2, 4.0),
+            config.clone(),
+            TestSpec::simple(),
+            Mode::GodivaSingle,
+        ));
+        opts.mem_limit = unit_bytes * 5 / 2;
+        opts.spill = Some(SpillConfig {
+            storage: Arc::new(MemFs::new()),
+            dir: "spill".into(),
+            budget: 1 << 30,
+        });
+        opts.tracer = Tracer::new(Arc::new(JsonlSink::new(buf.clone())));
+        let report = run_voyager(opts).unwrap();
+        assert_eq!(
+            report.image_checksums, reference.image_checksums,
+            "spilled revisits must render identical images"
+        );
+        let stats = report.gbo_stats.unwrap();
+        assert_eq!(stats.spill_hits, config.snapshots as u64);
+        assert_eq!(stats.spill_corrupt, 0);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let tr = analyze_trace(&text).unwrap();
+        assert_eq!(tr.spill.hits as u64, stats.spill_hits);
+        assert_eq!(tr.spill.writes as u64, stats.spill_writes);
+        assert!(tr.spill.restored_bytes > 0, "hits must report bytes");
     }
 
     #[test]

@@ -33,11 +33,35 @@ fn io_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// `GodivaBackendOptions::batch` with the suite's worker count applied.
+/// CI also reruns the suite with `GODIVA_SPILL_DIR` pointing at a
+/// scratch directory: every fault path then runs with the spill tier
+/// enabled too, proving fault handling and spilling compose. Each call
+/// returns a fresh cache subdirectory so concurrently running tests
+/// never share spill files. Unset (the default), spilling stays off —
+/// the paper's discard-on-evict behavior.
+fn spill_config() -> Option<godiva::core::SpillConfig> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let root = std::env::var("GODIVA_SPILL_DIR").ok()?;
+    let fs = godiva::platform::RealFs::new(root).expect("GODIVA_SPILL_DIR must be creatable");
+    Some(godiva::core::SpillConfig {
+        storage: Arc::new(fs) as Arc<dyn Storage>,
+        dir: format!(
+            "spill-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ),
+        budget: 64 << 20,
+    })
+}
+
+/// `GodivaBackendOptions::batch` with the suite's worker count (and,
+/// under `GODIVA_SPILL_DIR`, spill tier) applied.
 fn batch_options(background_io: bool, mem_limit: u64) -> GodivaBackendOptions {
     let mut options =
         GodivaBackendOptions::batch(vec!["stress_avg".into()], background_io, mem_limit);
     options.io_threads = io_threads();
+    options.spill = spill_config();
     options
 }
 
@@ -78,6 +102,7 @@ fn failed_unit_recovers_after_fault_clears() {
         mem_limit: 64 << 20,
         background_io: true,
         io_threads: io_threads(),
+        spill: spill_config(),
         ..Default::default()
     });
     let storage = fs.clone() as Arc<dyn Storage>;
@@ -177,6 +202,7 @@ fn panicking_read_function_is_contained() {
         mem_limit: 64 << 20,
         background_io: true,
         io_threads: io_threads(),
+        spill: spill_config(),
         ..Default::default()
     });
     db.add_unit(
@@ -300,6 +326,7 @@ fn degrade_opts(fs: Arc<FaultyFs>, genx: GenxConfig, mode: Mode) -> VoyagerOptio
     opts.spec.work_per_op = godiva::platform::Work::ZERO;
     opts.fault_mode = FaultMode::Degrade;
     opts.io_threads = io_threads();
+    opts.spill = spill_config();
     opts
 }
 
@@ -349,6 +376,66 @@ fn degraded_godiva_file_units_skip_only_faulty_file() {
     assert_eq!(r.images, genx.snapshots);
     assert!(r.fault_report.snapshots_skipped.is_empty());
     assert_eq!(r.fault_report.blocks_skipped, file1_blocks(&genx));
+}
+
+#[test]
+fn corrupted_spill_frame_falls_back_to_read_function() {
+    use godiva::core::{DeclaredSize, FieldKind, Key, UnitSession};
+    // The dataset is synthesized by the read function; only the spill
+    // cache sits behind the fault injector.
+    let spill_fs = Arc::new(FaultyFs::new(Arc::new(MemFs::new())));
+    let payload = 8 * 1024usize;
+    let db = godiva::core::Gbo::with_config(godiva::core::GboConfig {
+        // Room for ~1.5 units: loading the second unit must evict the
+        // first, and the first's buffers go to the spill cache.
+        mem_limit: (payload * 2) as u64,
+        background_io: false,
+        spill: Some(godiva::core::SpillConfig {
+            storage: spill_fs.clone() as Arc<dyn Storage>,
+            dir: "spill".into(),
+            budget: 1 << 20,
+        }),
+        ..Default::default()
+    });
+    let reader = move |s: &UnitSession| {
+        s.define_field("id", FieldKind::Str, DeclaredSize::Unknown)?;
+        s.define_field("payload", FieldKind::F64, DeclaredSize::Unknown)?;
+        s.define_record("rec", 1)?;
+        s.insert_field("rec", "id", true)?;
+        s.insert_field("rec", "payload", false)?;
+        s.commit_record_type("rec")?;
+        let r = s.new_record("rec")?;
+        let seed = s.unit().len() as f64; // distinct data per unit
+        r.set_str("id", s.unit())?;
+        r.set_f64("payload", vec![seed; payload / 8])?;
+        r.commit()
+    };
+    let query = |unit: &str| -> Vec<f64> {
+        db.get_field_buffer("rec", "payload", &[Key::from(unit)])
+            .unwrap()
+            .f64s()
+            .unwrap()
+            .to_vec()
+    };
+    db.add_unit("a", reader).unwrap();
+    db.wait_unit("a").unwrap();
+    let original = query("a");
+    db.finish_unit("a").unwrap();
+    // Loading "bb" overflows the budget: "a" is evicted and spilled.
+    db.add_unit("bb", reader).unwrap();
+    db.wait_unit("bb").unwrap();
+    db.finish_unit("bb").unwrap();
+    assert!(db.stats().spill_writes >= 1, "eviction must have spilled");
+    // From now on every spill-cache read hands back a flipped byte.
+    spill_fs.corrupt_paths_with("spill/");
+    // The revisit detects the bad checksum, drops the cache file, and
+    // transparently re-runs the read function instead.
+    db.wait_unit("a").unwrap();
+    assert_eq!(original, query("a"), "fallback must reproduce the data");
+    let stats = db.stats();
+    assert_eq!(stats.spill_corrupt, 1, "corruption must be counted");
+    assert_eq!(stats.spill_hits, 0, "a mangled frame is not a hit");
+    assert!(spill_fs.injected() >= 1);
 }
 
 #[test]

@@ -180,11 +180,13 @@ proptest! {
         // the interleaving, worker allocations must respect the budget
         // and no unit may be read twice.
         let bytes = unit_kb * 1024 + 64; // payload + key + slack
+        let registry = std::sync::Arc::new(godiva::obs::MetricsRegistry::new());
         let db = Gbo::with_config(GboConfig {
             mem_limit: (bytes * budget_units) as u64,
             background_io: true,
             io_threads: workers,
             eviction: EvictionPolicy::Lru,
+            metrics: Some(registry.clone()),
             ..Default::default()
         });
         for u in 0..n_units {
@@ -215,6 +217,14 @@ proptest! {
                 });
             }
         });
+        // At quiescence the exported gauge must agree with the queue,
+        // whatever mix of worker pops and failed/deadlocked waits
+        // drained it.
+        prop_assert_eq!(
+            registry.gauge("gbo.queue_depth").get(),
+            db.queue_len() as u64,
+            "queue gauge out of sync with the queue"
+        );
         let stats = db.stats();
         // Worker allocations block instead of over-running the budget.
         prop_assert!(
