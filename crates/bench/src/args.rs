@@ -18,6 +18,9 @@ pub struct HarnessArgs {
     /// Address to serve live metrics on while the experiment runs
     /// (`curl ADDR/metrics`); `None` = no listener, the default.
     pub metrics_listen: Option<String>,
+    /// Path to write a machine-readable JSON summary to, for binaries
+    /// that support one (`None` = table output only, the default).
+    pub json: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -29,6 +32,7 @@ impl Default for HarnessArgs {
             full: false,
             trace_dir: None,
             metrics_listen: None,
+            json: None,
         }
     }
 }
@@ -52,10 +56,11 @@ impl HarnessArgs {
                 "--full" => out.full = true,
                 "--trace-dir" => out.trace_dir = Some(value("--trace-dir")),
                 "--metrics-listen" => out.metrics_listen = Some(value("--metrics-listen")),
+                "--json" => out.json = Some(value("--json")),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--snapshots N] [--repeats R] [--scale S] [--full] \
-                         [--trace-dir DIR] [--metrics-listen ADDR]\n\
+                         [--trace-dir DIR] [--metrics-listen ADDR] [--json PATH]\n\
                          defaults: --snapshots 16 --repeats 3 --scale 0.02"
                     );
                     std::process::exit(0);

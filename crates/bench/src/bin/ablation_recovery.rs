@@ -1,0 +1,288 @@
+//! Ablation: durability and recovery (DESIGN.md §5g, beyond the paper).
+//!
+//! Two questions about the write-ahead log:
+//!
+//! 1. **What does journaling cost when nothing crashes?** The same
+//!    two-sweep browsing trace as `ablation_spill` (G build, ~2.5-unit
+//!    memory budget, ample spill tier) runs with the WAL off and with
+//!    the WAL on (`Durability::Wal`, append without fsync); the target
+//!    is < 5 % wall-time overhead.
+//! 2. **What does recovery buy after a restart?** A single sweep runs
+//!    to completion, the backend is dropped (the "crash"), and a second
+//!    sweep runs in a fresh backend. A **cold** restart starts from an
+//!    empty database and re-reads every snapshot from the dataset; a
+//!    **warm** restart (`resume` over the first run's WAL and surviving
+//!    spill frames) replays the journal, re-adopts the frames, and
+//!    serves those revisits from the spill tier instead.
+//!
+//! The spill cache lives on its own simulated disk (writes free, reads
+//! pay seek + stream) so the dataset storage's counters measure
+//! developer-callback traffic only; the WAL itself lives on the real
+//! filesystem, as it does in production. Images are checksummed in
+//! every arm and must match the reference run exactly.
+
+use godiva_bench::table::mean_ci;
+use godiva_bench::{measure, percent, repeat, ExperimentEnv, HarnessArgs, Table};
+use godiva_core::{Durability, SpillConfig};
+use godiva_platform::{DiskModel, Platform, SimFs, Storage};
+use godiva_viz::{Mode, TestSpec, VoyagerOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A fresh real-filesystem WAL directory (the journal bypasses the
+/// simulated storage — it must survive a real process death).
+fn fresh_wal_dir() -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "godiva-ablation-recovery-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn spill_storage(scale: f64) -> Arc<dyn Storage> {
+    Arc::new(SimFs::new(DiskModel::cluster_scsi().scaled(scale)).with_free_writes())
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genx = args.genx();
+    let env = ExperimentEnv::prepare(Platform::turing(args.scale), &genx);
+    let spec = TestSpec::simple();
+    let one_sweep: Vec<usize> = (0..args.snapshots).collect();
+    let two_sweeps: Vec<usize> = (0..args.snapshots).chain(0..args.snapshots).collect();
+    println!(
+        "== Ablation: durability and recovery (Turing node, G build, browsing trace) ==\n\
+         {} snapshots, {} repeats, scale {}\n",
+        args.snapshots, args.repeats, args.scale
+    );
+
+    let base_opts = |visits: &[usize]| -> VoyagerOptions {
+        let mut opts = env.voyager_options(spec.clone(), Mode::GodivaSingle);
+        opts.snapshots = visits.to_vec();
+        opts.delete_after_use = Some(false);
+        opts
+    };
+
+    // Calibrate: unbounded memory, one cold load per snapshot, and the
+    // reference images every other arm must reproduce.
+    let (reference_checksums, unit_bytes) = {
+        let mut opts = base_opts(&two_sweeps);
+        opts.mem_limit = 1 << 40;
+        let m = measure(&env, opts);
+        let stats = m.report.gbo_stats.as_ref().expect("godiva stats");
+        (
+            m.report.image_checksums.clone(),
+            stats.bytes_allocated / args.snapshots as u64,
+        )
+    };
+    let mem_limit = unit_bytes * 5 / 2; // ~2.5 units: forces eviction + spill
+    let spill_budget = unit_bytes * 64; // ample: no spill thrash
+
+    // ---- arm 1+2: WAL overhead on the no-crash path --------------------
+    let mut wal_dirs: Vec<PathBuf> = Vec::new();
+    let mut arm = |durability: Option<Durability>| {
+        repeat(&env, args.repeats, || {
+            let mut opts = base_opts(&two_sweeps);
+            opts.mem_limit = mem_limit;
+            opts.spill = Some(SpillConfig {
+                storage: spill_storage(args.scale),
+                dir: "spill".into(),
+                budget: spill_budget,
+            });
+            if let Some(d) = durability {
+                let dir = fresh_wal_dir();
+                wal_dirs.push(dir.clone());
+                opts.wal_dir = Some(dir);
+                opts.durability = d;
+            }
+            opts
+        })
+    };
+    let off = arm(None);
+    let on = arm(Some(Durability::Wal));
+    for run in off.runs.iter().chain(&on.runs) {
+        assert_eq!(
+            reference_checksums, run.report.image_checksums,
+            "images diverged in a no-crash arm"
+        );
+    }
+    let overhead_pct = -percent(off.total.mean, on.total.mean);
+    let wal_appends: u64 = on
+        .runs
+        .iter()
+        .map(|r| r.report.gbo_stats.as_ref().expect("stats").wal_appends)
+        .sum::<u64>()
+        / on.runs.len() as u64;
+
+    // ---- arm 3: cold restart -------------------------------------------
+    // Sweep 1 runs and the backend is dropped; sweep 2 starts empty and
+    // re-reads every snapshot from the dataset.
+    let mut cold_reread = 0u64;
+    let cold = repeat(&env, args.repeats, || {
+        let mut opts = base_opts(&one_sweep);
+        opts.mem_limit = mem_limit;
+        opts.spill = Some(SpillConfig {
+            storage: spill_storage(args.scale),
+            dir: "spill".into(),
+            budget: spill_budget,
+        });
+        let first = measure(&env, opts); // the run before the "crash"
+        assert_eq!(
+            &reference_checksums[..args.snapshots],
+            &first.report.image_checksums[..]
+        );
+        let mut opts = base_opts(&one_sweep);
+        opts.mem_limit = mem_limit;
+        opts.spill = Some(SpillConfig {
+            storage: spill_storage(args.scale),
+            dir: "spill".into(),
+            budget: spill_budget,
+        });
+        opts // measured by `repeat`: the restarted sweep itself
+    });
+    for run in &cold.runs {
+        assert_eq!(
+            &reference_checksums[..args.snapshots],
+            &run.report.image_checksums[..]
+        );
+        cold_reread += run.bytes_read;
+    }
+    cold_reread /= cold.runs.len() as u64;
+
+    // ---- arm 4: warm restart -------------------------------------------
+    // Same shape, but sweep 1 journals into a WAL and sweep 2 resumes
+    // over it: the journal replays and the surviving spill frames are
+    // re-adopted, so revisits hit the spill tier, not the dataset.
+    let (mut warm_reread, mut replayed, mut spill_hits) = (0u64, 0u64, 0u64);
+    let warm = repeat(&env, args.repeats, || {
+        let cache = spill_storage(args.scale); // shared across the restart
+        let wal_dir = fresh_wal_dir();
+        wal_dirs.push(wal_dir.clone());
+        let mut opts = base_opts(&one_sweep);
+        opts.mem_limit = mem_limit;
+        opts.spill = Some(SpillConfig {
+            storage: cache.clone(),
+            dir: "spill".into(),
+            budget: spill_budget,
+        });
+        opts.wal_dir = Some(wal_dir.clone());
+        let first = measure(&env, opts);
+        assert_eq!(
+            &reference_checksums[..args.snapshots],
+            &first.report.image_checksums[..]
+        );
+        let mut opts = base_opts(&one_sweep);
+        opts.mem_limit = mem_limit;
+        opts.spill = Some(SpillConfig {
+            storage: cache,
+            dir: "spill".into(),
+            budget: spill_budget,
+        });
+        opts.wal_dir = Some(wal_dir);
+        opts.resume = true;
+        opts
+    });
+    for run in &warm.runs {
+        assert_eq!(
+            &reference_checksums[..args.snapshots],
+            &run.report.image_checksums[..]
+        );
+        let stats = run.report.gbo_stats.as_ref().expect("godiva stats");
+        assert!(stats.wal_replayed > 0, "warm restart replayed nothing");
+        assert_eq!(stats.spill_corrupt, 0, "unexpected spill corruption");
+        warm_reread += run.bytes_read;
+        replayed += stats.wal_replayed;
+        spill_hits += stats.spill_hits;
+    }
+    let runs = warm.runs.len() as u64;
+    warm_reread /= runs;
+    replayed /= runs;
+    spill_hits /= runs;
+
+    let mut table = Table::new(&["arm", "total (s)", "visible I/O (s)", "dataset re-read MB"]);
+    let mb = |b: u64| format!("{:.2}", b as f64 / (1024.0 * 1024.0));
+    table.row(&[
+        "two sweeps, wal off".into(),
+        mean_ci(off.total),
+        mean_ci(off.visible_io),
+        "—".into(),
+    ]);
+    table.row(&[
+        "two sweeps, wal on".into(),
+        mean_ci(on.total),
+        mean_ci(on.visible_io),
+        "—".into(),
+    ]);
+    table.row(&[
+        "cold restart sweep".into(),
+        mean_ci(cold.total),
+        mean_ci(cold.visible_io),
+        mb(cold_reread),
+    ]);
+    table.row(&[
+        "warm restart sweep".into(),
+        mean_ci(warm.total),
+        mean_ci(warm.visible_io),
+        mb(warm_reread),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "wal overhead on the no-crash path: {overhead_pct:+.2} % \
+         ({wal_appends} appends/run; target < 5 %)\n\
+         warm restart: {replayed} records replayed, {spill_hits} spill hits/run; \
+         restart time reduced {:.1} %, dataset re-reads reduced {:.1} %",
+        percent(cold.total.mean, warm.total.mean),
+        percent(cold_reread as f64, warm_reread as f64),
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"experiment\": \"ablation_recovery\",\n  \"snapshots\": {},\n  \
+             \"repeats\": {},\n  \"scale\": {},\n  \
+             \"wal_off\": {{\"total_s\": {:.6}, \"ci95_s\": {:.6}}},\n  \
+             \"wal_on\": {{\"total_s\": {:.6}, \"ci95_s\": {:.6}, \"appends\": {}}},\n  \
+             \"wal_overhead_pct\": {:.3},\n  \
+             \"cold_restart\": {{\"total_s\": {:.6}, \"ci95_s\": {:.6}, \"reread_bytes\": {}}},\n  \
+             \"warm_restart\": {{\"total_s\": {:.6}, \"ci95_s\": {:.6}, \"reread_bytes\": {}, \
+             \"wal_replayed\": {}, \"spill_hits\": {}}},\n  \
+             \"restart_time_reduced_pct\": {:.3},\n  \
+             \"restart_reread_reduced_pct\": {:.3}\n}}\n",
+            args.snapshots,
+            args.repeats,
+            args.scale,
+            off.total.mean,
+            off.total.ci95,
+            on.total.mean,
+            on.total.ci95,
+            wal_appends,
+            overhead_pct,
+            cold.total.mean,
+            cold.total.ci95,
+            cold_reread,
+            warm.total.mean,
+            warm.total.ci95,
+            warm_reread,
+            replayed,
+            spill_hits,
+            percent(cold.total.mean, warm.total.mean),
+            percent(cold_reread as f64, warm_reread as f64),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("json summary written to {path}");
+    }
+
+    for dir in wal_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    assert!(
+        warm_reread < cold_reread,
+        "warm restart must re-read less of the dataset than a cold one"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "WAL overhead {overhead_pct:.2} % exceeds the 5 % no-crash budget"
+    );
+}

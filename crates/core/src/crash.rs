@@ -1,0 +1,69 @@
+//! Test-only crash-injection points.
+//!
+//! The kill-injection harness (DESIGN.md §5g) arms exactly one named
+//! point through the environment: `GODIVA_CRASH_AT=wal_append:37`
+//! aborts the process — `std::process::abort()`, no unwinding, no
+//! destructors, exactly like `kill -9` — the 37th time the `wal_append`
+//! point is passed. The registered points sit on the durability write
+//! paths (`wal_append`, `wal_fsync`, `spill_publish`, `spill_rename`),
+//! so a subprocess test driver can kill a run between any two journal
+//! or publish steps and assert that recovery still converges.
+//!
+//! Unarmed (the default — the variable unset or unparsable) the cost is
+//! one lazily-initialized `Option` check per call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct Armed {
+    point: String,
+    hit: u64,
+}
+
+fn parse(spec: &str) -> Option<Armed> {
+    let (point, n) = spec.rsplit_once(':')?;
+    let hit: u64 = n.parse().ok()?;
+    (hit > 0 && !point.is_empty()).then(|| Armed {
+        point: point.to_string(),
+        hit,
+    })
+}
+
+static ARMED: OnceLock<Option<Armed>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Pass a named crash point: aborts the process when `GODIVA_CRASH_AT`
+/// armed this point and this is the configured hit of it.
+pub(crate) fn crash_point(name: &str) {
+    let armed = ARMED.get_or_init(|| {
+        std::env::var("GODIVA_CRASH_AT")
+            .ok()
+            .as_deref()
+            .and_then(parse)
+    });
+    let Some(armed) = armed else { return };
+    if armed.point != name {
+        return;
+    }
+    let n = HITS.fetch_add(1, Ordering::Relaxed) + 1;
+    if n == armed.hit {
+        eprintln!("godiva: crash point '{name}' hit #{n} — aborting (GODIVA_CRASH_AT)");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert!(parse("wal_append:37").is_some_and(|a| a.point == "wal_append" && a.hit == 37));
+        // A point name containing ':' splits at the last colon.
+        assert!(parse("a:b:2").is_some_and(|a| a.point == "a:b" && a.hit == 2));
+        assert!(parse("wal_append").is_none());
+        assert!(parse("wal_append:zero").is_none());
+        assert!(parse("wal_append:0").is_none());
+        assert!(parse(":3").is_none());
+    }
+}

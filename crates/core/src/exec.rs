@@ -20,6 +20,7 @@ use crate::db::{Inner, UnitSession};
 use crate::error::{GodivaError, Result};
 use crate::unit::UnitState;
 use crate::units::AllocCtx;
+use crate::wal::WalEntry;
 use godiva_obs::ArgValue;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -236,6 +237,13 @@ impl Inner {
                 entry.state = UnitState::Ready;
                 entry.loaded_seq = clock;
                 entry.last_access = clock;
+                self.units.journal(
+                    &self.metrics,
+                    &self.tracer,
+                    WalEntry::UnitLoaded {
+                        unit: name.to_string(),
+                    },
+                );
                 self.metrics.units_read.inc();
             }
             Err(e) => {
@@ -488,6 +496,11 @@ impl Inner {
                         entry.state = UnitState::Ready;
                         entry.loaded_seq = clock;
                         entry.last_access = clock;
+                        self.units.journal(
+                            &self.metrics,
+                            &self.tracer,
+                            WalEntry::UnitLoaded { unit: name.clone() },
+                        );
                         self.metrics.units_read.inc();
                     }
                     Err(e) => {

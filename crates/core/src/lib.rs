@@ -74,6 +74,7 @@
 //!   2004 library offered only "limited integrity guarantees" here.
 
 pub mod buffer;
+mod crash;
 pub mod db;
 pub mod error;
 mod exec;
@@ -85,6 +86,7 @@ pub mod stats;
 mod store;
 pub mod unit;
 mod units;
+pub mod wal;
 
 pub use buffer::{FieldBuffer, FieldData, FieldRef, Key};
 pub use db::{Gbo, GboConfig, RecordHandle, RecordId, RetryPolicy, UnitGuard, UnitSession};
@@ -94,3 +96,4 @@ pub use schema::{DeclaredSize, FieldKind, FieldSlot, FieldTypeDef, RecordTypeDef
 pub use spill::SpillConfig;
 pub use stats::GboStats;
 pub use unit::{EvictionPolicy, ReadFn, ReadFunction, UnitState};
+pub use wal::{Durability, RestoreInfo, SnapshotInfo};

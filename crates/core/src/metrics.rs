@@ -45,6 +45,16 @@ pub(crate) struct GboMetrics {
     pub spill_misses: Arc<Counter>,
     /// Spill frames rejected by checksum or framing checks.
     pub spill_corrupt: Arc<Counter>,
+    /// WAL records appended (journal points passed).
+    pub wal_appends: Arc<Counter>,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: Arc<Counter>,
+    /// `fdatasync` calls issued by the WAL (group-commit coalesced).
+    pub wal_fsyncs: Arc<Counter>,
+    /// WAL records replayed during recovery.
+    pub wal_replayed: Arc<Counter>,
+    /// Torn/corrupt WAL bytes truncated during recovery.
+    pub wal_truncated: Arc<Counter>,
     /// Mirror of the unit layer's `mem_used`; its max is `mem_peak`.
     pub mem: Arc<Gauge>,
     /// Prefetch-queue depth (live only; not part of [`GboStats`]).
@@ -104,6 +114,11 @@ impl GboMetrics {
             spill_hits: c("gbo.spill_hits"),
             spill_misses: c("gbo.spill_misses"),
             spill_corrupt: c("gbo.spill_corrupt"),
+            wal_appends: c("gbo.wal_appends"),
+            wal_bytes: c("gbo.wal_bytes"),
+            wal_fsyncs: c("gbo.wal_fsyncs"),
+            wal_replayed: c("gbo.wal_replayed"),
+            wal_truncated: c("gbo.wal_truncated"),
             mem: g("gbo.mem_bytes"),
             queue_depth: g("gbo.queue_depth"),
             spill_bytes: g("gbo.spill_bytes"),
@@ -147,6 +162,11 @@ impl GboMetrics {
             spill_misses: self.spill_misses.get(),
             spill_corrupt: self.spill_corrupt.get(),
             spill_bytes: self.spill_bytes.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_bytes: self.wal_bytes.get(),
+            wal_fsyncs: self.wal_fsyncs.get(),
+            wal_replayed: self.wal_replayed.get(),
+            wal_truncated: self.wal_truncated.get(),
             wait_hist: self.wait_hist.snapshot(),
         }
     }

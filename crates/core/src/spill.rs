@@ -52,6 +52,7 @@ use crate::metrics::GboMetrics;
 use crate::schema::FieldKind;
 use crate::store::{RecordId, Store};
 use crate::units::AllocCtx;
+use crate::wal::{Wal, WalEntry};
 use godiva_obs::Tracer;
 use godiva_platform::Storage;
 use parking_lot::Mutex;
@@ -104,10 +105,14 @@ pub(crate) struct SpillTier {
     dir: String,
     budget: u64,
     state: Mutex<SpillState>,
+    /// Journal for `unit_spilled`/`spill_dropped` entries. The WAL's
+    /// write lock is the innermost lock in the database, so appending
+    /// while holding the tier's own (formerly innermost) lock is safe.
+    wal: Option<Arc<Wal>>,
 }
 
 impl SpillTier {
-    pub(crate) fn new(config: SpillConfig) -> Self {
+    pub(crate) fn new(config: SpillConfig, wal: Option<Arc<Wal>>) -> Self {
         SpillTier {
             storage: config.storage,
             dir: config.dir,
@@ -117,6 +122,7 @@ impl SpillTier {
                 used: 0,
                 clock: 0,
             }),
+            wal,
         }
     }
 
@@ -127,7 +133,13 @@ impl SpillTier {
     /// Store `frame` as `unit`'s spill file, evicting LRU files to make
     /// room. Called by `evict_one` with the units lock held (the write
     /// must be atomic with the in-memory drop); the tier's own lock is
-    /// innermost, so that nesting is safe.
+    /// only outside the WAL lock, so that nesting is safe.
+    ///
+    /// The publish is crash-atomic: the frame is written to
+    /// `<file>.gsp.tmp`, flushed, renamed into place, and the directory
+    /// entry flushed — a crash mid-evict leaves either the old frame,
+    /// no frame, or the complete new frame, never a truncated one that
+    /// would later count as `spill_corrupt`.
     pub(crate) fn store_unit(
         &self,
         metrics: &GboMetrics,
@@ -136,9 +148,10 @@ impl SpillTier {
         frame: Vec<u8>,
     ) {
         let len = frame.len() as u64;
-        if len > self.budget {
-            return; // would evict the whole tier for one unit
+        if len > self.budget || frame.len() < 8 {
+            return; // would evict the whole tier for one unit / no frame
         }
+        let frame_xxh = u64::from_le_bytes(frame[frame.len() - 8..].try_into().expect("8 bytes"));
         let mut st = self.state.lock();
         if let Some(old) = st.entries.remove(unit) {
             st.used = st.used.saturating_sub(old.len);
@@ -152,9 +165,35 @@ impl SpillTier {
             let Some(victim) = victim else { break };
             self.remove_entry(&mut st, metrics, tracer, &victim, "budget");
         }
-        if self.storage.write(&self.path_of(unit), &frame).is_err() {
+        let path = self.path_of(unit);
+        let tmp = format!("{path}.tmp");
+        let published = self
+            .storage
+            .write(&tmp, &frame)
+            .and_then(|()| self.storage.sync_file(&tmp))
+            .and_then(|()| {
+                crate::crash::crash_point("spill_publish");
+                self.storage.rename(&tmp, &path)
+            })
+            .and_then(|()| {
+                crate::crash::crash_point("spill_rename");
+                self.storage.sync_dir(&self.dir)
+            });
+        if published.is_err() {
+            let _ = self.storage.delete(&tmp);
             metrics.spill_bytes.set(st.used);
             return;
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(
+                metrics,
+                tracer,
+                &WalEntry::UnitSpilled {
+                    unit: unit.to_string(),
+                    frame_len: len,
+                    frame_xxh,
+                },
+            );
         }
         st.clock += 1;
         let entry = SpillEntry {
@@ -202,6 +241,15 @@ impl SpillTier {
         };
         st.used = st.used.saturating_sub(entry.len);
         let _ = self.storage.delete(&self.path_of(unit));
+        if let Some(wal) = &self.wal {
+            wal.append(
+                metrics,
+                tracer,
+                &WalEntry::SpillDropped {
+                    unit: unit.to_string(),
+                },
+            );
+        }
         metrics.spill_bytes.set(st.used);
         if tracer.enabled() {
             tracer.instant(
@@ -214,6 +262,77 @@ impl SpillTier {
                     ("cause", cause.into()),
                 ],
             );
+        }
+    }
+
+    /// Recovery: re-adopt a frame the WAL says should exist. The file
+    /// must match the journaled length and trailing checksum (the frame
+    /// body is still fully verified on each load). Returns whether the
+    /// frame was adopted.
+    pub(crate) fn adopt(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        unit: &str,
+        frame_len: u64,
+        frame_xxh: u64,
+    ) -> bool {
+        let path = self.path_of(unit);
+        let matches = self.storage.len(&path).ok() == Some(frame_len)
+            && frame_len >= 8
+            && frame_len <= self.budget
+            && self
+                .storage
+                .read_at(&path, frame_len - 8, 8)
+                .ok()
+                .and_then(|tail| tail.try_into().ok().map(u64::from_le_bytes))
+                == Some(frame_xxh);
+        if !matches {
+            return false;
+        }
+        let mut st = self.state.lock();
+        if let Some(old) = st.entries.remove(unit) {
+            st.used = st.used.saturating_sub(old.len);
+        }
+        st.clock += 1;
+        let entry = SpillEntry {
+            len: frame_len,
+            last_use: st.clock,
+        };
+        st.entries.insert(unit.to_string(), entry);
+        st.used += frame_len;
+        metrics.spill_bytes.set(st.used);
+        if tracer.enabled() {
+            tracer.instant(
+                "gbo",
+                "spill_adopt",
+                vec![("unit", unit.into()), ("bytes", frame_len.into())],
+            );
+        }
+        true
+    }
+
+    /// Snapshot support: the tier's current entries `(unit, frame_len)`.
+    pub(crate) fn entries(&self) -> Vec<(String, u64)> {
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .map(|(n, e)| (n.clone(), e.len))
+            .collect()
+    }
+
+    /// Snapshot support: raw bytes of `unit`'s frame file, if readable.
+    pub(crate) fn read_frame_raw(&self, unit: &str) -> Option<Vec<u8>> {
+        self.storage.read(&self.path_of(unit)).ok()
+    }
+
+    /// Recovery: delete any `*.gsp.tmp` left by a crash mid-publish.
+    pub(crate) fn sweep_tmp(&self) {
+        for path in self.storage.list(&format!("{}/", self.dir)) {
+            if path.ends_with(".gsp.tmp") {
+                let _ = self.storage.delete(&path);
+            }
         }
     }
 
@@ -263,7 +382,7 @@ impl SpillTier {
 
 /// A spill file name must be a single path component: percent-encode
 /// every byte outside `[A-Za-z0-9._-]` (and `.`/`..` themselves).
-fn sanitize(unit: &str) -> String {
+pub(crate) fn sanitize(unit: &str) -> String {
     let mut out = String::with_capacity(unit.len());
     for b in unit.bytes() {
         match b {
@@ -275,6 +394,25 @@ fn sanitize(unit: &str) -> String {
         out = out.replace('.', "%2E");
     }
     out
+}
+
+/// Invert [`sanitize`] (percent-decode). `None` on malformed escapes or
+/// non-UTF-8 results — callers treat that as a corrupt name.
+pub(crate) fn desanitize(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 // ---------------------------------------------------------------------------
@@ -366,37 +504,47 @@ pub(crate) struct RecordFrame {
     pub(crate) fields: Vec<Option<FieldData>>,
 }
 
-struct Reader<'a> {
+/// Bounds-checked cursor over an encoded frame or WAL record body.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether the cursor consumed the whole buffer.
+    pub(crate) fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let out = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(out)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         Some(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 
-    fn bytes(&mut self) -> Option<&'a [u8]> {
+    pub(crate) fn bytes(&mut self) -> Option<&'a [u8]> {
         let len = self.u32()? as usize;
         self.take(len)
     }
 
-    fn string(&mut self) -> Option<String> {
+    pub(crate) fn string(&mut self) -> Option<String> {
         String::from_utf8(self.bytes()?.to_vec()).ok()
     }
 }
@@ -737,6 +885,11 @@ mod tests {
         assert_eq!(sanitize("snap/0001.sdf"), "snap%2F0001.sdf");
         assert_eq!(sanitize(".."), "%2E%2E");
         assert_eq!(sanitize("a b"), "a%20b");
+        for name in ["snap_0001", "snap/0001.sdf", "..", "a b", "ünïcode/x"] {
+            assert_eq!(desanitize(&sanitize(name)).as_deref(), Some(name));
+        }
+        assert_eq!(desanitize("%zz"), None);
+        assert_eq!(desanitize("%2"), None);
     }
 
     #[test]

@@ -70,6 +70,16 @@ pub struct GboStats {
     pub spill_corrupt: u64,
     /// Bytes currently held in spill files.
     pub spill_bytes: u64,
+    /// Write-ahead-log records appended this run.
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// `fdatasync` calls the WAL issued (group commit coalesces them).
+    pub wal_fsyncs: u64,
+    /// WAL records replayed by `open_recovering` (0 on a cold start).
+    pub wal_replayed: u64,
+    /// Torn/corrupt WAL bytes truncated during recovery.
+    pub wal_truncated: u64,
     /// Distribution of individual blocked-wait latencies (one sample per
     /// `wait_unit`/`read_unit` call that had to block).
     pub wait_hist: HistogramSnapshot,
@@ -137,6 +147,15 @@ impl std::fmt::Display for GboStats {
             self.spill_corrupt,
             mb(self.spill_bytes)
         )?;
+        writeln!(
+            f,
+            "wal: {} appends ({:.2} MB), {} fsyncs; recovery: {} replayed, {} bytes truncated",
+            self.wal_appends,
+            mb(self.wal_bytes),
+            self.wal_fsyncs,
+            self.wal_replayed,
+            self.wal_truncated
+        )?;
         let hit_rate = match self.hit_rate() {
             Some(r) => format!("{:.1}%", r * 100.0),
             None => "n/a".to_string(),
@@ -186,6 +205,7 @@ mod tests {
         assert!(text.contains("blocked in waits"));
         assert!(text.contains("wait latency"));
         assert!(text.contains("spill: 0 writes"));
+        assert!(text.contains("wal: 0 appends"));
     }
 
     #[test]

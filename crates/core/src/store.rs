@@ -19,6 +19,7 @@ use crate::buffer::{FieldData, FieldRef, Key};
 use crate::error::{GodivaError, Result};
 use crate::metrics::GboMetrics;
 use crate::schema::{DeclaredSize, FieldKind, RecordTypeDef, Schema};
+use crate::wal::{Wal, WalEntry};
 use godiva_obs::Tracer;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap};
@@ -239,10 +240,13 @@ impl Store {
     }
 
     /// Snapshot the key fields of `id` and insert it into the index.
+    /// When a `wal` is active the commit is journaled (the WAL lock is
+    /// innermost, so appending under the store lock is safe).
     pub(crate) fn commit_record(
         &self,
         metrics: &GboMetrics,
         tracer: &Tracer,
+        wal: Option<&Wal>,
         id: RecordId,
     ) -> Result<()> {
         let mut st = self.lock();
@@ -275,7 +279,19 @@ impl Store {
         idx.insert(key.clone(), id);
         let rec = st.records.get_mut(&id).expect("present");
         rec.committed = true;
-        rec.key = Some(key);
+        let unit = rec.unit.clone();
+        rec.key = Some(key.clone());
+        if let Some(wal) = wal {
+            wal.append(
+                metrics,
+                tracer,
+                &WalEntry::RecordCommitted {
+                    unit,
+                    type_name: type_name.clone(),
+                    key: key.into_iter().map(|k| k.0).collect(),
+                },
+            );
+        }
         metrics.records_committed.inc();
         if tracer.enabled() {
             tracer.instant(

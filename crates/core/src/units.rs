@@ -20,9 +20,11 @@ use crate::sched::QueuePolicy;
 use crate::spill::SpillTier;
 use crate::store::{RecordId, Store};
 use crate::unit::{EvictionPolicy, ReadFn, UnitState};
+use crate::wal::{Wal, WalEntry};
 use godiva_obs::Tracer;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Where an allocation request comes from; decides its blocking
 /// behaviour when the budget is exhausted.
@@ -150,6 +152,11 @@ pub(crate) struct Units {
     /// `None` when spilling is off (the default — the paper's
     /// discard-on-evict behaviour).
     pub(crate) spill: Option<SpillTier>,
+    /// Write-ahead log journaling unit lifecycle transitions (DESIGN.md
+    /// §5g), or `None` when durability is off (the default). The WAL's
+    /// write lock is the innermost lock in the database, so every
+    /// journal point below may append while holding the units lock.
+    pub(crate) wal: Option<Arc<Wal>>,
 }
 
 impl Units {
@@ -159,6 +166,7 @@ impl Units {
         eviction: EvictionPolicy,
         worker_count: usize,
         spill: Option<SpillTier>,
+        wal: Option<Arc<Wal>>,
     ) -> Self {
         Units {
             state: Mutex::new(UnitsState {
@@ -175,6 +183,14 @@ impl Units {
             eviction,
             worker_count,
             spill,
+            wal,
+        }
+    }
+
+    /// Append a unit lifecycle entry to the WAL, if one is active.
+    pub(crate) fn journal(&self, metrics: &GboMetrics, tracer: &Tracer, entry: WalEntry) {
+        if let Some(wal) = &self.wal {
+            wal.append(metrics, tracer, &entry);
         }
     }
 
@@ -316,6 +332,11 @@ impl Units {
             }
         }
         let freed = self.drop_unit_data(st, store, metrics, &name);
+        self.journal(
+            metrics,
+            tracer,
+            WalEntry::UnitEvicted { unit: name.clone() },
+        );
         metrics.evictions.inc();
         metrics.bytes_evicted.add(freed);
         if tracer.enabled() {
@@ -399,6 +420,13 @@ impl Units {
             },
         }
         st.queue.push(name.to_string(), priority);
+        self.journal(
+            metrics,
+            tracer,
+            WalEntry::UnitAdded {
+                unit: name.to_string(),
+            },
+        );
         metrics.units_added.inc();
         self.sync_queue_gauge(&st, metrics);
         if tracer.enabled() {
@@ -420,7 +448,12 @@ impl Units {
     }
 
     /// `finishUnit`: unpin; at zero pins the unit becomes evictable.
-    pub(crate) fn finish_unit(&self, tracer: &Tracer, name: &str) -> Result<()> {
+    pub(crate) fn finish_unit(
+        &self,
+        metrics: &GboMetrics,
+        tracer: &Tracer,
+        name: &str,
+    ) -> Result<()> {
         let mut st = self.lock();
         let entry = st
             .units
@@ -435,6 +468,13 @@ impl Units {
         entry.refcount = entry.refcount.saturating_sub(1);
         if entry.refcount == 0 {
             entry.state = UnitState::Finished;
+            self.journal(
+                metrics,
+                tracer,
+                WalEntry::UnitFinished {
+                    unit: name.to_string(),
+                },
+            );
             if tracer.enabled() {
                 tracer.instant("gbo", "unit_finished", vec![("unit", name.into())]);
             }
@@ -474,10 +514,18 @@ impl Units {
         }
         let freed = self.drop_unit_data(&mut st, store, metrics, name);
         // `deleteUnit` is the developer saying the data is gone — a
-        // spilled copy must not resurrect it on the next read.
+        // spilled copy must not resurrect it on the next read, and a
+        // recovered run must not re-adopt one either.
         if let Some(spill) = &self.spill {
             spill.invalidate(metrics, tracer, name);
         }
+        self.journal(
+            metrics,
+            tracer,
+            WalEntry::UnitDeleted {
+                unit: name.to_string(),
+            },
+        );
         if tracer.enabled() {
             tracer.instant(
                 "gbo",

@@ -12,9 +12,14 @@
 //!    reports how many distinct reader tids appeared), and no unit is
 //!    evicted before it finished,
 //! 4. the spill lifecycle pairs up: a `spill_hit`, `spill_evict` or
-//!    `spill_corrupt` for a unit requires a prior `spill_write` for the
-//!    same unit (and evict/corrupt consume the written frame, so a
-//!    second hit needs a fresh write).
+//!    `spill_corrupt` for a unit requires a prior `spill_write` — or,
+//!    after crash recovery, a `spill_adopt` — for the same unit (and
+//!    evict/corrupt consume the frame, so a second hit needs a fresh
+//!    write),
+//! 5. durability ordering: a `wal_replay` span may only appear before
+//!    any GBO lifecycle event — recovery happens at open, strictly
+//!    before units are added, read, committed or spilled (`spill_adopt`
+//!    and the `wal_*` events are part of recovery itself and exempt).
 //!
 //! A post-mortem dump (recognized by its `{"postmortem": …}` header
 //! line) is an arbitrary *window* of a trace, so only checks 1–2 apply
@@ -117,10 +122,46 @@ fn check_trace(text: &str) -> Result<String, String> {
     let mut spilled: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut spill_events = 0usize;
     let mut spans = 0usize;
+    // GBO lifecycle events that must not precede a wal_replay span.
+    const LIFECYCLE: &[&str] = &[
+        "unit_added",
+        "unit_queued",
+        "read_start",
+        "read_done",
+        "read_failed",
+        "read_retry",
+        "read_unit",
+        "unit_finished",
+        "unit_reset",
+        "unit_evicted",
+        "unit_deleted",
+        "record_commit",
+        "key_lookup",
+        "spill_write",
+        "spill_hit",
+        "spill_miss",
+        "spill_evict",
+        "spill_corrupt",
+    ];
+    let mut lifecycle_seen = false;
+    let mut replays = 0usize;
     for (i, v) in events.iter().enumerate() {
         let name = v.get("name").and_then(|x| x.as_str()).unwrap_or("");
         if v.get("ph").and_then(|x| x.as_str()) == Some("X") {
             spans += 1;
+        }
+        if LIFECYCLE.contains(&name) {
+            lifecycle_seen = true;
+        }
+        if name == "wal_replay" {
+            if lifecycle_seen {
+                return Err(format!(
+                    "line {}: wal_replay after GBO lifecycle events — recovery must \
+                     happen at open, before any unit activity",
+                    i + 1
+                ));
+            }
+            replays += 1;
         }
         let tid = v.get("tid").and_then(|x| x.as_u64()).unwrap_or(0);
         let Some(unit) = unit_arg(v) else { continue };
@@ -157,7 +198,9 @@ fn check_trace(text: &str) -> Result<String, String> {
                     i + 1
                 ));
             }
-            "spill_write" => {
+            // A recovered frame (spill_adopt) licenses later hits
+            // exactly like a fresh write — that is the warm restart.
+            "spill_write" | "spill_adopt" => {
                 spill_events += 1;
                 spilled.insert(unit);
             }
@@ -165,7 +208,8 @@ fn check_trace(text: &str) -> Result<String, String> {
                 spill_events += 1;
                 if !spilled.contains(&unit) {
                     return Err(format!(
-                        "line {}: '{name}' for unit '{unit}' without a live spill_write",
+                        "line {}: '{name}' for unit '{unit}' without a live \
+                         spill_write or spill_adopt",
                         i + 1
                     ));
                 }
@@ -191,8 +235,14 @@ fn check_trace(text: &str) -> Result<String, String> {
     } else {
         String::new()
     };
+    let replay_note = if replays > 0 {
+        format!(", {replays} recovery replay(s)")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader tid(s){spill_note}",
+        "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader \
+         tid(s){spill_note}{replay_note}",
         events.len(),
         spans,
         open_reads.len(),
@@ -460,6 +510,42 @@ mod tests {
         ]
         .join("\n");
         assert!(check_trace(&stale).is_err(), "hit after evict must fail");
+    }
+
+    #[test]
+    fn recovery_trace_is_valid_and_ordered() {
+        // A resumed run: replay span first, adopted frames licensing
+        // later hits without a fresh spill_write.
+        let trace = [
+            ev("spill_adopt", "a", "i"),
+            ev("wal_replay", "a", "X"),
+            ev("unit_added", "a", "i"),
+            ev("spill_hit", "a", "i"),
+            ev("unit_finished", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_trace(&trace).expect("recovery trace is valid");
+        assert!(summary.contains("1 recovery replay(s)"), "{summary}");
+
+        // A hit with neither write nor adopt still fails.
+        let orphan = [ev("wal_replay", "a", "X"), ev("spill_hit", "a", "i")].join("\n");
+        assert!(check_trace(&orphan)
+            .unwrap_err()
+            .contains("spill_write or spill_adopt"));
+    }
+
+    #[test]
+    fn rejects_replay_after_lifecycle() {
+        let trace = [
+            ev("unit_added", "a", "i"),
+            ev("read_start", "a", "i"),
+            ev("read_done", "a", "i"),
+            ev("unit_finished", "a", "i"),
+            ev("wal_replay", "a", "X"),
+        ]
+        .join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("wal_replay after GBO lifecycle"), "{err}");
     }
 
     #[test]

@@ -66,6 +66,28 @@ pub trait Storage: Send + Sync {
     fn stats(&self) -> StorageStats;
     /// Reset accumulated statistics.
     fn reset_stats(&self);
+
+    /// Atomically replace `to` with `from` (moving it). The default is
+    /// copy-then-delete — fine for the in-memory backends, whose writes
+    /// are already atomic; [`RealFs`] overrides with a true `rename(2)`
+    /// so crash-safe publish protocols (tmp + rename) work on disk.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let data = self.read(from)?;
+        self.write(to, &data)?;
+        self.delete(from)
+    }
+
+    /// Flush the file's data to stable storage. In-memory backends have
+    /// nothing to flush (default no-op); [`RealFs`] issues `fdatasync`.
+    fn sync_file(&self, _path: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Flush the directory entry metadata for `dir` (so a rename into it
+    /// survives a crash). Default no-op; [`RealFs`] fsyncs the directory.
+    fn sync_dir(&self, _dir: &str) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 fn not_found(path: &str) -> io::Error {
@@ -396,6 +418,26 @@ impl Storage for RealFs {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
     }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let to_p = self.resolve(to);
+        if let Some(dir) = to_p.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::rename(self.resolve(from), to_p)
+    }
+
+    fn sync_file(&self, path: &str) -> io::Result<()> {
+        std::fs::File::open(self.resolve(path))?.sync_data()
+    }
+
+    fn sync_dir(&self, dir: &str) -> io::Result<()> {
+        // Directory fsync makes the rename's new entry durable. Opening
+        // a directory read-only and syncing it is the POSIX idiom; on
+        // platforms where that fails (e.g. Windows) the error is
+        // surfaced to the caller, which treats it as best-effort.
+        std::fs::File::open(self.resolve(dir))?.sync_all()
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +494,25 @@ mod tests {
         );
         assert_eq!(fs.list("snap/").len(), 3);
         assert_eq!(fs.list("").len(), 4);
+    }
+
+    #[test]
+    fn rename_replaces_target_on_every_backend() {
+        let real_dir = std::env::temp_dir().join(format!("godiva-ren-{}", std::process::id()));
+        let real = RealFs::new(&real_dir).unwrap();
+        let mem = MemFs::new();
+        let sim = SimFs::new(DiskModel::instant());
+        for fs in [&real as &dyn Storage, &mem, &sim] {
+            fs.write("d/a.tmp", b"new").unwrap();
+            fs.write("d/a", b"old").unwrap();
+            fs.sync_file("d/a.tmp").unwrap();
+            fs.rename("d/a.tmp", "d/a").unwrap();
+            fs.sync_dir("d").unwrap();
+            assert!(!fs.exists("d/a.tmp"));
+            assert_eq!(fs.read("d/a").unwrap(), b"new");
+            assert!(fs.rename("d/ghost", "d/a").is_err());
+        }
+        let _ = std::fs::remove_dir_all(&real_dir);
     }
 
     #[test]

@@ -136,6 +136,15 @@ pub trait SnapshotSource {
     fn fault_report(&self) -> FaultReport {
         FaultReport::default()
     }
+    /// Cut an LSN-stamped point-in-time snapshot of the underlying
+    /// database into `dir`. `None` when the source has no database.
+    fn write_snapshot(
+        &self,
+        dir: &std::path::Path,
+    ) -> Option<godiva_core::Result<godiva_core::SnapshotInfo>> {
+        let _ = dir;
+        None
+    }
 }
 
 /// Build a tet mesh from the flat buffers stored in snapshot files.
@@ -374,6 +383,11 @@ pub struct GodivaBackendOptions {
     /// from it instead of re-running the read callback. `None` (the
     /// default) keeps the paper's discard-on-evict behaviour.
     pub spill: Option<godiva_core::SpillConfig>,
+    /// Directory for the database's write-ahead log; `None` (default)
+    /// disables journaling. See [`godiva_core::GboConfig::wal_dir`].
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Journal flushing discipline when `wal_dir` is set.
+    pub durability: godiva_core::Durability,
 }
 
 impl GodivaBackendOptions {
@@ -395,6 +409,8 @@ impl GodivaBackendOptions {
             flight_recorder: Some(Arc::new(godiva_obs::FlightRecorder::default())),
             postmortem_path: None,
             spill: None,
+            wal_dir: None,
+            durability: godiva_core::Durability::default(),
         }
     }
 
@@ -433,6 +449,31 @@ pub struct GodivaBackend {
 
 /// The record type name used in the GODIVA database.
 const BLOCK_TYPE: &str = "genx_block";
+
+/// Commit the block schema on the database itself, outside any read
+/// function. A warm restart ([`GodivaBackend::open_resuming`])
+/// re-materializes spilled records *before* any read callback runs, and
+/// restoring a record requires its committed type — so the schema must
+/// not live only inside the callbacks. Definitions are idempotent, so
+/// the callbacks re-declaring them later is fine.
+fn define_block_schema_db(db: &Gbo, vars: &[String]) -> godiva_core::Result<()> {
+    db.define_field("snapshot", FieldKind::I64, DeclaredSize::Known(8))?;
+    db.define_field("block", FieldKind::I64, DeclaredSize::Known(8))?;
+    db.define_field("points", FieldKind::F64, DeclaredSize::Unknown)?;
+    db.define_field("conn", FieldKind::I32, DeclaredSize::Unknown)?;
+    for v in vars {
+        db.define_field(v, FieldKind::F64, DeclaredSize::Unknown)?;
+    }
+    db.define_record(BLOCK_TYPE, 2)?;
+    db.insert_field(BLOCK_TYPE, "snapshot", true)?;
+    db.insert_field(BLOCK_TYPE, "block", true)?;
+    db.insert_field(BLOCK_TYPE, "points", false)?;
+    db.insert_field(BLOCK_TYPE, "conn", false)?;
+    for v in vars {
+        db.insert_field(BLOCK_TYPE, v, false)?;
+    }
+    db.commit_record_type(BLOCK_TYPE)
+}
 
 fn define_block_schema(s: &UnitSession, vars: &[String]) -> godiva_core::Result<()> {
     s.define_field("snapshot", FieldKind::I64, DeclaredSize::Known(8))?;
@@ -507,14 +548,39 @@ fn read_file_into_db(
 }
 
 impl GodivaBackend {
-    /// Create a GODIVA-backed reader.
+    /// Create a GODIVA-backed reader (cold start; any existing WAL in
+    /// `options.wal_dir` is superseded by a fresh log).
     pub fn new(
         storage: Arc<dyn Storage>,
         config: GenxConfig,
         read_options: ReadOptions,
         options: GodivaBackendOptions,
     ) -> Self {
-        let db = Gbo::with_config(GboConfig {
+        Self::build(storage, config, read_options, options, false)
+            .expect("cold start is infallible")
+    }
+
+    /// Create a GODIVA-backed reader by **recovering** from the WAL in
+    /// `options.wal_dir`: journaled units re-enter the table and
+    /// surviving spill frames are re-adopted, so revisits after a crash
+    /// re-materialize from disk instead of re-running read callbacks.
+    pub fn open_resuming(
+        storage: Arc<dyn Storage>,
+        config: GenxConfig,
+        read_options: ReadOptions,
+        options: GodivaBackendOptions,
+    ) -> VizResult<Self> {
+        Self::build(storage, config, read_options, options, true)
+    }
+
+    fn build(
+        storage: Arc<dyn Storage>,
+        config: GenxConfig,
+        read_options: ReadOptions,
+        options: GodivaBackendOptions,
+        resume: bool,
+    ) -> VizResult<Self> {
+        let gbo_config = GboConfig {
             mem_limit: options.mem_limit,
             background_io: options.background_io,
             io_threads: options.io_threads,
@@ -526,11 +592,21 @@ impl GodivaBackend {
             flight_recorder: options.flight_recorder,
             postmortem_path: options.postmortem_path,
             spill: options.spill,
-        });
+            wal_dir: options.wal_dir,
+            durability: options.durability,
+        };
+        let db = if resume {
+            Gbo::open_recovering(gbo_config)?
+        } else {
+            Gbo::with_config(gbo_config)
+        };
+        // Commit the block schema before any wait: spill restore (and a
+        // warm restart in particular) needs the committed type.
+        define_block_schema_db(&db, &options.vars)?;
         let blocks = options
             .block_subset
             .unwrap_or_else(|| (0..config.blocks).collect());
-        GodivaBackend {
+        Ok(GodivaBackend {
             db,
             storage,
             config,
@@ -546,7 +622,7 @@ impl GodivaBackend {
             fault_mode: options.fault_mode,
             failed_units: HashSet::new(),
             skips: SkipLog::default(),
-        }
+        })
     }
 
     /// Access the underlying database (for stats and tests).
@@ -756,6 +832,13 @@ impl SnapshotSource for GodivaBackend {
     fn fault_report(&self) -> FaultReport {
         let stats = self.db.stats();
         self.skips.report(stats.units_retried, stats.panics_caught)
+    }
+
+    fn write_snapshot(
+        &self,
+        dir: &std::path::Path,
+    ) -> Option<godiva_core::Result<godiva_core::SnapshotInfo>> {
+        Some(self.db.snapshot(dir))
     }
 }
 

@@ -47,7 +47,8 @@ fn usage() -> ExitCode {
          voyager render --data DIR --ops OPS.txt [--camera CAM.txt] [--mode O|G|TG] \
          [--mem MB] [--io-threads N] [--out DIR] [--width W] [--height H] [--format ppm|png] \
          [--retries N] [--fault-mode abort|degrade] [--spill-dir DIR] [--spill-budget MB] \
-         [--trace-out PATH] [--trace-format chrome|jsonl] [--metrics-summary] \
+         [--wal-dir DIR] [--durability none|wal|wal-sync] [--resume] [--snapshot-out DIR] \
+         [--sweeps N] [--trace-out PATH] [--trace-format chrome|jsonl] [--metrics-summary] \
          [--metrics-json PATH] [--metrics-listen ADDR]\n  \
          voyager example-specs DIR"
     );
@@ -251,6 +252,43 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     } else if args.value("--spill-budget").is_some() {
         return Err("--spill-budget requires --spill-dir".into());
     }
+    // Durability: journal every commit and unit transition to DIR, and
+    // with --resume recover from that journal instead of starting cold.
+    if let Some(dir) = args.value("--wal-dir") {
+        opts.wal_dir = Some(std::path::PathBuf::from(dir));
+    }
+    opts.durability = match args.value_or("--durability", "wal") {
+        "none" => godiva_core::Durability::None,
+        "wal" => godiva_core::Durability::Wal,
+        "wal-sync" => godiva_core::Durability::WalSync,
+        other => {
+            return Err(format!(
+                "unknown durability '{other}' (use none, wal or wal-sync)"
+            ))
+        }
+    };
+    opts.resume = args.has("--resume");
+    if opts.resume && opts.wal_dir.is_none() {
+        return Err("--resume requires --wal-dir".into());
+    }
+    if let Some(dir) = args.value("--snapshot-out") {
+        opts.snapshot_out = Some(std::path::PathBuf::from(dir));
+    }
+    // Browsing traces: repeat the snapshot list N times, keeping units
+    // cached between sweeps (interactive retirement) so revisits hit
+    // the cache or the spill tier.
+    let sweeps: usize = args
+        .value_or("--sweeps", "1")
+        .parse()
+        .map_err(|_| "--sweeps must be an integer")?;
+    if sweeps == 0 {
+        return Err("--sweeps must be at least 1".into());
+    }
+    if sweeps > 1 {
+        let one: Vec<usize> = opts.snapshots.clone();
+        opts.snapshots = (0..sweeps).flat_map(|_| one.iter().copied()).collect();
+        opts.delete_after_use = Some(false);
+    }
 
     let trace_sink: Option<Arc<dyn TraceSink>> = match args.value("--trace-out") {
         Some(path) => {
@@ -358,6 +396,26 @@ fn cmd_render(args: &Args) -> Result<(), String> {
                 stats.spill_writes, stats.spill_hits, stats.spill_misses, stats.spill_corrupt
             );
         }
+        if stats.wal_appends + stats.wal_replayed > 0 {
+            println!(
+                "wal: {} appends ({:.2} MB), {} fsyncs, {} replayed, {} bytes truncated",
+                stats.wal_appends,
+                stats.wal_bytes as f64 / (1024.0 * 1024.0),
+                stats.wal_fsyncs,
+                stats.wal_replayed,
+                stats.wal_truncated
+            );
+        }
+    }
+    if let Some(info) = &report.snapshot {
+        println!(
+            "snapshot: lsn {} with {} units, {} frames ({:.2} MB) written to {}",
+            info.lsn,
+            info.units,
+            info.frames,
+            info.bytes as f64 / (1024.0 * 1024.0),
+            args.value("--snapshot-out").unwrap_or("?")
+        );
     }
     let faults = &report.fault_report;
     if !faults.is_clean() {

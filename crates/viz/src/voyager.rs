@@ -106,6 +106,18 @@ pub struct VoyagerOptions {
     /// browsing traces), `Some(true)` deletes them after each snapshot,
     /// `None` uses the mode default (batch deletes).
     pub delete_after_use: Option<bool>,
+    /// Write-ahead log directory for the GODIVA modes (`None` disables
+    /// journaling). With `resume`, recovery replays this log.
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Journal flushing discipline when `wal_dir` is set.
+    pub durability: godiva_core::Durability,
+    /// Recover from the WAL in `wal_dir` instead of starting fresh:
+    /// journaled units are re-seeded and surviving spill frames
+    /// re-adopted, so a run killed mid-flight picks up warm.
+    pub resume: bool,
+    /// Cut an LSN-stamped snapshot of the database into this directory
+    /// after the run (GODIVA modes with a WAL only).
+    pub snapshot_out: Option<std::path::PathBuf>,
 }
 
 /// Output image encodings.
@@ -161,6 +173,10 @@ impl VoyagerOptions {
             postmortem_path: None,
             spill: None,
             delete_after_use: None,
+            wal_dir: None,
+            durability: godiva_core::Durability::default(),
+            resume: false,
+            snapshot_out: None,
         }
     }
 }
@@ -188,6 +204,10 @@ pub struct VoyagerReport {
     /// What the run skipped and absorbed (empty unless
     /// [`FaultMode::Degrade`] was selected and faults occurred).
     pub fault_report: FaultReport,
+    /// The snapshot cut after the run, when
+    /// [`VoyagerOptions::snapshot_out`] was set and the mode has a
+    /// database.
+    pub snapshot: Option<godiva_core::SnapshotInfo>,
 }
 
 /// Apply one graphics op to one block's data.
@@ -285,15 +305,27 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             boptions.flight_recorder = opts.flight_recorder.clone();
             boptions.postmortem_path = opts.postmortem_path.clone();
             boptions.spill = opts.spill.clone();
+            boptions.wal_dir = opts.wal_dir.clone();
+            boptions.durability = opts.durability;
             if let Some(delete) = opts.delete_after_use {
                 boptions.delete_after_use = delete;
             }
-            Box::new(GodivaBackend::new(
-                opts.storage.clone(),
-                opts.genx.clone(),
-                read_options,
-                boptions,
-            ))
+            let be = if opts.resume {
+                GodivaBackend::open_resuming(
+                    opts.storage.clone(),
+                    opts.genx.clone(),
+                    read_options,
+                    boptions,
+                )?
+            } else {
+                GodivaBackend::new(
+                    opts.storage.clone(),
+                    opts.genx.clone(),
+                    read_options,
+                    boptions,
+                )
+            };
+            Box::new(be)
         }
     };
 
@@ -386,6 +418,14 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
     }
     let total = started.elapsed();
     let visible_io = backend.visible_io();
+    let snapshot = match &opts.snapshot_out {
+        Some(dir) => match backend.write_snapshot(dir) {
+            Some(Ok(info)) => Some(info),
+            Some(Err(e)) => return Err(e.into()),
+            None => None,
+        },
+        None => None,
+    };
     Ok(VoyagerReport {
         test: opts.spec.name.clone(),
         mode: opts.mode.label(),
@@ -396,6 +436,7 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
         image_checksums: checksums,
         gbo_stats: backend.gbo_stats(),
         fault_report: backend.fault_report(),
+        snapshot,
     })
 }
 

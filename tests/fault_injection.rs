@@ -55,13 +55,33 @@ fn spill_config() -> Option<godiva::core::SpillConfig> {
     })
 }
 
+/// CI also reruns the suite with `GODIVA_WAL_DIR` pointing at a scratch
+/// directory: every fault path then journals to a write-ahead log,
+/// proving fault handling and durability compose (journal points fire
+/// on the exact transitions the faults exercise). Each call returns a
+/// fresh subdirectory so concurrent tests never share a log. Unset (the
+/// default), journaling stays off.
+fn wal_dir() -> Option<std::path::PathBuf> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let root = std::env::var("GODIVA_WAL_DIR").ok()?;
+    let dir = std::path::Path::new(&root).join(format!(
+        "wal-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    Some(dir)
+}
+
 /// `GodivaBackendOptions::batch` with the suite's worker count (and,
-/// under `GODIVA_SPILL_DIR`, spill tier) applied.
+/// under `GODIVA_SPILL_DIR` / `GODIVA_WAL_DIR`, spill tier and journal)
+/// applied.
 fn batch_options(background_io: bool, mem_limit: u64) -> GodivaBackendOptions {
     let mut options =
         GodivaBackendOptions::batch(vec!["stress_avg".into()], background_io, mem_limit);
     options.io_threads = io_threads();
     options.spill = spill_config();
+    options.wal_dir = wal_dir();
     options
 }
 
@@ -103,6 +123,7 @@ fn failed_unit_recovers_after_fault_clears() {
         background_io: true,
         io_threads: io_threads(),
         spill: spill_config(),
+        wal_dir: wal_dir(),
         ..Default::default()
     });
     let storage = fs.clone() as Arc<dyn Storage>;
@@ -203,6 +224,7 @@ fn panicking_read_function_is_contained() {
         background_io: true,
         io_threads: io_threads(),
         spill: spill_config(),
+        wal_dir: wal_dir(),
         ..Default::default()
     });
     db.add_unit(
@@ -327,6 +349,7 @@ fn degrade_opts(fs: Arc<FaultyFs>, genx: GenxConfig, mode: Mode) -> VoyagerOptio
     opts.fault_mode = FaultMode::Degrade;
     opts.io_threads = io_threads();
     opts.spill = spill_config();
+    opts.wal_dir = wal_dir();
     opts
 }
 
@@ -395,6 +418,7 @@ fn corrupted_spill_frame_falls_back_to_read_function() {
             dir: "spill".into(),
             budget: 1 << 20,
         }),
+        wal_dir: wal_dir(),
         ..Default::default()
     });
     let reader = move |s: &UnitSession| {
