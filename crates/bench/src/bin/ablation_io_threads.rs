@@ -9,7 +9,7 @@
 //! concurrent streams overlap on the command-queuing disk.
 
 use godiva_bench::table::mean_ci;
-use godiva_bench::{repeat, ExperimentEnv, HarnessArgs, RepeatedRuns, Table};
+use godiva_bench::{repeat, ExperimentEnv, HarnessArgs, JsonWriter, RepeatedRuns, Table};
 use godiva_platform::Platform;
 use godiva_viz::{Mode, TestSpec};
 
@@ -40,6 +40,14 @@ fn main() {
         "over-budget",
     ]);
     let mut any_improved = false;
+    let mut json = args.json.as_ref().map(|_| {
+        let mut w = JsonWriter::new("ablation_io_threads");
+        w.int_field("snapshots", args.snapshots as u64);
+        w.int_field("repeats", args.repeats as u64);
+        w.num_field("scale", args.scale);
+        w.begin_array("arms");
+        w
+    });
     for spec in TestSpec::all() {
         let mut baseline: Option<RepeatedRuns> = None;
         let mut checksums: Option<Vec<u64>> = None;
@@ -87,9 +95,25 @@ fn main() {
                 format!("{:.1}", peak as f64 / (1024.0 * 1024.0)),
                 over_budget.to_string(),
             ]);
+            if let Some(w) = &mut json {
+                w.begin_object(None);
+                w.str_field("test", &spec.name);
+                w.int_field("workers", workers as u64);
+                w.num_field("total_s", rr.total.mean);
+                w.num_field("ci95_s", rr.total.ci95);
+                w.num_field("visible_io_s", rr.visible_io.mean);
+                w.num_field("computation_s", rr.computation.mean);
+                w.int_field("peak_bytes", peak);
+                w.int_field("over_budget", over_budget);
+                w.end_object();
+            }
         }
     }
     println!("{}", table.render());
+    if let (Some(mut w), Some(path)) = (json, &args.json) {
+        w.end_array();
+        w.write_to(path);
+    }
     println!(
         "expectation: extra workers hide more read time on at least one pipeline; \
          images identical, budget respected at every width."

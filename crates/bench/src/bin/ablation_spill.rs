@@ -18,7 +18,7 @@
 //! platform's own writes.
 
 use godiva_bench::table::mean_ci;
-use godiva_bench::{measure, repeat, ExperimentEnv, HarnessArgs, Table};
+use godiva_bench::{measure, repeat, ExperimentEnv, HarnessArgs, JsonWriter, Table};
 use godiva_core::SpillConfig;
 use godiva_platform::{DiskModel, Platform, SimFs, Storage};
 use godiva_viz::{Mode, TestSpec, VoyagerOptions};
@@ -74,6 +74,14 @@ fn main() {
         "writes",
     ]);
     let mut ample_reread_bytes = 0u64;
+    let mut json = args.json.as_ref().map(|_| {
+        let mut w = JsonWriter::new("ablation_spill");
+        w.int_field("snapshots", args.snapshots as u64);
+        w.int_field("repeats", args.repeats as u64);
+        w.num_field("scale", args.scale);
+        w.begin_array("arms");
+        w
+    });
     for spec in TestSpec::all() {
         // Calibrate per pipeline: an unbounded-memory run never evicts,
         // so its storage traffic is one cold load of every snapshot and
@@ -134,9 +142,26 @@ fn main() {
                 (misses / runs).to_string(),
                 (writes / runs).to_string(),
             ]);
+            if let Some(w) = &mut json {
+                w.begin_object(None);
+                w.str_field("test", &spec.name);
+                w.str_field("budget", &budget_label(factor));
+                w.num_field("total_s", rr.total.mean);
+                w.num_field("ci95_s", rr.total.ci95);
+                w.num_field("visible_io_s", rr.visible_io.mean);
+                w.int_field("reread_bytes", reread / runs);
+                w.int_field("hits", hits / runs);
+                w.int_field("misses", misses / runs);
+                w.int_field("writes", writes / runs);
+                w.end_object();
+            }
         }
     }
     println!("{}", table.render());
+    if let (Some(mut w), Some(path)) = (json, &args.json) {
+        w.end_array();
+        w.write_to(path);
+    }
     println!(
         "expectation: with spill off, every revisit of an evicted snapshot re-reads\n\
          the dataset ('re-read MB' > 0); at an ample budget the spill serves those\n\

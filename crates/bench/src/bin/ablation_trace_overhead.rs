@@ -15,7 +15,7 @@
 //!   `io::sink()`: the pure tracing + encoding cost,
 //! - **JSONL (file)** — the real deal, written to a temp file.
 
-use godiva_bench::{percent, repeat, ExperimentEnv, HarnessArgs, Table};
+use godiva_bench::{percent, repeat, ExperimentEnv, HarnessArgs, JsonWriter, Table};
 use godiva_obs::{JsonlSink, NullSink, Tracer};
 use godiva_platform::Platform;
 use godiva_viz::{Mode, TestSpec};
@@ -59,6 +59,14 @@ fn main() {
 
     let mut table = Table::new(&["configuration", "total (s)", "visible I/O (s)", "overhead"]);
     let mut baseline: Option<f64> = None;
+    let mut json = args.json.as_ref().map(|_| {
+        let mut w = JsonWriter::new("ablation_trace_overhead");
+        w.int_field("snapshots", args.snapshots as u64);
+        w.int_field("repeats", args.repeats as u64);
+        w.num_field("scale", args.scale);
+        w.begin_array("arms");
+        w
+    });
     for (label, tracer) in &make_tracer {
         let rr = repeat(&env, args.repeats, || {
             let mut opts = env.voyager_options(TestSpec::simple(), Mode::GodivaMulti);
@@ -74,8 +82,21 @@ fn main() {
             format!("{:.3}", rr.visible_io.mean),
             format!("{overhead:+.1}%"),
         ]);
+        if let Some(w) = &mut json {
+            w.begin_object(None);
+            w.str_field("config", label);
+            w.num_field("total_s", rr.total.mean);
+            w.num_field("ci95_s", rr.total.ci95);
+            w.num_field("visible_io_s", rr.visible_io.mean);
+            w.num_field("overhead_pct", overhead);
+            w.end_object();
+        }
     }
     println!("{}", table.render());
+    if let (Some(mut w), Some(path)) = (json, &args.json) {
+        w.end_array();
+        w.write_to(path);
+    }
     if let Ok(meta) = std::fs::metadata(&trace_path) {
         println!(
             "trace file: {} ({:.1} KiB per run)",

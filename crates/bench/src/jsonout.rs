@@ -1,0 +1,203 @@
+//! Minimal JSON summary builder for the experiment binaries' `--json`
+//! flag.
+//!
+//! The bench crate deliberately has no JSON dependency; summaries are
+//! small, written once, and read back only by `godiva-report diff`
+//! (against the checked-in baselines under `results/`), so an
+//! append-only builder with explicit begin/end calls is enough. The
+//! builder panics on malformed nesting — a bench binary with a broken
+//! summary should fail loudly, not write garbage for CI to diff.
+
+/// Append-only writer producing one pretty-ish JSON document.
+///
+/// ```
+/// use godiva_bench::jsonout::JsonWriter;
+/// let mut w = JsonWriter::new("my_experiment");
+/// w.int_field("snapshots", 8);
+/// w.begin_array("arms");
+/// w.begin_object(None);
+/// w.str_field("test", "simple");
+/// w.num_field("total_s", 1.25);
+/// w.end_object();
+/// w.end_array();
+/// let text = w.finish();
+/// assert!(text.starts_with("{\"experiment\":\"my_experiment\""));
+/// ```
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open scope: `true` once the scope has a member
+    /// (so the next member needs a comma). Index 0 is the root object.
+    need_comma: Vec<bool>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl JsonWriter {
+    /// Start the document: a root object whose first member is
+    /// `"experiment": NAME` — the diff gate keys off it.
+    pub fn new(experiment: &str) -> Self {
+        let mut w = JsonWriter {
+            out: String::with_capacity(512),
+            need_comma: vec![false],
+        };
+        w.out.push('{');
+        w.str_field("experiment", experiment);
+        w
+    }
+
+    fn sep(&mut self) {
+        let top = self.need_comma.last_mut().expect("scope open");
+        if *top {
+            self.out.push(',');
+        }
+        *top = true;
+    }
+
+    fn key(&mut self, key: &str) {
+        self.sep();
+        self.out.push('"');
+        escape_into(&mut self.out, key);
+        self.out.push_str("\":");
+    }
+
+    /// `"key": "value"` with JSON string escaping.
+    pub fn str_field(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        escape_into(&mut self.out, value);
+        self.out.push('"');
+    }
+
+    /// `"key": 1.234567` — six decimals, enough for second-scale
+    /// timings at microsecond resolution.
+    pub fn num_field(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value:.6}"));
+        } else {
+            // JSON has no NaN/Inf; null keeps the document parseable
+            // and the diff gate reports the label mismatch.
+            self.out.push_str("null");
+        }
+    }
+
+    /// `"key": 42`.
+    pub fn int_field(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Open `"key": [`.
+    pub fn begin_array(&mut self, key: &str) {
+        self.key(key);
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) {
+        assert!(self.need_comma.len() > 1, "no open array");
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Open a nested object: `"key": {` as a member, or a bare `{`
+    /// (pass `None`) as an array element.
+    pub fn begin_object(&mut self, key: Option<&str>) {
+        match key {
+            Some(k) => self.key(k),
+            None => self.sep(),
+        }
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost nested object.
+    pub fn end_object(&mut self) {
+        assert!(self.need_comma.len() > 1, "no open object");
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Close the root object and return the document (newline-terminated).
+    pub fn finish(mut self) -> String {
+        assert_eq!(self.need_comma.len(), 1, "unclosed scope at finish");
+        self.out.push_str("}\n");
+        self.out
+    }
+
+    /// Write the finished document to `path`, exiting with a message on
+    /// I/O failure (bench binaries have no error channel but the exit
+    /// code).
+    pub fn write_to(self, path: &str) {
+        let text = self.finish();
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("json summary written to {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_document() {
+        let mut w = JsonWriter::new("exp");
+        w.int_field("snapshots", 8);
+        w.num_field("scale", 0.01);
+        w.begin_array("arms");
+        for (name, t) in [("a", 1.5), ("b", 2.25)] {
+            w.begin_object(None);
+            w.str_field("test", name);
+            w.num_field("total_s", t);
+            w.end_object();
+        }
+        w.end_array();
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "{\"experiment\":\"exp\",\"snapshots\":8,\"scale\":0.010000,\
+             \"arms\":[{\"test\":\"a\",\"total_s\":1.500000},\
+             {\"test\":\"b\",\"total_s\":2.250000}]}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_maps_non_finite_to_null() {
+        let mut w = JsonWriter::new("e\"x");
+        w.str_field("label", "a\\b\nc");
+        w.num_field("bad", f64::NAN);
+        let text = w.finish();
+        assert!(text.contains("\"experiment\":\"e\\\"x\""));
+        assert!(text.contains("\"label\":\"a\\\\b\\nc\""));
+        assert!(text.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn output_parses_back() {
+        let mut w = JsonWriter::new("roundtrip");
+        w.begin_object(Some("nested"));
+        w.int_field("n", 3);
+        w.end_object();
+        w.begin_array("empty");
+        w.end_array();
+        let text = w.finish();
+        let v = godiva_obs::parse_json(&text).expect("parses");
+        assert_eq!(
+            v.get("experiment").and_then(|e| e.as_str()),
+            Some("roundtrip")
+        );
+        assert_eq!(v.get("nested").and_then(|n| n.get("n")?.as_u64()), Some(3));
+    }
+}

@@ -24,10 +24,14 @@
 //! All binaries accept `--snapshots N --repeats R --scale S --full`
 //! (see [`HarnessArgs`]); defaults finish in a couple of minutes total.
 //! Passing `--trace-dir DIR` additionally writes one JSONL event trace
-//! per measured run (see [`TraceDir`]).
+//! per measured run (see [`TraceDir`]); `--json PATH` writes a
+//! machine-readable summary (see [`JsonWriter`]) that `godiva-report
+//! diff` compares against the checked-in `results/BENCH_*.json`
+//! baselines — that diff is CI's perf gate.
 
 pub mod args;
 pub mod harness;
+pub mod jsonout;
 pub mod paper;
 pub mod table;
 
@@ -35,4 +39,5 @@ pub use args::HarnessArgs;
 pub use harness::{
     measure, percent, repeat, ExperimentEnv, RepeatedRuns, RunMeasurement, TraceDir,
 };
+pub use jsonout::JsonWriter;
 pub use table::Table;

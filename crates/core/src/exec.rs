@@ -77,6 +77,12 @@ impl Inner {
     /// attempt budget, rolling back the failed attempt's partial records
     /// before each retry so the read function always starts clean.
     pub(crate) fn run_reader(self: &Arc<Self>, name: &str, ctx: AllocCtx) -> Result<()> {
+        // Stamp this thread as serving `name` for the whole read, spill
+        // restore included. Lower layers — the simulated disk above all —
+        // read it back through `godiva_obs::current_unit()` to tag their
+        // spans with the unit they feed, which is what lets the
+        // critical-path analyzer walk wait → read → disk across threads.
+        let _serving = godiva_obs::unit_scope(name);
         // Fast path: the unit may have been evicted with its buffers
         // spilled to the second-tier cache — one sequential file read
         // re-materializes them without invoking the developer callback.
@@ -128,7 +134,11 @@ impl Inner {
                             "gbo",
                             "read_unit",
                             span_start,
-                            vec![("unit", name.into()), ("ok", true.into())],
+                            vec![
+                                ("unit", name.into()),
+                                ("ok", true.into()),
+                                ("worker", worker_arg(ctx)),
+                            ],
                         );
                     }
                     return Ok(());
@@ -153,7 +163,11 @@ impl Inner {
                             "gbo",
                             "read_unit",
                             span_start,
-                            vec![("unit", name.into()), ("ok", false.into())],
+                            vec![
+                                ("unit", name.into()),
+                                ("ok", false.into()),
+                                ("worker", worker_arg(ctx)),
+                            ],
                         );
                     }
                     // A panicking read function is the flight recorder's
@@ -182,7 +196,11 @@ impl Inner {
                     "gbo",
                     "read_unit",
                     span_start,
-                    vec![("unit", name.into()), ("ok", false.into())],
+                    vec![
+                        ("unit", name.into()),
+                        ("ok", false.into()),
+                        ("worker", worker_arg(ctx)),
+                    ],
                 );
             }
             if attempt >= self.retry.attempts() || !err.is_transient() {
@@ -237,6 +255,7 @@ impl Inner {
                 entry.state = UnitState::Ready;
                 entry.loaded_seq = clock;
                 entry.last_access = clock;
+                entry.loaded_by = godiva_obs::current_tid();
                 self.units.journal(
                     &self.metrics,
                     &self.tracer,
@@ -276,6 +295,11 @@ impl Inner {
         let deadline = timeout.map(|t| started + t);
         let background = self.units.worker_count > 0;
         let mut blocked = false;
+        // Trace tid of the thread whose load satisfied this wait (0 =
+        // unknown, e.g. a unit rebuilt by WAL replay). Emitted as
+        // `served_tid` so the critical-path analyzer can follow the wait
+        // to the serving thread's read/disk spans.
+        let mut served_tid = 0u64;
         let result = loop {
             let mut st = self.units.lock();
             let Some(entry) = st.units.get_mut(name) else {
@@ -285,6 +309,7 @@ impl Inner {
                 UnitState::Ready | UnitState::Finished => {
                     entry.state = UnitState::Ready;
                     entry.refcount += 1;
+                    served_tid = entry.loaded_by;
                     st.touch(name);
                     if !blocked {
                         self.metrics.cache_hits.inc();
@@ -420,12 +445,12 @@ impl Inner {
             self.metrics.wait_time.add_duration(waited);
             self.metrics.wait_hist.record(waited);
             if self.tracer.enabled() {
-                self.tracer.complete(
-                    "gbo",
-                    "wait_unit",
-                    span_start,
-                    vec![("unit", name.into()), ("ok", result.is_ok().into())],
-                );
+                let mut args: godiva_obs::Args =
+                    vec![("unit", name.into()), ("ok", result.is_ok().into())];
+                if result.is_ok() && served_tid != 0 {
+                    args.push(("served_tid", served_tid.into()));
+                }
+                self.tracer.complete("gbo", "wait_unit", span_start, args);
             }
         }
         // Deadlock is detected under the unit lock, but the post-mortem
@@ -496,6 +521,7 @@ impl Inner {
                         entry.state = UnitState::Ready;
                         entry.loaded_seq = clock;
                         entry.last_access = clock;
+                        entry.loaded_by = godiva_obs::current_tid();
                         self.units.journal(
                             &self.metrics,
                             &self.tracer,

@@ -71,6 +71,11 @@ pub(crate) struct UnitEntry {
     /// it to see whether the unit a caller waits for is stuck behind a
     /// memory-blocked worker.
     pub(crate) reading_worker: Option<usize>,
+    /// Trace tid of the thread whose load most recently made this unit
+    /// `Ready` (0 = unknown, e.g. rebuilt by WAL replay or snapshot
+    /// restore). `wait_unit` spans carry it as `served_tid` so the
+    /// critical-path analyzer can link a wait to the serving thread.
+    pub(crate) loaded_by: u64,
 }
 
 impl UnitEntry {
@@ -85,6 +90,7 @@ impl UnitEntry {
             loaded_seq: 0,
             priority,
             reading_worker: None,
+            loaded_by: 0,
         }
     }
 

@@ -131,18 +131,19 @@ pub struct TraceReport {
     pub occupancy: OccupancyReport,
 }
 
-/// One parsed event, reduced to the fields the analysis consumes.
-struct Ev {
-    ts: u64,
-    dur: Option<u64>,
-    cat: String,
-    name: String,
-    tid: u64,
-    unit: Option<String>,
-    args: JsonValue,
+/// One parsed event, reduced to the fields the analysis consumes
+/// (shared with [`crate::critical_path`]).
+pub(crate) struct Ev {
+    pub(crate) ts: u64,
+    pub(crate) dur: Option<u64>,
+    pub(crate) cat: String,
+    pub(crate) name: String,
+    pub(crate) tid: u64,
+    pub(crate) unit: Option<String>,
+    pub(crate) args: JsonValue,
 }
 
-fn parse_events(text: &str) -> Result<Vec<Ev>, String> {
+pub(crate) fn parse_events(text: &str) -> Result<Vec<Ev>, String> {
     let mut events = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -196,7 +197,7 @@ fn interval_union_us(mut intervals: Vec<(u64, u64)>) -> u64 {
 /// Pick the render thread: the tid carrying `render_snapshot` spans,
 /// falling back to the tid with the most blocking-wait time, then to
 /// the first event's tid.
-fn main_tid(events: &[Ev]) -> u64 {
+pub(crate) fn main_tid(events: &[Ev]) -> u64 {
     if let Some(e) = events.iter().find(|e| e.name == "render_snapshot") {
         return e.tid;
     }

@@ -1,41 +1,67 @@
-//! `godiva-report` — offline trace analytics.
+//! `godiva-report` — offline trace analytics and run diffing.
 //!
 //! Ingests JSONL traces (from `voyager --trace-out` or the bench
 //! harness's `--trace-dir`, including flight-recorder post-mortems) and
 //! reports per-run stall attribution (compute vs wait-blocked),
 //! prefetch effectiveness, eviction churn / re-read waste, and the
-//! memory-occupancy timeline — as human tables or JSON.
+//! memory-occupancy timeline — as human tables or JSON. With
+//! `--critical-path` it additionally reconstructs the cross-thread
+//! critical path (disk / reader CPU / queueing / spill / WAL fsync)
+//! and prints virtual-speedup projections per resource.
 //!
 //! ```text
-//! godiva-report [--json] [--out PATH] [--metrics-json PATH] [--tolerance PCT] TRACE...
+//! godiva-report [--json] [--critical-path] [--out PATH]
+//!               [--metrics-json PATH] [--tolerance PCT] TRACE...
+//! godiva-report diff [--tolerance PCT] [--warn-only] BASE.json NEW.json
 //! ```
 //!
 //! With `--metrics-json` (a file written by `voyager --metrics-json`)
 //! the tool cross-checks that `compute + wait` matches the run's
 //! measured wall clock (`voyager.wall_us`) within `--tolerance`
 //! (default 5 %), exiting non-zero on mismatch — this is what CI runs.
+//! Under `--critical-path` the per-resource partition is checked
+//! against the same wall clock too.
+//!
+//! `diff` compares two JSON summaries (two trace reports, or a bench
+//! run against its checked-in `results/BENCH_*.json` baseline) and
+//! exits non-zero when the new run regressed beyond `--tolerance`
+//! percent. `--warn-only` (or `GODIVA_PERF_VOLATILE=1` in the
+//! environment, for machines without a stable clock) demotes *timing*
+//! regressions to warnings; work counters still fail hard.
 
 use godiva_obs::analyze::{analyze_trace, TraceReport};
+use godiva_obs::critical_path::{critical_path, CriticalPathReport};
+use godiva_obs::diff::{diff_texts, DiffOptions};
 use godiva_obs::json::parse_json;
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: godiva-report [--json] [--out PATH] [--metrics-json PATH] [--tolerance PCT] TRACE...
+const USAGE: &str = "usage: godiva-report [--json] [--critical-path] [--out PATH]
+                     [--metrics-json PATH] [--tolerance PCT] TRACE...
+       godiva-report diff [--tolerance PCT] [--warn-only] BASE.json NEW.json
 
 Analyze JSONL trace files (voyager --trace-out, bench --trace-dir, or
-flight-recorder post-mortem dumps).
+flight-recorder post-mortem dumps), or diff two JSON run summaries.
 
   --json               emit a JSON report (an array when given several traces)
+  --critical-path      add cross-thread critical-path attribution and
+                       virtual-speedup projections to the report
   --out PATH           write the report to PATH instead of stdout
   --metrics-json PATH  cross-check attribution against the measured wall
                        clock (voyager.wall_us) in a --metrics-json file;
                        exits 1 if the check fails
-  --tolerance PCT      tolerance for that check, percent (default 5)
+  --tolerance PCT      tolerance for checks/diffs, percent (default 5)
+
+diff mode:
+  --warn-only          demote timing regressions to warnings (also
+                       enabled by GODIVA_PERF_VOLATILE=1); regressions
+                       in work counters (bytes, hits, re-reads) still
+                       exit non-zero
 ";
 
 struct Options {
     json: bool,
+    critical_path: bool,
     out: Option<String>,
     metrics_json: Option<String>,
     tolerance: f64,
@@ -45,6 +71,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         json: false,
+        critical_path: false,
         out: None,
         metrics_json: None,
         tolerance: 5.0,
@@ -54,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--critical-path" => opts.critical_path = true,
             "--out" => {
                 opts.out = Some(it.next().ok_or("--out needs a path")?.clone());
             }
@@ -87,8 +115,71 @@ fn measured_wall_us(path: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("{path}: no voyager.wall_us counter"))
 }
 
+/// `godiva-report diff [--tolerance PCT] [--warn-only] BASE NEW`
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut opts = DiffOptions::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("godiva-report: --tolerance needs a percent value");
+                    return ExitCode::FAILURE;
+                };
+                opts.tolerance_pct = v;
+            }
+            "--warn-only" => opts.warn_only = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("godiva-report: unknown diff flag: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    // Machines with an unstable clock (shared CI runners) set
+    // GODIVA_PERF_VOLATILE=1 so timing noise warns instead of failing.
+    if std::env::var("GODIVA_PERF_VOLATILE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        opts.warn_only = true;
+    }
+    let [base_path, new_path] = files.as_slice() else {
+        eprintln!("godiva-report: diff needs exactly two files (BASE.json NEW.json)\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let report = match read(base_path)
+        .and_then(|b| read(new_path).map(|n| (b, n)))
+        .and_then(|(b, n)| diff_texts(&b, &n, &opts))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("godiva-report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_human());
+    if report.regressions() > 0 {
+        eprintln!(
+            "godiva-report: {} vs {}: {} regression(s) beyond {}% tolerance",
+            base_path,
+            new_path,
+            report.regressions(),
+            opts.tolerance_pct
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        return run_diff(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
@@ -101,7 +192,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut reports: Vec<(String, TraceReport)> = Vec::new();
+    let mut reports: Vec<(String, TraceReport, Option<CriticalPathReport>)> = Vec::new();
     for path in &opts.traces {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -110,8 +201,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        let cp = if opts.critical_path {
+            match critical_path(&text) {
+                Ok(cp) => Some(cp),
+                Err(e) => {
+                    eprintln!("godiva-report: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            None
+        };
         match analyze_trace(&text) {
-            Ok(report) => reports.push((path.clone(), report)),
+            Ok(report) => reports.push((path.clone(), report, cp)),
             Err(e) => {
                 eprintln!("godiva-report: {path}: {e}");
                 return ExitCode::FAILURE;
@@ -119,28 +221,45 @@ fn main() -> ExitCode {
         }
     }
 
+    // With --critical-path the JSON report gains a "critical_path"
+    // member; without it the schema is byte-identical to before.
+    let report_json = |r: &TraceReport, cp: &Option<CriticalPathReport>| -> String {
+        let base = r.to_json();
+        match cp {
+            None => base,
+            Some(cp) => format!(
+                "{},\"critical_path\":{}}}",
+                base.trim_end().trim_end_matches('}'),
+                cp.to_json()
+            ),
+        }
+    };
+
     let mut rendered = String::new();
     if opts.json {
         if reports.len() == 1 {
-            rendered.push_str(&reports[0].1.to_json());
+            rendered.push_str(&report_json(&reports[0].1, &reports[0].2));
         } else {
             rendered.push('[');
-            for (i, (_, r)) in reports.iter().enumerate() {
+            for (i, (_, r, cp)) in reports.iter().enumerate() {
                 if i > 0 {
                     rendered.push(',');
                 }
-                rendered.push_str(&r.to_json());
+                rendered.push_str(&report_json(r, cp));
             }
             rendered.push(']');
         }
         rendered.push('\n');
     } else {
-        for (i, (path, r)) in reports.iter().enumerate() {
+        for (i, (path, r, cp)) in reports.iter().enumerate() {
             if i > 0 {
                 rendered.push('\n');
             }
             rendered.push_str(&format!("== {path} ==\n"));
             rendered.push_str(&r.render_human());
+            if let Some(cp) = cp {
+                rendered.push_str(&cp.render_human());
+            }
         }
     }
 
@@ -164,7 +283,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for (path, r) in &reports {
+        for (path, r, cp) in &reports {
             match r.check_attribution(wall, opts.tolerance / 100.0) {
                 Ok(()) => eprintln!(
                     "godiva-report: {path}: attribution check OK (sum {} vs measured wall {} us)",
@@ -174,6 +293,20 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("godiva-report: {path}: attribution check FAILED: {e}");
                     return ExitCode::FAILURE;
+                }
+            }
+            if let Some(cp) = cp {
+                match cp.check_sum(wall, opts.tolerance / 100.0) {
+                    Ok(()) => eprintln!(
+                        "godiva-report: {path}: critical-path sum check OK \
+                         (sum {} vs measured wall {} us)",
+                        cp.attribution_sum_us(),
+                        wall
+                    ),
+                    Err(e) => {
+                        eprintln!("godiva-report: {path}: critical-path check FAILED: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
         }

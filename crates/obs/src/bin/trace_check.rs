@@ -110,6 +110,31 @@ fn check_trace(text: &str) -> Result<String, String> {
         return Err("trace is empty".to_string());
     }
 
+    // Pre-pass for the critical-path edges (order-independent: the
+    // serving events may land before or after the wait in file order).
+    // `loader_pairs`: (unit, tid) pairs that completed a load — what a
+    // `served_tid` on a wait_unit span must point at. `serving_pairs`:
+    // (unit, tid) pairs with *any* serving activity — what a unit tag
+    // on a disk span must be backed by.
+    let mut loader_pairs: std::collections::HashSet<(String, u64)> = Default::default();
+    let mut serving_pairs: std::collections::HashSet<(String, u64)> = Default::default();
+    for v in &events {
+        let name = v.get("name").and_then(|x| x.as_str()).unwrap_or("");
+        let tid = v.get("tid").and_then(|x| x.as_u64()).unwrap_or(0);
+        let Some(unit) = unit_arg(v) else { continue };
+        if matches!(name, "read_done" | "spill_hit") {
+            loader_pairs.insert((unit.clone(), tid));
+        }
+        if matches!(
+            name,
+            "read_start" | "spill_restore" | "spill_hit" | "spill_miss" | "spill_corrupt"
+        ) {
+            serving_pairs.insert((unit, tid));
+        }
+    }
+    let mut linked_waits = 0usize;
+    let mut linked_disk = 0usize;
+
     // Per-unit read balance (tids of still-open reads, in start order)
     // and finish-before-evict ordering. With a multi-worker executor,
     // different units' reads interleave on distinct tids; each unit's
@@ -165,6 +190,41 @@ fn check_trace(text: &str) -> Result<String, String> {
         }
         let tid = v.get("tid").and_then(|x| x.as_u64()).unwrap_or(0);
         let Some(unit) = unit_arg(v) else { continue };
+        // Edge-pairing rule 1: a wait_unit carrying `served_tid` must
+        // point at a thread that actually completed a load of that unit
+        // (a read_done or spill_hit somewhere in the trace).
+        if name == "wait_unit" {
+            if let Some(served) = v.get("args").and_then(|a| a.get("served_tid")) {
+                let Some(served) = served.as_u64() else {
+                    return Err(format!(
+                        "line {}: wait_unit for unit '{unit}' with non-integer served_tid",
+                        i + 1
+                    ));
+                };
+                if !loader_pairs.contains(&(unit.clone(), served)) {
+                    return Err(format!(
+                        "line {}: wait_unit for unit '{unit}' claims served_tid {served}, \
+                         but that tid never completed a load of it (no read_done/spill_hit)",
+                        i + 1
+                    ));
+                }
+                linked_waits += 1;
+            }
+        }
+        // Edge-pairing rule 2: a disk span tagged with a unit must sit
+        // on a thread with serving activity for that unit (a read or a
+        // spill-tier touch) — the tag is how the analyzer attributes
+        // device time to the wait the unit satisfied.
+        if v.get("cat").and_then(|c| c.as_str()) == Some("disk") {
+            if !serving_pairs.contains(&(unit.clone(), tid)) {
+                return Err(format!(
+                    "line {}: disk span tagged unit '{unit}' on tid {tid}, but that tid \
+                     has no serving activity for it (no read_start/spill_* event)",
+                    i + 1
+                ));
+            }
+            linked_disk += 1;
+        }
         match name {
             "read_start" => {
                 reader_tids.insert(tid);
@@ -240,9 +300,14 @@ fn check_trace(text: &str) -> Result<String, String> {
     } else {
         String::new()
     };
+    let edge_note = if linked_waits + linked_disk > 0 {
+        format!(", {linked_waits} linked wait(s) and {linked_disk} unit-tagged disk span(s)")
+    } else {
+        String::new()
+    };
     Ok(format!(
         "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader \
-         tid(s){spill_note}{replay_note}",
+         tid(s){spill_note}{replay_note}{edge_note}",
         events.len(),
         spans,
         open_reads.len(),
@@ -389,6 +454,14 @@ mod tests {
         let dur = if ph == "X" { ",\"dur\":3" } else { "" };
         format!(
             "{{\"ts\":1{dur},\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"args\":{{\"unit\":\"{unit}\"}}}}"
+        )
+    }
+
+    /// A wait_unit span claiming it was served by `served_tid`.
+    fn wait_served(unit: &str, tid: u64, served_tid: u64) -> String {
+        format!(
+            "{{\"ts\":1,\"dur\":3,\"ph\":\"X\",\"cat\":\"gbo\",\"name\":\"wait_unit\",\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"unit\":\"{unit}\",\"ok\":true,\"served_tid\":{served_tid}}}}}"
         )
     }
 
@@ -546,6 +619,70 @@ mod tests {
         .join("\n");
         let err = check_trace(&trace).unwrap_err();
         assert!(err.contains("wal_replay after GBO lifecycle"), "{err}");
+    }
+
+    #[test]
+    fn served_tid_must_pair_with_a_load() {
+        // Worker tid 2 loads `a` (read_done); the render thread's wait
+        // may claim served_tid=2. The serving events landing *after*
+        // the wait in file order is fine (two-pass check).
+        let ok = [
+            wait_served("a", 1, 2),
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("gbo", "read_done", "a", "i", 2),
+            ev("unit_finished", "a", "i"),
+        ]
+        .join("\n");
+        let summary = check_trace(&ok).expect("linked wait is valid");
+        assert!(summary.contains("1 linked wait(s)"), "{summary}");
+
+        // A spill_hit licenses the link too (restored, not read).
+        let via_spill = [
+            ev_tid("gbo", "spill_write", "a", "i", 2),
+            ev_tid("gbo", "spill_hit", "a", "i", 2),
+            wait_served("a", 1, 2),
+        ]
+        .join("\n");
+        check_trace(&via_spill).expect("spill-served wait is valid");
+
+        // Claiming a tid that never completed a load fails.
+        let bogus = [
+            wait_served("a", 1, 9),
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("gbo", "read_done", "a", "i", 2),
+        ]
+        .join("\n");
+        let err = check_trace(&bogus).unwrap_err();
+        assert!(err.contains("served_tid 9"), "{err}");
+    }
+
+    #[test]
+    fn unit_tagged_disk_spans_must_pair_with_serving_activity() {
+        // Disk span for unit `a` on tid 2, which also read_starts it: ok.
+        let ok = [
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("disk", "disk_read", "a", "X", 2),
+            ev_tid("gbo", "read_done", "a", "i", 2),
+        ]
+        .join("\n");
+        let summary = check_trace(&ok).expect("tagged disk span is valid");
+        assert!(summary.contains("1 unit-tagged disk span(s)"), "{summary}");
+
+        // Same span on a thread with no serving activity for `a` fails.
+        let bogus = [
+            ev_tid("gbo", "read_start", "a", "i", 2),
+            ev_tid("disk", "disk_read", "a", "X", 7),
+            ev_tid("gbo", "read_done", "a", "i", 2),
+        ]
+        .join("\n");
+        let err = check_trace(&bogus).unwrap_err();
+        assert!(err.contains("no serving activity"), "{err}");
+
+        // Untagged disk spans (image writes, dataset generation) are
+        // exempt — only the unit tag creates the obligation.
+        let untagged = "{\"ts\":1,\"dur\":3,\"ph\":\"X\",\"cat\":\"disk\",\
+                        \"name\":\"disk_write\",\"pid\":1,\"tid\":7,\"args\":{\"file\":3}}";
+        check_trace(untagged).expect("untagged disk span is exempt");
     }
 
     #[test]

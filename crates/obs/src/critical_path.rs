@@ -1,0 +1,713 @@
+//! Critical-path reconstruction and causal ("virtual speedup")
+//! attribution over a JSONL trace.
+//!
+//! [`crate::analyze`] answers *how much* of the render thread's wall
+//! time was blocked; this module answers *what it was blocked on* and
+//! *what fixing each resource would buy*. It reconstructs the
+//! cross-thread dependency chain the executor emits —
+//!
+//! ```text
+//! render thread:  wait_unit(u, served_tid=W) ─────────────┐
+//! worker W:          read_unit(u) / spill_restore(u)      │ overlap
+//! worker W:             disk_read(unit=u) …               │ clipped to
+//!                                                         ┘ the wait
+//! ```
+//!
+//! — and partitions the render thread's timeline into exclusive
+//! resource classes:
+//!
+//! | class           | meaning                                          |
+//! |-----------------|--------------------------------------------------|
+//! | `compute`       | render thread running application code           |
+//! | `disk`          | blocked on a (simulated) device transfer         |
+//! | `spill_restore` | blocked on re-materializing a spilled frame      |
+//! | `wal_fsync`     | blocked on journal durability                    |
+//! | `reader_cpu`    | blocked on the read callback's own CPU           |
+//! | `queue`         | waiting for a worker to even *start* serving     |
+//! | `other_blocked` | blocked time no serving span explains (locks,    |
+//! |                 | scheduler latency, unlinked waits)               |
+//!
+//! The partition is exact by construction — classes claim time in a
+//! fixed priority order (disk first, residue last) from the union of
+//! blocked intervals, so `compute + Σ classes == wall` always holds
+//! and [`CriticalPathReport::check_sum`] can gate CI on it.
+//!
+//! From the same partition come Coz-style *virtual speedups*: removing
+//! everything attributed to one resource from the blocked set bounds
+//! what an infinitely fast version of that resource could save
+//! ("with an infinitely fast disk, wall drops 41%"). These are
+//! first-order upper bounds — they assume the freed time is not
+//! re-spent elsewhere — which is exactly the right shape for deciding
+//! *which* optimization to write next.
+
+use crate::analyze::{main_tid, parse_events, Ev};
+
+/// A sorted, coalesced set of half-open `[start, end)` intervals (µs).
+type Intervals = Vec<(u64, u64)>;
+
+/// Sort and coalesce raw intervals into a canonical set.
+fn merge(mut v: Intervals) -> Intervals {
+    v.retain(|(s, e)| e > s);
+    v.sort_unstable();
+    let mut out: Intervals = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Intersection of two canonical sets.
+fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Intervals {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        let s = a[i].0.max(b[j].0);
+        let e = a[i].1.min(b[j].1);
+        if e > s {
+            out.push((s, e));
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `a` minus `b`, both canonical.
+fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Intervals {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &(s, e) in a {
+        let mut cur = s;
+        while j < b.len() && b[j].1 <= cur {
+            j += 1;
+        }
+        let mut k = j;
+        while k < b.len() && b[k].0 < e {
+            if b[k].0 > cur {
+                out.push((cur, b[k].0));
+            }
+            cur = cur.max(b[k].1);
+            k += 1;
+        }
+        if cur < e {
+            out.push((cur, e));
+        }
+    }
+    out
+}
+
+/// Total µs covered by a canonical set.
+fn total(v: &[(u64, u64)]) -> u64 {
+    v.iter().map(|(s, e)| e - s).sum()
+}
+
+/// One "what if this resource were free" projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualSpeedup {
+    /// Resource class the projection removes (`"disk"`, `"queue"`, …).
+    pub resource: &'static str,
+    /// Human phrasing of the hypothetical.
+    pub what_if: &'static str,
+    /// Wall time attributed to the resource (what removing it saves).
+    pub saved_us: u64,
+    /// Projected wall time with the resource free.
+    pub new_wall_us: u64,
+    /// Projected wall-time reduction, percent of the measured wall.
+    pub wall_reduction_pct: f64,
+}
+
+/// Exclusive per-resource partition of the render thread's wall time,
+/// plus the virtual-speedup projections derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// Trace extent (first event start → last event end), µs.
+    pub wall_us: u64,
+    /// The render thread (same election as [`crate::analyze`]).
+    pub main_tid: u64,
+    /// Wall time the render thread spent in application code.
+    pub compute_us: u64,
+    /// Blocked on (simulated) device transfers — the render thread's
+    /// own plus the serving worker's, clipped to the waits they fed.
+    pub disk_us: u64,
+    /// Blocked on re-materializing spilled frames.
+    pub spill_restore_us: u64,
+    /// Blocked on WAL durability (`wal_fsync` spans).
+    pub wal_fsync_us: u64,
+    /// Blocked on read-callback CPU (decode time minus its disk time).
+    pub reader_cpu_us: u64,
+    /// Waiting for a worker to start serving the unit (queueing delay
+    /// before the serving span begins — what more `io_threads` shrink).
+    pub queue_us: u64,
+    /// Blocked time no serving span explains: lock waits, scheduler
+    /// latency, waits the trace could not link to a serving thread.
+    pub other_blocked_us: u64,
+    /// Blocked `wait_unit` spans observed on the render thread.
+    pub waits_total: usize,
+    /// How many of those the analyzer linked to a serving thread's
+    /// `read_unit`/`spill_restore` span.
+    pub waits_linked: usize,
+    /// "What if resource X were free" projections, largest saving
+    /// first; zero-saving resources are omitted.
+    pub speedups: Vec<VirtualSpeedup>,
+}
+
+/// Resource classes in claim-priority order, with their hypotheticals.
+const CLASSES: [(&str, &str); 6] = [
+    ("disk", "infinitely fast disk"),
+    ("spill_restore", "free spill restores"),
+    ("wal_fsync", "free WAL fsyncs"),
+    ("reader_cpu", "infinitely fast read callbacks"),
+    ("queue", "io_threads=∞ (no reader-queue delay)"),
+    ("other_blocked", "no lock/scheduler waits"),
+];
+
+/// Reconstruct the critical path of one JSONL trace. Errors on empty
+/// or unparseable input, like [`crate::analyze_trace`].
+pub fn critical_path(text: &str) -> Result<CriticalPathReport, String> {
+    Ok(from_events(&parse_events(text)?))
+}
+
+pub(crate) fn from_events(events: &[Ev]) -> CriticalPathReport {
+    let main = main_tid(events);
+    let start_us = events.iter().map(|e| e.ts).min().unwrap_or(0);
+    let end_us = events
+        .iter()
+        .map(|e| e.ts + e.dur.unwrap_or(0))
+        .max()
+        .unwrap_or(start_us);
+    let wall_us = end_us - start_us;
+
+    let span = |e: &Ev| e.dur.map(|d| (e.ts, e.ts + d));
+
+    // The render thread's blocked set — the same filter analyze.rs uses
+    // for wait-blocked attribution, so the two reports agree on what
+    // "blocked" means.
+    let blocked = merge(
+        events
+            .iter()
+            .filter(|e| e.tid == main)
+            .filter(|e| matches!(e.name.as_str(), "wait_unit" | "read_unit") || e.cat == "disk")
+            .filter_map(span)
+            .collect(),
+    );
+
+    // Per-class raw intervals. Main-thread spans count wherever they
+    // fall; serving-thread spans count only clipped to the wait they
+    // satisfied (a worker prefetching unit B while the render thread
+    // computes costs the render thread nothing).
+    let mut disk: Intervals = Vec::new();
+    let mut spill: Intervals = Vec::new();
+    let mut fsync: Intervals = Vec::new();
+    let mut reader: Intervals = Vec::new();
+    let mut queue: Intervals = Vec::new();
+
+    for e in events.iter().filter(|e| e.tid == main) {
+        let Some(iv) = span(e) else { continue };
+        match (e.cat.as_str(), e.name.as_str()) {
+            ("disk", _) => disk.push(iv),
+            (_, "spill_restore") => spill.push(iv),
+            (_, "wal_fsync") => fsync.push(iv),
+            (_, "read_unit") => reader.push(iv),
+            _ => {}
+        }
+    }
+
+    let mut waits_total = 0usize;
+    let mut waits_linked = 0usize;
+    for w in events
+        .iter()
+        .filter(|e| e.tid == main && e.name == "wait_unit")
+    {
+        let Some((ws, we)) = span(w) else { continue };
+        waits_total += 1;
+        let ok = w
+            .args
+            .get("ok")
+            .map(|v| v != &crate::json::JsonValue::Bool(false))
+            .unwrap_or(true);
+        let Some(unit) = w.unit.as_deref() else {
+            continue;
+        };
+        if !ok {
+            continue;
+        }
+        let served = w.args.get("served_tid").and_then(|v| v.as_u64());
+        let clip = |(s, e): (u64, u64)| {
+            let (cs, ce) = (s.max(ws), e.min(we));
+            (ce > cs).then_some((cs, ce))
+        };
+        if served == Some(main) {
+            // An inline read: the serving spans sit on the render thread
+            // itself and were already collected by the first loop. The
+            // wait is linked, and there is no queueing by definition.
+            let explained = events.iter().any(|e| {
+                e.tid == main
+                    && e.unit.as_deref() == Some(unit)
+                    && matches!(e.name.as_str(), "read_unit" | "spill_restore")
+                    && span(e).and_then(clip).is_some()
+            });
+            if explained {
+                waits_linked += 1;
+            }
+            continue;
+        }
+        // Serving spans: the thread that loaded the unit, doing so. With
+        // no served_tid (older traces, WAL-rebuilt units) fall back to
+        // any other thread's span over the same unit.
+        let from_serving = |e: &&Ev| {
+            e.tid != main
+                && e.unit.as_deref() == Some(unit)
+                && served.map(|s| e.tid == s).unwrap_or(true)
+        };
+        let mut serving_start = None::<u64>;
+        let mut linked = false;
+        for e in events.iter().filter(from_serving) {
+            let clipped = span(e).and_then(clip);
+            match (e.cat.as_str(), e.name.as_str()) {
+                ("disk", _) => {
+                    if let Some(iv) = clipped {
+                        disk.push(iv);
+                    }
+                }
+                (_, "read_unit") | (_, "spill_restore") => {
+                    if let Some(d) = e.dur {
+                        // The serving span itself links the wait even
+                        // when it only abuts the window.
+                        if e.ts < we && e.ts + d > ws {
+                            linked = true;
+                            serving_start = Some(serving_start.map_or(e.ts, |s: u64| s.min(e.ts)));
+                        }
+                    }
+                    if let Some(iv) = clipped {
+                        reader.push(iv);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if linked {
+            waits_linked += 1;
+            if let Some(rs) = serving_start {
+                if rs > ws {
+                    queue.push((ws, rs.min(we)));
+                }
+            }
+        }
+        // Serving-thread fsyncs (journal append after the load) and
+        // spill restores, clipped the same way.
+        if let Some(s) = served {
+            for e in events.iter().filter(|e| e.tid == s) {
+                let Some(iv) = span(e).and_then(clip) else {
+                    continue;
+                };
+                match e.name.as_str() {
+                    "wal_fsync" => fsync.push(iv),
+                    "spill_restore" if e.unit.as_deref() == Some(unit) => spill.push(iv),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // The attribution domain: everything blocked, plus the render
+    // thread's own fsyncs (journal durability can stall compute outside
+    // any wait).
+    let domain = merge(
+        blocked
+            .iter()
+            .copied()
+            .chain(
+                events
+                    .iter()
+                    .filter(|e| e.tid == main && e.name == "wal_fsync")
+                    .filter_map(span),
+            )
+            .collect(),
+    );
+
+    // Claim time per class in priority order; whatever no class claims
+    // is the residue ("other_blocked"). Exclusive by construction.
+    let mut remaining = domain.clone();
+    let mut claim = |raw: Intervals| -> u64 {
+        let take = intersect(&merge(raw), &remaining);
+        remaining = subtract(&remaining, &take);
+        total(&take)
+    };
+    let disk_us = claim(disk);
+    let spill_restore_us = claim(spill);
+    let wal_fsync_us = claim(fsync);
+    let reader_cpu_us = claim(reader);
+    let queue_us = claim(queue);
+    let other_blocked_us = total(&remaining);
+    let compute_us = wall_us - total(&domain);
+
+    let mut report = CriticalPathReport {
+        wall_us,
+        main_tid: main,
+        compute_us,
+        disk_us,
+        spill_restore_us,
+        wal_fsync_us,
+        reader_cpu_us,
+        queue_us,
+        other_blocked_us,
+        waits_total,
+        waits_linked,
+        speedups: Vec::new(),
+    };
+    report.speedups = CLASSES
+        .iter()
+        .map(|&(resource, what_if)| {
+            let saved_us = report.class_us(resource);
+            VirtualSpeedup {
+                resource,
+                what_if,
+                saved_us,
+                new_wall_us: wall_us - saved_us,
+                wall_reduction_pct: if wall_us > 0 {
+                    100.0 * saved_us as f64 / wall_us as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .filter(|s| s.saved_us > 0)
+        .collect();
+    report
+        .speedups
+        .sort_by_key(|s| std::cmp::Reverse(s.saved_us));
+    report
+}
+
+impl CriticalPathReport {
+    fn class_us(&self, resource: &str) -> u64 {
+        match resource {
+            "disk" => self.disk_us,
+            "spill_restore" => self.spill_restore_us,
+            "wal_fsync" => self.wal_fsync_us,
+            "reader_cpu" => self.reader_cpu_us,
+            "queue" => self.queue_us,
+            "other_blocked" => self.other_blocked_us,
+            _ => 0,
+        }
+    }
+
+    /// `compute + Σ resource classes` — equal to [`Self::wall_us`] by
+    /// construction; [`Self::check_sum`] verifies it against an
+    /// externally measured wall time.
+    pub fn attribution_sum_us(&self) -> u64 {
+        self.compute_us
+            + self.disk_us
+            + self.spill_restore_us
+            + self.wal_fsync_us
+            + self.reader_cpu_us
+            + self.queue_us
+            + self.other_blocked_us
+    }
+
+    /// Check the partition against an externally measured wall time
+    /// (e.g. `voyager.wall_us` from `--metrics-json`): the attribution
+    /// sum must land within `tolerance` (a fraction, e.g. `0.05`).
+    pub fn check_sum(&self, expected_wall_us: u64, tolerance: f64) -> Result<(), String> {
+        let sum = self.attribution_sum_us();
+        let bound = (expected_wall_us as f64 * tolerance) as u64;
+        let err = sum.abs_diff(expected_wall_us);
+        if err <= bound.max(1) {
+            Ok(())
+        } else {
+            Err(format!(
+                "critical-path attribution {} µs differs from measured wall {} µs by {} µs \
+                 (> {:.1}% tolerance)",
+                sum,
+                expected_wall_us,
+                err,
+                tolerance * 100.0
+            ))
+        }
+    }
+
+    /// Multi-line human rendering (the `--critical-path` section of
+    /// `godiva-report`).
+    pub fn render_human(&self) -> String {
+        let pct = |us: u64| {
+            if self.wall_us > 0 {
+                100.0 * us as f64 / self.wall_us as f64
+            } else {
+                0.0
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical path (render tid {}):\n  wall          {:>12} µs\n  compute       {:>12} µs ({:5.1}%)\n",
+            self.main_tid,
+            self.wall_us,
+            self.compute_us,
+            pct(self.compute_us)
+        ));
+        for &(resource, _) in &CLASSES {
+            out.push_str(&format!(
+                "  {:<13} {:>12} µs ({:5.1}%)\n",
+                resource,
+                self.class_us(resource),
+                pct(self.class_us(resource))
+            ));
+        }
+        out.push_str(&format!(
+            "  waits linked  {:>12} / {}\n",
+            self.waits_linked, self.waits_total
+        ));
+        if self.speedups.is_empty() {
+            out.push_str("  no blocked time to optimize away\n");
+        } else {
+            out.push_str("virtual speedups (first-order upper bounds):\n");
+            for s in &self.speedups {
+                out.push_str(&format!(
+                    "  with {:<38} wall drops {:4.1}% ({} -> {} µs)\n",
+                    format!("{},", s.what_if),
+                    s.wall_reduction_pct,
+                    self.wall_us,
+                    s.new_wall_us
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON object rendering (embedded under `"critical_path"` in
+    /// `godiva-report --json --critical-path` output).
+    pub fn to_json(&self) -> String {
+        let mut speedups = String::new();
+        for (i, s) in self.speedups.iter().enumerate() {
+            if i > 0 {
+                speedups.push(',');
+            }
+            speedups.push_str(&format!(
+                "{{\"resource\":\"{}\",\"what_if\":\"{}\",\"saved_us\":{},\"new_wall_us\":{},\
+                 \"wall_reduction_pct\":{:.3}}}",
+                s.resource, s.what_if, s.saved_us, s.new_wall_us, s.wall_reduction_pct
+            ));
+        }
+        format!(
+            "{{\"wall_us\":{},\"main_tid\":{},\"compute_us\":{},\"disk_us\":{},\
+             \"spill_restore_us\":{},\"wal_fsync_us\":{},\"reader_cpu_us\":{},\"queue_us\":{},\
+             \"other_blocked_us\":{},\"attribution_sum_us\":{},\"waits_total\":{},\
+             \"waits_linked\":{},\"speedups\":[{}]}}",
+            self.wall_us,
+            self.main_tid,
+            self.compute_us,
+            self.disk_us,
+            self.spill_restore_us,
+            self.wal_fsync_us,
+            self.reader_cpu_us,
+            self.queue_us,
+            self.other_blocked_us,
+            self.attribution_sum_us(),
+            self.waits_total,
+            self.waits_linked,
+            speedups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(ts: u64, dur: Option<u64>, cat: &str, name: &str, tid: u64, args: &str) -> String {
+        match dur {
+            Some(d) => format!(
+                "{{\"ts\":{ts},\"dur\":{d},\"ph\":\"X\",\"cat\":\"{cat}\",\"name\":\"{name}\",\
+                 \"tid\":{tid},\"args\":{args}}}"
+            ),
+            None => format!(
+                "{{\"ts\":{ts},\"ph\":\"i\",\"cat\":\"{cat}\",\"name\":\"{name}\",\
+                 \"tid\":{tid},\"args\":{args}}}"
+            ),
+        }
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = merge(vec![(5, 10), (0, 3), (9, 12), (12, 12)]);
+        assert_eq!(a, vec![(0, 3), (5, 12)]);
+        assert_eq!(
+            intersect(&a, &[(2, 6), (11, 20)]),
+            vec![(2, 3), (5, 6), (11, 12)]
+        );
+        assert_eq!(subtract(&a, &[(2, 6), (11, 20)]), vec![(0, 2), (6, 11)]);
+        assert_eq!(total(&a), 10);
+        assert_eq!(subtract(&[(0, 10)], &[]), vec![(0, 10)]);
+        assert_eq!(intersect(&[(0, 10)], &[]), Vec::<(u64, u64)>::new());
+    }
+
+    /// A two-thread trace: the render thread (tid 1) computes, then
+    /// blocks 100 µs on unit `a` served by worker tid 7, whose busy
+    /// span decomposes into queueing (10), disk (50) and decode (40).
+    #[test]
+    fn partitions_a_linked_wait_exactly() {
+        let t = [
+            line(0, Some(100), "viz", "render_snapshot", 1, "{}"),
+            // render thread blocks 100..200 on unit a, served by tid 7
+            line(
+                100,
+                Some(100),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true,\"served_tid\":7}",
+            ),
+            // worker 7: starts serving at 110 (10 µs queue delay)
+            line(
+                110,
+                Some(90),
+                "gbo",
+                "read_unit",
+                7,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+            line(
+                115,
+                Some(50),
+                "disk",
+                "disk_read",
+                7,
+                "{\"file\":1,\"unit\":\"a\",\"stream\":7}",
+            ),
+            // trailing compute 200..300
+            line(200, Some(100), "viz", "render_snapshot", 1, "{}"),
+        ]
+        .join("\n");
+        let r = critical_path(&t).unwrap();
+        assert_eq!(r.wall_us, 300);
+        assert_eq!(r.main_tid, 1);
+        assert_eq!(r.queue_us, 10);
+        assert_eq!(r.disk_us, 50);
+        assert_eq!(r.reader_cpu_us, 40);
+        assert_eq!(r.compute_us, 200);
+        assert_eq!(r.other_blocked_us, 0);
+        assert_eq!(r.attribution_sum_us(), r.wall_us);
+        assert_eq!((r.waits_total, r.waits_linked), (1, 1));
+        assert!(r.check_sum(300, 0.05).is_ok());
+        assert!(r.check_sum(500, 0.05).is_err());
+        // Largest saving first: disk (50) over reader_cpu (40).
+        assert_eq!(r.speedups[0].resource, "disk");
+        assert_eq!(r.speedups[0].saved_us, 50);
+        assert_eq!(r.speedups[0].new_wall_us, 250);
+        assert!((r.speedups[0].wall_reduction_pct - 100.0 * 50.0 / 300.0).abs() < 1e-9);
+    }
+
+    /// An unlinked wait (no served_tid, no serving span) is charged to
+    /// the residue class, and the sum invariant still holds.
+    #[test]
+    fn unlinked_wait_falls_into_residue() {
+        let t = [
+            line(0, Some(50), "viz", "render_snapshot", 1, "{}"),
+            line(
+                50,
+                Some(80),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+        ]
+        .join("\n");
+        let r = critical_path(&t).unwrap();
+        assert_eq!(r.wall_us, 130);
+        assert_eq!(r.other_blocked_us, 80);
+        assert_eq!(r.compute_us, 50);
+        assert_eq!((r.waits_total, r.waits_linked), (1, 0));
+        assert_eq!(r.attribution_sum_us(), r.wall_us);
+    }
+
+    /// An inline (single-thread) read: the wait wraps a main-thread
+    /// read_unit span with disk inside. Disk claims first; the decode
+    /// remainder goes to reader_cpu; no queueing.
+    #[test]
+    fn inline_read_splits_disk_from_decode() {
+        let t = [
+            line(
+                0,
+                Some(100),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true,\"served_tid\":1}",
+            ),
+            line(
+                5,
+                Some(90),
+                "gbo",
+                "read_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true}",
+            ),
+            line(
+                10,
+                Some(60),
+                "disk",
+                "disk_read",
+                1,
+                "{\"file\":1,\"unit\":\"a\"}",
+            ),
+        ]
+        .join("\n");
+        let r = critical_path(&t).unwrap();
+        assert_eq!(r.disk_us, 60);
+        assert_eq!(r.reader_cpu_us, 30);
+        assert_eq!(r.queue_us, 0);
+        assert_eq!(r.other_blocked_us, 10);
+        assert_eq!(r.compute_us, 0);
+        assert_eq!((r.waits_total, r.waits_linked), (1, 1));
+        assert_eq!(r.attribution_sum_us(), r.wall_us);
+    }
+
+    /// Spill restores and WAL fsyncs claim ahead of reader CPU; a
+    /// main-thread fsync outside any wait extends the domain (it stalls
+    /// compute even though nothing was "blocked" in the wait sense).
+    #[test]
+    fn spill_and_fsync_classes() {
+        let t = [
+            line(
+                0,
+                Some(40),
+                "gbo",
+                "wait_unit",
+                1,
+                "{\"unit\":\"a\",\"ok\":true,\"served_tid\":1}",
+            ),
+            line(
+                0,
+                Some(40),
+                "gbo",
+                "spill_restore",
+                1,
+                "{\"unit\":\"a\",\"bytes\":4096}",
+            ),
+            line(50, Some(20), "gbo", "wal_fsync", 1, "{\"lsn\":3}"),
+            line(70, Some(30), "viz", "render_snapshot", 1, "{}"),
+        ]
+        .join("\n");
+        let r = critical_path(&t).unwrap();
+        assert_eq!(r.spill_restore_us, 40);
+        assert_eq!(r.wal_fsync_us, 20);
+        assert_eq!(r.compute_us, 40);
+        assert_eq!(r.attribution_sum_us(), r.wall_us);
+        assert!(r.render_human().contains("virtual speedups"));
+        let json = r.to_json();
+        assert!(json.contains("\"spill_restore_us\":40"));
+        let parsed = crate::parse_json(&json).unwrap();
+        assert_eq!(parsed.get("wall_us").and_then(|v| v.as_u64()), Some(100));
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        assert!(critical_path("").is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! Run-to-run regression diffing over JSON summaries.
+//!
+//! `godiva-report diff BASE.json NEW.json` compares two runs — either
+//! two `godiva-report --json` trace reports or two `BENCH_<name>.json`
+//! bench summaries — leaf by numeric leaf, against a relative
+//! tolerance, and exits non-zero when `NEW` regressed. This is the CI
+//! perf gate: the checked-in `results/BENCH_*.json` baselines are the
+//! `BASE` side, a fresh bench run is the `NEW` side.
+//!
+//! Rules of comparison:
+//!
+//! - Leaves are addressed by dotted path (`spill.hits`,
+//!   `arms[2].total_s`). Identity-ish keys that legitimately change
+//!   between runs (`main_tid`, `start_us`, raw sample arrays, …) are
+//!   skipped.
+//! - Most metrics are *higher-is-worse* (times, waits, re-reads,
+//!   misses). A small set are *higher-is-better* (`ready`, `hits`,
+//!   `saved_us`, `*_reduced_pct`) and regress when they drop.
+//! - A change only counts when it clears both the relative tolerance
+//!   *and* a per-kind absolute noise floor (µs / seconds / percentage
+//!   points), so a 2 µs wobble on a 3 µs counter doesn't fail CI.
+//! - A leaf missing from `NEW` is a regression (schema break); a leaf
+//!   only in `NEW` is reported but benign (schemas may grow).
+//! - With [`DiffOptions::warn_only`], *timing* regressions demote to
+//!   warnings (for machines without a stable clock — CI sets it via
+//!   `GODIVA_PERF_VOLATILE=1`) while count/byte regressions still fail:
+//!   a checksum of work done does not get noisier with a noisy clock.
+
+use crate::json::JsonValue;
+
+/// What happened to one compared leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or an exact match).
+    Unchanged,
+    /// Beyond tolerance in the good direction.
+    Improved,
+    /// Beyond tolerance in the bad direction, demoted by
+    /// [`DiffOptions::warn_only`].
+    Warned,
+    /// Beyond tolerance in the bad direction: fails the gate.
+    Regressed,
+}
+
+/// One compared leaf.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Dotted path of the leaf (`prefetch.late`, `arms[0].total_s`).
+    pub path: String,
+    /// Baseline value (`NaN` when absent or non-numeric).
+    pub base: f64,
+    /// New value (`NaN` when absent or non-numeric).
+    pub new: f64,
+    /// Relative change in percent, positive = increased.
+    pub delta_pct: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Human note (direction, missing-key, type-mismatch).
+    pub note: String,
+}
+
+/// Tolerances for [`diff_json`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative tolerance in percent (default 5).
+    pub tolerance_pct: f64,
+    /// Demote *timing* regressions to warnings (noisy-clock machines).
+    pub warn_only: bool,
+    /// Absolute noise floor for `*_us` leaves (µs, default 500).
+    pub floor_us: f64,
+    /// Absolute noise floor for `*_s` leaves (seconds, default 0.02).
+    pub floor_s: f64,
+    /// Absolute noise floor for `*_pct` leaves (points, default 3).
+    pub floor_pct: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tolerance_pct: 5.0,
+            warn_only: false,
+            floor_us: 500.0,
+            floor_s: 0.02,
+            floor_pct: 3.0,
+        }
+    }
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every compared (non-skipped) leaf, in path order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// Hard regressions (what the gate fails on).
+    pub fn regressions(&self) -> usize {
+        self.count(Verdict::Regressed)
+    }
+
+    /// Regressions demoted by `warn_only`.
+    pub fn warnings(&self) -> usize {
+        self.count(Verdict::Warned)
+    }
+
+    /// Beyond-tolerance improvements.
+    pub fn improvements(&self) -> usize {
+        self.count(Verdict::Improved)
+    }
+
+    fn count(&self, v: Verdict) -> usize {
+        self.entries.iter().filter(|e| e.verdict == v).count()
+    }
+
+    /// Multi-line human rendering: changed leaves first, then a
+    /// one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            if e.verdict == Verdict::Unchanged {
+                continue;
+            }
+            let tag = match e.verdict {
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Warned => "warned",
+                Verdict::Improved => "improved",
+                Verdict::Unchanged => unreachable!(),
+            };
+            out.push_str(&format!(
+                "{tag:>9}  {:<40} {} -> {} ({:+.1}%){}\n",
+                e.path,
+                fmt_num(e.base),
+                fmt_num(e.new),
+                e.delta_pct,
+                if e.note.is_empty() {
+                    String::new()
+                } else {
+                    format!("  [{}]", e.note)
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{} leaves compared: {} regressed, {} warned, {} improved\n",
+            self.entries.len(),
+            self.regressions(),
+            self.warnings(),
+            self.improvements()
+        ));
+        out
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Keys whose values are identity or raw-sample noise, not metrics.
+const SKIP_KEYS: [&str; 7] = [
+    "main_tid",
+    "tid",
+    "start_us",
+    "samples",
+    "timeline",
+    "buckets",
+    "served_tid",
+];
+
+/// Leaf names that are higher-is-better (a *drop* regresses).
+fn higher_is_better(leaf: &str) -> bool {
+    matches!(leaf, "ready" | "hits" | "saved_us") || leaf.ends_with("_reduced_pct")
+}
+
+/// The absolute noise floor for a leaf, by naming convention.
+fn noise_floor(leaf: &str, opts: &DiffOptions) -> f64 {
+    if leaf.ends_with("_us") {
+        opts.floor_us
+    } else if leaf.ends_with("_s") {
+        opts.floor_s
+    } else if leaf.ends_with("_pct") {
+        opts.floor_pct
+    } else {
+        0.0
+    }
+}
+
+/// Whether a leaf is a *timing* metric (demotable under `warn_only`).
+/// Counts and byte totals are work checksums — they stay hard failures.
+fn is_timing(leaf: &str) -> bool {
+    leaf.ends_with("_us")
+        || leaf.ends_with("_s")
+        || leaf.ends_with("_pct")
+        || leaf.contains("latency")
+        || leaf == "busy"
+}
+
+fn flatten(prefix: &str, v: &JsonValue, out: &mut Vec<(String, JsonValue)>) {
+    match v {
+        JsonValue::Object(m) => {
+            for (k, v) in m {
+                if SKIP_KEYS.contains(&k.as_str()) {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        JsonValue::Array(a) => {
+            for (i, v) in a.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        leaf => out.push((prefix.to_string(), leaf.clone())),
+    }
+}
+
+/// The leaf name (last dotted segment, array indices stripped).
+fn leaf_name(path: &str) -> &str {
+    let last = path.rsplit('.').next().unwrap_or(path);
+    last.split('[').next().unwrap_or(last)
+}
+
+/// Compare two parsed JSON documents. See the module docs for the
+/// comparison rules.
+pub fn diff_json(base: &JsonValue, new: &JsonValue, opts: &DiffOptions) -> DiffReport {
+    let mut bleaves = Vec::new();
+    let mut nleaves = Vec::new();
+    flatten("", base, &mut bleaves);
+    flatten("", new, &mut nleaves);
+    let nmap: std::collections::BTreeMap<&str, &JsonValue> =
+        nleaves.iter().map(|(p, v)| (p.as_str(), v)).collect();
+    let bset: std::collections::BTreeSet<&str> = bleaves.iter().map(|(p, _)| p.as_str()).collect();
+
+    let mut entries = Vec::new();
+    for (path, bval) in &bleaves {
+        let leaf = leaf_name(path);
+        let Some(nval) = nmap.get(path.as_str()) else {
+            entries.push(DiffEntry {
+                path: path.clone(),
+                base: bval.as_f64().unwrap_or(f64::NAN),
+                new: f64::NAN,
+                delta_pct: f64::NAN,
+                verdict: Verdict::Regressed,
+                note: "missing in new run".to_string(),
+            });
+            continue;
+        };
+        match (bval.as_f64(), nval.as_f64()) {
+            (Some(a), Some(b)) => {
+                let rel = 100.0 * (b - a) / a.abs().max(1e-9);
+                let worse = if higher_is_better(leaf) { b < a } else { b > a };
+                let beyond =
+                    rel.abs() > opts.tolerance_pct && (b - a).abs() > noise_floor(leaf, opts);
+                let verdict = match (beyond, worse) {
+                    (false, _) => Verdict::Unchanged,
+                    (true, false) => Verdict::Improved,
+                    (true, true) if opts.warn_only && is_timing(leaf) => Verdict::Warned,
+                    (true, true) => Verdict::Regressed,
+                };
+                entries.push(DiffEntry {
+                    path: path.clone(),
+                    base: a,
+                    new: b,
+                    delta_pct: rel,
+                    verdict,
+                    note: String::new(),
+                });
+            }
+            _ => {
+                // Non-numeric leaves (experiment name, arm labels) must
+                // match exactly: differing labels means the runs are not
+                // comparable at all.
+                let same = bval == *nval;
+                entries.push(DiffEntry {
+                    path: path.clone(),
+                    base: f64::NAN,
+                    new: f64::NAN,
+                    delta_pct: if same { 0.0 } else { f64::NAN },
+                    verdict: if same {
+                        Verdict::Unchanged
+                    } else {
+                        Verdict::Regressed
+                    },
+                    note: if same {
+                        String::new()
+                    } else {
+                        format!("label mismatch: {bval:?} vs {nval:?}")
+                    },
+                });
+            }
+        }
+    }
+    for (path, _) in &nleaves {
+        if !bset.contains(path.as_str()) {
+            entries.push(DiffEntry {
+                path: path.clone(),
+                base: f64::NAN,
+                new: f64::NAN,
+                delta_pct: f64::NAN,
+                verdict: Verdict::Unchanged,
+                note: "new leaf (not in baseline)".to_string(),
+            });
+        }
+    }
+    DiffReport { entries }
+}
+
+/// Convenience: parse both texts and diff them.
+pub fn diff_texts(base: &str, new: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let b = crate::parse_json(base).map_err(|e| format!("baseline: {e}"))?;
+    let n = crate::parse_json(new).map_err(|e| format!("new run: {e}"))?;
+    Ok(diff_json(&b, &n, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "experiment": "ablation_spill",
+        "main_tid": 3,
+        "wall_us": 100000,
+        "spill": {"hits": 10, "misses": 2, "saved_us": 40000},
+        "arms": [{"budget": "ample", "total_s": 1.5, "reread_bytes": 0}]
+    }"#;
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = diff_texts(BASE, BASE, &DiffOptions::default()).unwrap();
+        assert_eq!(r.regressions(), 0);
+        assert_eq!(r.warnings(), 0);
+        assert_eq!(r.improvements(), 0);
+        assert!(r.entries.iter().all(|e| e.verdict == Verdict::Unchanged));
+    }
+
+    #[test]
+    fn regressions_in_both_directions() {
+        // wall_us up 50%, spill.hits down 50% (higher-is-better), an arm
+        // slower beyond floor+tolerance.
+        let new = BASE
+            .replace("\"wall_us\": 100000", "\"wall_us\": 150000")
+            .replace("\"hits\": 10", "\"hits\": 5")
+            .replace("\"total_s\": 1.5", "\"total_s\": 2.5");
+        let r = diff_texts(BASE, &new, &DiffOptions::default()).unwrap();
+        let verdict = |p: &str| {
+            r.entries
+                .iter()
+                .find(|e| e.path == p)
+                .map(|e| e.verdict)
+                .unwrap()
+        };
+        assert_eq!(verdict("wall_us"), Verdict::Regressed);
+        assert_eq!(verdict("spill.hits"), Verdict::Regressed);
+        assert_eq!(verdict("arms[0].total_s"), Verdict::Regressed);
+        assert_eq!(r.regressions(), 3);
+        let human = r.render_human();
+        assert!(human.contains("REGRESSED"));
+        assert!(human.contains("wall_us"));
+    }
+
+    #[test]
+    fn improvements_and_skipped_identity_keys() {
+        let new = BASE
+            .replace("\"wall_us\": 100000", "\"wall_us\": 50000")
+            .replace("\"main_tid\": 3", "\"main_tid\": 99");
+        let r = diff_texts(BASE, &new, &DiffOptions::default()).unwrap();
+        assert_eq!(r.regressions(), 0);
+        assert_eq!(r.improvements(), 1);
+        assert!(r.entries.iter().all(|e| !e.path.contains("main_tid")));
+    }
+
+    #[test]
+    fn noise_floor_suppresses_small_absolute_wobble() {
+        // 3 µs -> 5 µs is +66% but under the 500 µs floor: unchanged.
+        let base = r#"{"restore_us": 3}"#;
+        let new = r#"{"restore_us": 5}"#;
+        let r = diff_texts(base, new, &DiffOptions::default()).unwrap();
+        assert_eq!(r.regressions(), 0);
+        // A plain counter has no floor: 3 -> 5 regresses.
+        let r = diff_texts(
+            r#"{"rereads": 3}"#,
+            r#"{"rereads": 5}"#,
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.regressions(), 1);
+    }
+
+    #[test]
+    fn warn_only_demotes_timing_but_not_counters() {
+        let base = r#"{"total_s": 1.0, "reread_bytes": 100}"#;
+        let new = r#"{"total_s": 2.0, "reread_bytes": 200}"#;
+        let opts = DiffOptions {
+            warn_only: true,
+            ..DiffOptions::default()
+        };
+        let r = diff_texts(base, new, &opts).unwrap();
+        assert_eq!(r.warnings(), 1, "timing demoted to warning");
+        assert_eq!(r.regressions(), 1, "work counter still hard-fails");
+    }
+
+    #[test]
+    fn missing_and_extra_leaves() {
+        let r = diff_texts(
+            r#"{"a": 1, "b": 2}"#,
+            r#"{"a": 1, "c": 3}"#,
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.regressions(), 1, "dropped leaf is a schema break");
+        assert!(r
+            .entries
+            .iter()
+            .any(|e| e.path == "c" && e.verdict == Verdict::Unchanged));
+    }
+
+    #[test]
+    fn label_mismatch_regresses() {
+        let r = diff_texts(
+            r#"{"experiment": "ablation_spill"}"#,
+            r#"{"experiment": "ablation_io_threads"}"#,
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.regressions(), 1);
+        assert!(r.render_human().contains("label mismatch"));
+    }
+}

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod critical_path;
+pub mod diff;
 pub mod flight;
 pub mod json;
 pub mod metrics;
@@ -50,6 +52,8 @@ pub mod trace;
 pub use analyze::{
     analyze_trace, ChurnReport, OccupancyReport, PrefetchReport, SpillReport, TraceReport,
 };
+pub use critical_path::{critical_path, CriticalPathReport, VirtualSpeedup};
+pub use diff::{diff_json, diff_texts, DiffEntry, DiffOptions, DiffReport, Verdict};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
 pub use json::{parse_json, JsonValue};
 pub use metrics::{
@@ -60,4 +64,6 @@ pub use serve::{MetricsServer, Snapshotter, DEFAULT_SNAPSHOT_INTERVAL};
 pub use sink::{
     event_to_json, ChromeTraceSink, FanoutSink, JsonlSink, MemorySink, NullSink, TraceSink,
 };
-pub use trace::{current_tid, ArgValue, Args, Span, TraceEvent, Tracer};
+pub use trace::{
+    current_tid, current_unit, unit_scope, ArgValue, Args, Span, TraceEvent, Tracer, UnitScope,
+};

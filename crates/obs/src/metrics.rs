@@ -415,7 +415,10 @@ impl MetricsRegistry {
     /// maximum as `<name>_max`; a histogram exports cumulative
     /// `<name>_bucket{le="..."}` series over its occupied power-of-two
     /// buckets (our bucket upper bounds are exclusive, so the inclusive
-    /// Prometheus `le` label is `bound − 1`) plus `_sum` and `_count`.
+    /// Prometheus `le` label is `bound − 1`) plus `_sum` and `_count`,
+    /// and — when non-empty — a companion `<name>_summary` series with
+    /// `quantile="0.5"/"0.9"/"0.99"` samples matching the
+    /// `p50/p90/p99` estimates in [`Self::render_json`].
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.snapshot_values() {
@@ -441,6 +444,22 @@ impl MetricsRegistry {
                     out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", s.count));
                     out.push_str(&format!("{pname}_sum {}\n", s.sum_us));
                     out.push_str(&format!("{pname}_count {}\n", s.count));
+                    // Companion summary series: the same p50/p90/p99
+                    // upper-bound estimates `render_json` reports, as
+                    // pre-computed quantiles a scraper can alert on
+                    // without re-deriving them from the buckets.
+                    if let (Some(p50), Some(p90), Some(p99)) = (
+                        s.quantile_us(0.50),
+                        s.quantile_us(0.90),
+                        s.quantile_us(0.99),
+                    ) {
+                        out.push_str(&format!("# TYPE {pname}_summary summary\n"));
+                        for (label, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                            out.push_str(&format!("{pname}_summary{{quantile=\"{label}\"}} {v}\n"));
+                        }
+                        out.push_str(&format!("{pname}_summary_sum {}\n", s.sum_us));
+                        out.push_str(&format!("{pname}_summary_count {}\n", s.count));
+                    }
                 }
             }
         }
@@ -631,10 +650,33 @@ mod tests {
         assert!(text.contains("gbo_wait_latency_us_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("gbo_wait_latency_us_sum 6\n"));
         assert!(text.contains("gbo_wait_latency_us_count 3\n"));
+        // The companion summary carries the same quantile estimates as
+        // render_json (p50/p90/p99 of [0,3,3] → bounds 4-1=3 … with the
+        // upper-bound convention, p50=3, p90=3, p99=3).
+        assert!(text.contains("# TYPE gbo_wait_latency_us_summary summary\n"));
+        let h = r.histogram("gbo.wait_latency_us").snapshot();
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            assert!(text.contains(&format!(
+                "gbo_wait_latency_us_summary{{quantile=\"{label}\"}} {}\n",
+                h.quantile_us(q).unwrap()
+            )));
+        }
+        assert!(text.contains("gbo_wait_latency_us_summary_sum 6\n"));
+        assert!(text.contains("gbo_wait_latency_us_summary_count 3\n"));
+        // An empty histogram renders buckets only — no summary series.
+        let r2 = MetricsRegistry::new();
+        r2.histogram("gbo.read_latency_us");
+        assert!(!r2.render_prometheus().contains("_summary"));
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("name value");
-            assert!(!name.is_empty() && !name.contains('.'), "bad name {name}");
+            // The charset rule applies to the metric name; label values
+            // (`le="0.5"`, `quantile="0.99"`) may carry dots.
+            let metric = name.split('{').next().unwrap();
+            assert!(
+                !metric.is_empty() && !metric.contains('.'),
+                "bad name {name}"
+            );
             assert!(
                 value.parse::<f64>().is_ok() || value == "+Inf",
                 "bad value {value}"

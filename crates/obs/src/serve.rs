@@ -8,7 +8,8 @@
 //!   exposition format, scrapeable by Prometheus or plain `curl`),
 //! - `GET /stats` — [`MetricsRegistry::render_json`] (the same JSON the
 //!   `voyager --metrics-json` flag writes),
-//! - `GET /` — a short text index of the two.
+//! - `GET /healthz` — a constant-body liveness probe,
+//! - `GET /` — a short text index of the endpoints.
 //!
 //! Gauges are read live at request time, so a scrape mid-run observes
 //! the *current* occupancy and queue depth, not the final values. The
@@ -120,10 +121,13 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
                 registry.render_prometheus(),
             ),
             "/stats" => ("200 OK", "application/json", registry.render_json()),
+            // Liveness probe: answering at all proves the serving thread
+            // is alive, so the body is a constant.
+            "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
             "/" => (
                 "200 OK",
                 "text/plain",
-                "godiva metrics endpoints:\n  /metrics  Prometheus text exposition\n  /stats    JSON registry dump\n".into(),
+                "godiva metrics endpoints:\n  /metrics  Prometheus text exposition\n  /stats    JSON registry dump\n  /healthz  liveness probe\n".into(),
             ),
             _ => ("404 Not Found", "text/plain", "not found\n".into()),
         }
@@ -259,6 +263,58 @@ mod tests {
         drop(server);
         // The port is released once the server is gone.
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn healthz_and_durability_counter_families() {
+        // The WAL and spill counter families a dashboard alerts on must
+        // come through the Prometheus exposition under their full names.
+        let registry = Arc::new(MetricsRegistry::new());
+        for name in [
+            "gbo.wal_appends",
+            "gbo.wal_bytes",
+            "gbo.wal_fsyncs",
+            "gbo.wal_replayed",
+            "gbo.wal_truncated",
+            "gbo.spill_writes",
+            "gbo.spill_hits",
+            "gbo.spill_misses",
+            "gbo.spill_corrupt",
+        ] {
+            registry.counter(name).add(2);
+        }
+        registry.gauge("gbo.spill_bytes").set(4096);
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+        assert!(get(addr, "/").contains("/healthz"));
+
+        let metrics = get(addr, "/metrics");
+        for family in [
+            "gbo_wal_appends",
+            "gbo_wal_bytes",
+            "gbo_wal_fsyncs",
+            "gbo_wal_replayed",
+            "gbo_wal_truncated",
+            "gbo_spill_writes",
+            "gbo_spill_hits",
+            "gbo_spill_misses",
+            "gbo_spill_corrupt",
+        ] {
+            assert!(
+                metrics.contains(&format!("# TYPE {family} counter")),
+                "missing {family} TYPE line"
+            );
+            assert!(
+                metrics.contains(&format!("{family} 2")),
+                "missing {family} sample"
+            );
+        }
+        assert!(metrics.contains("# TYPE gbo_spill_bytes gauge"));
+        assert!(metrics.contains("gbo_spill_bytes 4096"));
     }
 
     #[test]

@@ -118,6 +118,39 @@ pub fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+thread_local! {
+    static CURRENT_UNIT: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The unit the calling thread is currently serving, if any (set by the
+/// executor around a unit read; consumed by lower layers — notably the
+/// simulated disk — to stamp their spans with the requesting unit so the
+/// critical-path analyzer can link disk time back to the wait it fed).
+pub fn current_unit() -> Option<String> {
+    CURRENT_UNIT.with(|u| u.borrow().clone())
+}
+
+/// Mark the calling thread as serving `unit` until the returned guard
+/// drops (scopes nest: the previous unit, if any, is restored).
+pub fn unit_scope(unit: &str) -> UnitScope {
+    let prev = CURRENT_UNIT.with(|u| u.borrow_mut().replace(unit.to_string()));
+    UnitScope { prev }
+}
+
+/// RAII guard restoring the previous per-thread unit context on drop.
+/// Obtained from [`unit_scope`].
+#[must_use = "dropping the guard immediately ends the unit scope"]
+pub struct UnitScope {
+    prev: Option<String>,
+}
+
+impl Drop for UnitScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_UNIT.with(|u| *u.borrow_mut() = prev);
+    }
+}
+
 struct TracerInner {
     sink: Arc<dyn TraceSink>,
     epoch: Instant,
@@ -381,6 +414,25 @@ mod tests {
         assert!(teed.enabled());
         teed.instant("gbo", "ev2", vec![]);
         assert_eq!(extra.len(), 2);
+    }
+
+    #[test]
+    fn unit_scope_nests_and_restores() {
+        assert_eq!(current_unit(), None);
+        {
+            let _a = unit_scope("t0/a");
+            assert_eq!(current_unit().as_deref(), Some("t0/a"));
+            {
+                let _b = unit_scope("t0/b");
+                assert_eq!(current_unit().as_deref(), Some("t0/b"));
+            }
+            assert_eq!(current_unit().as_deref(), Some("t0/a"));
+        }
+        assert_eq!(current_unit(), None);
+        // Scopes are per-thread: a fresh thread starts clean.
+        let _a = unit_scope("t0/a");
+        let other = std::thread::spawn(current_unit).join().unwrap();
+        assert_eq!(other, None);
     }
 
     #[test]

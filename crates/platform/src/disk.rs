@@ -276,18 +276,25 @@ impl SimDisk {
         if tracer.enabled() {
             // Span duration is the modelled device-busy time, not the
             // realized sleep (sub-quantum charges batch their sleeps).
+            let mut args: godiva_obs::Args = vec![
+                ("file", file.into()),
+                ("offset", offset.into()),
+                ("len", len.into()),
+                ("seek", seeks.into()),
+                ("stream", tid.into()),
+            ];
+            // When a unit read is in flight on this thread, link the
+            // transfer to it: the critical-path analyzer needs the edge
+            // disk span → unit → the wait the unit satisfied.
+            if let Some(unit) = godiva_obs::current_unit() {
+                args.push(("unit", unit.into()));
+            }
             tracer.complete_with_dur(
                 "disk",
                 if is_read { "disk_read" } else { "disk_write" },
                 start_us,
                 scaled.as_micros() as u64,
-                vec![
-                    ("file", file.into()),
-                    ("offset", offset.into()),
-                    ("len", len.into()),
-                    ("seek", seeks.into()),
-                    ("stream", tid.into()),
-                ],
+                args,
             );
         }
         if !sleep_for.is_zero() {

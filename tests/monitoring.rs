@@ -199,6 +199,31 @@ fn metrics_server_exports_live_database_gauges() {
             .and_then(|m| m.get("value")?.as_u64()),
         Some(1)
     );
+
+    // The durability families a dashboard alerts on are present from
+    // startup (zero-valued), not only after the first WAL/spill event.
+    for family in [
+        "gbo_wal_appends",
+        "gbo_wal_bytes",
+        "gbo_wal_fsyncs",
+        "gbo_wal_replayed",
+        "gbo_wal_truncated",
+        "gbo_spill_writes",
+        "gbo_spill_hits",
+        "gbo_spill_misses",
+        "gbo_spill_corrupt",
+    ] {
+        assert!(
+            response.contains(&format!("# TYPE {family} counter")),
+            "missing {family} family in /metrics"
+        );
+    }
+    assert!(response.contains("# TYPE gbo_spill_bytes gauge"));
+
+    // Liveness probe answers while the database is mid-run.
+    let health = http_get(server.local_addr(), "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
     db.finish_unit("u1").unwrap();
 }
 
@@ -245,4 +270,159 @@ fn snapshotter_feeds_occupancy_timeline_into_analytics() {
         .expect("self-consistent attribution");
     assert_eq!(report.units, 4);
     assert_eq!(report.prefetch.never, 0);
+}
+
+/// The exact key set tools downstream of `godiva-report --json` rely
+/// on (the diff gate, CI's attribution check, dashboard importers).
+/// Renaming or dropping a key is a breaking change — update the
+/// baselines in `results/` and this list together.
+#[test]
+fn trace_report_json_schema_is_golden() {
+    let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+    let trace_path = std::env::temp_dir().join(format!("godiva-mon-schema-{tag}.jsonl"));
+    {
+        let sink = Arc::new(JsonlSink::create(&trace_path).unwrap());
+        let db = payload_db(GboConfig {
+            tracer: Tracer::new(sink),
+            ..Default::default()
+        });
+        for i in 0..2 {
+            let name = format!("u{i}");
+            db.add_unit(&name, payload_reader(&name, 256)).unwrap();
+            db.wait_unit(&name).unwrap();
+            db.finish_unit(&name).unwrap();
+        }
+    }
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let _ = std::fs::remove_file(&trace_path);
+
+    let report = analyze_trace(&text).expect("trace analyzes");
+    let v = parse_json(&report.to_json()).expect("report JSON parses");
+    let JsonValue::Object(map) = &v else {
+        panic!("report must be a JSON object");
+    };
+    let keys: Vec<&str> = map.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        [
+            "attribution_sum_us",
+            "churn",
+            "compute_us",
+            "events",
+            "main_tid",
+            "occupancy",
+            "prefetch",
+            "readers",
+            "render_us",
+            "spans",
+            "spill",
+            "start_us",
+            "units",
+            "wait_blocked_us",
+            "wall_us",
+        ],
+        "godiva-report --json top-level schema changed"
+    );
+
+    let section_keys = |section: &str| -> Vec<String> {
+        let JsonValue::Object(m) = v.get(section).unwrap() else {
+            panic!("{section} must be an object");
+        };
+        m.keys().cloned().collect()
+    };
+    assert_eq!(
+        section_keys("prefetch"),
+        ["late", "late_wait_us", "never", "ready"]
+    );
+    assert_eq!(
+        section_keys("churn"),
+        [
+            "evicted_bytes",
+            "evictions",
+            "re_read_us",
+            "re_reads",
+            "reads"
+        ]
+    );
+    assert_eq!(
+        section_keys("spill"),
+        [
+            "corrupt",
+            "hits",
+            "misses",
+            "restore_us",
+            "restored_bytes",
+            "saved_us",
+            "writes"
+        ]
+    );
+    assert_eq!(section_keys("occupancy"), ["peak_bytes", "samples"]);
+    let readers = v.get("readers").and_then(|r| r.as_array()).unwrap();
+    assert!(!readers.is_empty(), "run had at least one reader");
+    let JsonValue::Object(r0) = &readers[0] else {
+        panic!("readers entries must be objects");
+    };
+    let reader_keys: Vec<&str> = r0.keys().map(String::as_str).collect();
+    assert_eq!(reader_keys, ["busy_us", "reads", "tid"]);
+
+    // A critical-path report spliced in by --critical-path keeps its
+    // own contract: the per-resource partition plus the speedup table.
+    let cp = godiva::obs::critical_path(&text).expect("critical path");
+    let cpv = parse_json(&cp.to_json()).expect("critical-path JSON parses");
+    let JsonValue::Object(cpm) = &cpv else {
+        panic!("critical_path must be an object");
+    };
+    let cp_keys: Vec<&str> = cpm.keys().map(String::as_str).collect();
+    assert_eq!(
+        cp_keys,
+        [
+            "attribution_sum_us",
+            "compute_us",
+            "disk_us",
+            "main_tid",
+            "other_blocked_us",
+            "queue_us",
+            "reader_cpu_us",
+            "speedups",
+            "spill_restore_us",
+            "waits_linked",
+            "waits_total",
+            "wal_fsync_us",
+            "wall_us",
+        ],
+        "critical_path JSON schema changed"
+    );
+}
+
+/// Degenerate traces must either error cleanly or produce a
+/// self-consistent report — the analytics never panic on them.
+#[test]
+fn trace_analytics_edge_cases() {
+    // Empty input is an error, not a zeroed report.
+    assert!(analyze_trace("").is_err());
+    assert!(analyze_trace("\n  \n").is_err());
+    assert!(godiva::obs::critical_path("").is_err());
+
+    // A single instant: zero wall, attribution still sums exactly.
+    let one = r#"{"ts":10,"ph":"i","s":"t","cat":"gbo","name":"unit_added","pid":1,"tid":7,"args":{"unit":"a"}}"#;
+    let r = analyze_trace(one).expect("single-event trace analyzes");
+    assert_eq!((r.events, r.wall_us - r.start_us), (1, 0));
+    assert_eq!(r.attribution_sum_us(), r.wall_us);
+
+    // Disk-spans-only (O-mode backend: no database events at all):
+    // main_tid falls back to the first event's tid and the whole
+    // extent counts as blocked — there is no compute to attribute.
+    let disk_only = [
+        r#"{"ts":0,"dur":40,"ph":"X","cat":"disk","name":"read","pid":1,"tid":9,"args":{"file":"f","offset":0,"len":10}}"#,
+        r#"{"ts":50,"dur":50,"ph":"X","cat":"disk","name":"read","pid":1,"tid":9,"args":{"file":"f","offset":10,"len":10}}"#,
+    ]
+    .join("\n");
+    let r = analyze_trace(&disk_only).expect("disk-only trace analyzes");
+    assert_eq!(r.main_tid, 9);
+    assert_eq!(r.wall_us, 100);
+    assert_eq!(r.wait_blocked_us, 90);
+    assert_eq!(r.compute_us, 10);
+    assert_eq!(r.attribution_sum_us(), r.wall_us);
+    let cp = godiva::obs::critical_path(&disk_only).expect("critical path on disk-only");
+    assert_eq!(cp.attribution_sum_us(), cp.wall_us);
 }
