@@ -15,15 +15,18 @@
 //! - **+ metrics + snapshotter** — a live registry wired into the
 //!   database plus the 250 ms gauge snapshotter (and, with
 //!   `--metrics-listen ADDR`, the HTTP exporter serving scrapes during
-//!   the runs).
+//!   the runs),
+//! - **+ health engine** — the full stack plus the sliding-window
+//!   health engine (window frames each tick, SLO evaluation, burn-rate
+//!   state machine) and the liveness watchdog on the database.
 //!
-//! Acceptance: the full monitoring stack within 5 % of the tracing
-//! baseline.
+//! Acceptance: the full monitoring stack — health engine included —
+//! within 5 % of the tracing baseline.
 
 use godiva_bench::{percent, repeat, ExperimentEnv, HarnessArgs, Table};
 use godiva_obs::{
-    FlightRecorder, JsonlSink, MetricsRegistry, MetricsServer, Snapshotter, Tracer,
-    DEFAULT_SNAPSHOT_INTERVAL,
+    FlightRecorder, HealthConfig, HealthEngine, JsonlSink, MetricsRegistry, MetricsServer,
+    Snapshotter, Tracer, DEFAULT_SNAPSHOT_INTERVAL,
 };
 use godiva_platform::Platform;
 use godiva_viz::{Mode, TestSpec, VoyagerOptions};
@@ -99,10 +102,23 @@ fn main() {
             "+ metrics + snapshotter",
             Box::new({
                 let registry = registry.clone();
+                let file_tracer = file_tracer.clone();
                 move |opts: &mut VoyagerOptions| {
                     opts.tracer = file_tracer();
                     opts.flight_recorder = Some(Arc::new(FlightRecorder::default()));
                     opts.metrics = Some(registry.clone());
+                }
+            }),
+        ),
+        (
+            "+ health engine",
+            Box::new({
+                let registry = registry.clone();
+                move |opts: &mut VoyagerOptions| {
+                    opts.tracer = file_tracer();
+                    opts.flight_recorder = Some(Arc::new(FlightRecorder::default()));
+                    opts.metrics = Some(registry.clone());
+                    opts.watchdog = Some(std::time::Duration::from_secs(2));
                 }
             }),
         ),
@@ -120,24 +136,38 @@ fn main() {
     for (i, (label, configure)) in configs.iter().enumerate() {
         // The snapshotter samples the shared registry for the duration
         // of the live-export block only, like a real monitored run.
-        let snapshotter = (i == 3).then(|| {
+        let snapshotter = (i >= 3).then(|| {
             Snapshotter::spawn(
                 registry.clone(),
                 Tracer::new(Arc::new(JsonlSink::new(std::io::sink()))),
                 DEFAULT_SNAPSHOT_INTERVAL,
             )
         });
+        // The health engine block additionally ticks sliding windows
+        // and evaluates the default SLO rules over the shared registry
+        // at the production 1 s cadence.
+        let health = (i == 4).then(|| {
+            HealthEngine::spawn(
+                registry.clone(),
+                Tracer::new(Arc::new(JsonlSink::new(std::io::sink()))),
+                HealthConfig::default(),
+            )
+        });
         let rr = repeat(&env, args.repeats, || {
             let mut opts = env.voyager_options(TestSpec::simple(), Mode::GodivaMulti);
             configure(&mut opts);
+            if let Some(engine) = &health {
+                opts.health = Some(engine.handle());
+            }
             opts
         });
+        drop(health);
         drop(snapshotter);
         floor.get_or_insert(rr.total.mean);
         if i == 1 {
             tracing_base = Some(rr.total.mean);
         }
-        if i == 3 {
+        if i == 4 {
             full_stack = Some(rr.total.mean);
         }
         // percent() is "reduced vs a"; negate to report added cost.
@@ -168,5 +198,8 @@ fn main() {
         let overhead = -percent(base, full);
         println!("full monitoring stack vs tracing baseline: {overhead:+.1}% (target < 5%)");
     }
-    println!("acceptance: flight recorder and snapshotter within 5% of the tracing baseline.");
+    println!(
+        "acceptance: flight recorder, snapshotter and health engine within 5% of the \
+         tracing baseline."
+    );
 }

@@ -11,6 +11,13 @@
 //!
 //! Unarmed (the default — the variable unset or unparsable) the cost is
 //! one lazily-initialized `Option` check per call site.
+//!
+//! A sibling mechanism drives the watchdog's liveness scenarios:
+//! `GODIVA_STALL_AT=<point>:<hit>:<ms>` makes the named point *sleep*
+//! for `ms` milliseconds on its configured hit instead of aborting —
+//! `GODIVA_STALL_AT=read_start:1:3000` wedges the first reader for 3 s,
+//! which is how the CI smoke provokes a `watchdog_stall` without
+//! patching any read function.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -52,9 +59,66 @@ pub(crate) fn crash_point(name: &str) {
     }
 }
 
+struct StallArmed {
+    point: String,
+    hit: u64,
+    ms: u64,
+}
+
+fn parse_stall(spec: &str) -> Option<StallArmed> {
+    let (rest, ms) = spec.rsplit_once(':')?;
+    let (point, hit) = rest.rsplit_once(':')?;
+    let hit: u64 = hit.parse().ok()?;
+    let ms: u64 = ms.parse().ok()?;
+    (hit > 0 && ms > 0 && !point.is_empty()).then(|| StallArmed {
+        point: point.to_string(),
+        hit,
+        ms,
+    })
+}
+
+static STALL_ARMED: OnceLock<Option<StallArmed>> = OnceLock::new();
+static STALL_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Pass a named stall point: sleeps for the configured duration when
+/// `GODIVA_STALL_AT` armed this point and this is the configured hit of
+/// it. Used to provoke the liveness watchdog deterministically.
+pub(crate) fn stall_point(name: &str) {
+    let armed = STALL_ARMED.get_or_init(|| {
+        std::env::var("GODIVA_STALL_AT")
+            .ok()
+            .as_deref()
+            .and_then(parse_stall)
+    });
+    let Some(armed) = armed else { return };
+    if armed.point != name {
+        return;
+    }
+    let n = STALL_HITS.fetch_add(1, Ordering::Relaxed) + 1;
+    if n == armed.hit {
+        eprintln!(
+            "godiva: stall point '{name}' hit #{n} — sleeping {} ms (GODIVA_STALL_AT)",
+            armed.ms
+        );
+        std::thread::sleep(std::time::Duration::from_millis(armed.ms));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stall_spec_parsing() {
+        assert!(parse_stall("read_start:1:3000")
+            .is_some_and(|a| a.point == "read_start" && a.hit == 1 && a.ms == 3000));
+        // A point name containing ':' splits at the last two colons.
+        assert!(parse_stall("a:b:2:50").is_some_and(|a| a.point == "a:b" && a.hit == 2));
+        assert!(parse_stall("read_start:3").is_none());
+        assert!(parse_stall("read_start:0:100").is_none());
+        assert!(parse_stall("read_start:1:0").is_none());
+        assert!(parse_stall(":1:100").is_none());
+    }
 
     #[test]
     fn spec_parsing() {

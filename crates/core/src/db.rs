@@ -164,6 +164,18 @@ pub struct GboConfig {
     /// meaningful when `wal_dir` is set. Default: [`Durability::Wal`]
     /// (append without fsync — survives process crashes).
     pub durability: Durability,
+    /// Liveness watchdog interval: when set (and background I/O is on),
+    /// a monitor thread checks that outstanding work — queued units or
+    /// in-flight reads — keeps producing unit-lifecycle progress. Work
+    /// pending with no progress for this long counts one
+    /// `gbo.watchdog_stalls`, emits a `watchdog_stall` trace instant
+    /// and proactively dumps the flight recorder, *before* anyone hits
+    /// a wait timeout. This generalizes the §3.3 deadlock detector
+    /// (which needs every worker provably blocked on memory) to stalls
+    /// it cannot see: a wedged device, a read function stuck in a
+    /// syscall, a livelocked retry loop. `None` (the default) disables
+    /// the watchdog.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for GboConfig {
@@ -182,6 +194,7 @@ impl Default for GboConfig {
             spill: None,
             wal_dir: None,
             durability: Durability::default(),
+            watchdog: None,
         }
     }
 }
@@ -216,6 +229,106 @@ pub(crate) struct Inner {
 pub struct Gbo {
     pub(crate) inner: Arc<Inner>,
     exec: Executor,
+    watchdog: Option<Watchdog>,
+    /// Optional window-backed health engine behind [`Gbo::pressure`];
+    /// attached by the host (voyager, a future `godiva-serve`) after
+    /// construction.
+    health: parking_lot::Mutex<Option<godiva_obs::HealthHandle>>,
+}
+
+/// The liveness watchdog thread (see [`GboConfig::watchdog`]).
+struct Watchdog {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Sum of the lifecycle counters whose movement proves the pipeline is
+/// making progress. Deliberately excludes `units_added`: enqueuing more
+/// work while nothing completes is exactly a stall.
+fn progress_signature(m: &GboMetrics) -> u64 {
+    m.units_read
+        .get()
+        .wrapping_add(m.units_failed.get())
+        .wrapping_add(m.units_retried.get())
+        .wrapping_add(m.units_reset.get())
+        .wrapping_add(m.cache_hits.get())
+        .wrapping_add(m.spill_hits.get())
+        .wrapping_add(m.evictions.get())
+}
+
+impl Watchdog {
+    /// Spawn the monitor: every `interval / 4` it samples the amount of
+    /// outstanding work (prefetch-queue depth + in-flight reads) and
+    /// the progress signature; outstanding work with an unchanged
+    /// signature for `interval` is a stall.
+    fn spawn(inner: &Arc<Inner>, interval: Duration) -> Watchdog {
+        let interval = interval.max(Duration::from_millis(10));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let inner = Arc::clone(inner);
+        let thread = std::thread::Builder::new()
+            .name("godiva-watchdog".into())
+            .spawn(move || {
+                let nap = (interval / 4).max(Duration::from_millis(5));
+                let mut last_sig = progress_signature(&inner.metrics);
+                let mut quiet_since = std::time::Instant::now();
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(nap);
+                    if stop2.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let queued = {
+                        let st = inner.units.lock();
+                        if st.shutdown {
+                            return;
+                        }
+                        st.queue.len() as u64
+                    };
+                    let in_flight = inner.metrics.io_workers_busy.get();
+                    let outstanding = queued + in_flight;
+                    let sig = progress_signature(&inner.metrics);
+                    if sig != last_sig || outstanding == 0 {
+                        last_sig = sig;
+                        quiet_since = std::time::Instant::now();
+                        continue;
+                    }
+                    let stalled = quiet_since.elapsed();
+                    if stalled >= interval {
+                        inner.metrics.watchdog_stalls.inc();
+                        if inner.tracer.enabled() {
+                            inner.tracer.instant(
+                                "gbo",
+                                "watchdog_stall",
+                                vec![
+                                    ("queued", outstanding.into()),
+                                    ("queue_depth", queued.into()),
+                                    ("in_flight", in_flight.into()),
+                                    ("stalled_ms", (stalled.as_millis() as u64).into()),
+                                ],
+                            );
+                        }
+                        inner.dump_postmortem("watchdog_stall");
+                        // Re-arm: a stall persisting another full
+                        // interval counts again, so the health engine's
+                        // windowed delta keeps the alert firing for as
+                        // long as the stall lasts.
+                        quiet_since = std::time::Instant::now();
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 impl Inner {
@@ -482,8 +595,21 @@ impl Gbo {
             flight_recorder: config.flight_recorder,
             postmortem_path: config.postmortem_path,
         });
+        inner.metrics.mem_limit.set(config.mem_limit);
         let exec = Executor::spawn(&inner, workers);
-        Gbo { inner, exec }
+        // The watchdog only makes sense with background readers: in
+        // inline mode a queued unit legitimately sits idle until the
+        // application waits on it.
+        let watchdog = match config.watchdog {
+            Some(interval) if workers > 0 => Some(Watchdog::spawn(&inner, interval)),
+            _ => None,
+        };
+        Gbo {
+            inner,
+            exec,
+            watchdog,
+            health: parking_lot::Mutex::new(None),
+        }
     }
 
     /// Open a database with **crash recovery**: scan the WAL in
@@ -937,8 +1063,11 @@ impl Gbo {
 
     /// `setMemSpace(bytes)`: adjust the memory budget at runtime.
     pub fn set_mem_space(&self, bytes: u64) {
-        let mut st = self.inner.units.lock();
-        st.mem_limit = bytes;
+        {
+            let mut st = self.inner.units.lock();
+            st.mem_limit = bytes;
+        }
+        self.inner.metrics.mem_limit.set(bytes);
         self.inner.units.work_cv.notify_all();
     }
 
@@ -1024,6 +1153,38 @@ impl Gbo {
     pub fn dump_postmortem(&self, reason: &str) -> Option<PathBuf> {
         self.inner.dump_postmortem(reason)
     }
+
+    /// Attach a health engine handle so [`Gbo::pressure`] answers from
+    /// its smoothed sliding-window view instead of the instantaneous
+    /// fallback below.
+    pub fn attach_health(&self, handle: godiva_obs::HealthHandle) {
+        *self.health.lock() = Some(handle);
+    }
+
+    /// Backpressure signal in `[0, 1]`: how close the database is to
+    /// its memory budget and how backed up the prefetch queue is.
+    /// Producers (mesh generators, snapshot loops) can poll this and
+    /// throttle submission before the eviction/deadlock machinery has
+    /// to intervene. With an attached health engine this is the
+    /// windowed [`godiva_obs::HealthHandle::pressure`]; otherwise it is
+    /// computed instantaneously under the state lock as
+    /// `max(mem_used / mem_limit, queue / (queue + 8))`.
+    pub fn pressure(&self) -> f64 {
+        if let Some(h) = self.health.lock().as_ref() {
+            return h.pressure();
+        }
+        let (used, limit, queue) = {
+            let st = self.inner.units.lock();
+            (st.mem_used, st.mem_limit, st.queue.len())
+        };
+        let mem_frac = if limit > 0 {
+            used as f64 / limit as f64
+        } else {
+            0.0
+        };
+        let queue_frac = queue as f64 / (queue as f64 + 8.0);
+        mem_frac.max(queue_frac).clamp(0.0, 1.0)
+    }
 }
 
 impl Drop for Gbo {
@@ -1034,6 +1195,9 @@ impl Drop for Gbo {
         }
         self.inner.units.work_cv.notify_all();
         self.inner.units.unit_cv.notify_all();
+        if let Some(w) = self.watchdog.as_mut() {
+            w.join();
+        }
         self.exec.join();
     }
 }

@@ -111,6 +111,9 @@ impl Inner {
                     ],
                 );
             }
+            // Liveness-test hook: GODIVA_STALL_AT=read_start:<hit>:<ms>
+            // wedges this attempt to provoke the watchdog.
+            crate::crash::stall_point("read_start");
             let attempt_t0 = Instant::now();
             let session = UnitSession {
                 inner: Arc::clone(self),

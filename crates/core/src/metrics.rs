@@ -55,8 +55,15 @@ pub(crate) struct GboMetrics {
     pub wal_replayed: Arc<Counter>,
     /// Torn/corrupt WAL bytes truncated during recovery.
     pub wal_truncated: Arc<Counter>,
+    /// Liveness stalls the watchdog detected (work queued but no
+    /// progress for the configured interval).
+    pub watchdog_stalls: Arc<Counter>,
     /// Mirror of the unit layer's `mem_used`; its max is `mem_peak`.
     pub mem: Arc<Gauge>,
+    /// The configured memory budget — exported so windowed consumers
+    /// (the health engine's pressure signal) can compute occupancy
+    /// fractions without holding a database handle.
+    pub mem_limit: Arc<Gauge>,
     /// Prefetch-queue depth (live only; not part of [`GboStats`]).
     pub queue_depth: Arc<Gauge>,
     /// Bytes currently held by the spill tier's files.
@@ -119,7 +126,9 @@ impl GboMetrics {
             wal_fsyncs: c("gbo.wal_fsyncs"),
             wal_replayed: c("gbo.wal_replayed"),
             wal_truncated: c("gbo.wal_truncated"),
+            watchdog_stalls: c("gbo.watchdog_stalls"),
             mem: g("gbo.mem_bytes"),
+            mem_limit: g("gbo.mem_limit_bytes"),
             queue_depth: g("gbo.queue_depth"),
             spill_bytes: g("gbo.spill_bytes"),
             io_workers_busy: g("gbo.io_workers_busy"),
@@ -167,6 +176,7 @@ impl GboMetrics {
             wal_fsyncs: self.wal_fsyncs.get(),
             wal_replayed: self.wal_replayed.get(),
             wal_truncated: self.wal_truncated.get(),
+            watchdog_stalls: self.watchdog_stalls.get(),
             wait_hist: self.wait_hist.snapshot(),
         }
     }

@@ -80,6 +80,9 @@ pub struct GboStats {
     pub wal_replayed: u64,
     /// Torn/corrupt WAL bytes truncated during recovery.
     pub wal_truncated: u64,
+    /// Liveness stalls detected by the watchdog (work queued but no
+    /// unit-lifecycle progress for the configured interval).
+    pub watchdog_stalls: u64,
     /// Distribution of individual blocked-wait latencies (one sample per
     /// `wait_unit`/`read_unit` call that had to block).
     pub wait_hist: HistogramSnapshot,
@@ -131,12 +134,14 @@ impl std::fmt::Display for GboStats {
         )?;
         writeln!(
             f,
-            "faults: {} retries ({:.3}s backoff), {} panics caught, {} wait timeouts, {} resets",
+            "faults: {} retries ({:.3}s backoff), {} panics caught, {} wait timeouts, \
+             {} resets, {} watchdog stalls",
             self.units_retried,
             self.retry_backoff_total.as_secs_f64(),
             self.panics_caught,
             self.wait_timeouts,
-            self.units_reset
+            self.units_reset,
+            self.watchdog_stalls
         )?;
         writeln!(
             f,

@@ -1,0 +1,455 @@
+//! `godiva-top` — a live terminal dashboard for a running GODIVA
+//! pipeline.
+//!
+//! Polls the std-only metrics endpoint (`voyager --metrics-listen ADDR`
+//! or the bench harness's `--metrics-listen`) over plain HTTP —
+//! `/stats` for the registry dump and `/alerts` for the health engine's
+//! rule states — and redraws a compact screen each interval:
+//! throughput (units/s and MB/s from successive counter deltas), hit
+//! rate, memory occupancy against the budget, prefetch-queue depth,
+//! busy I/O workers, spill and WAL activity, wait-latency quantiles,
+//! and one line per SLO rule with its ok/warning/firing state.
+//!
+//! ```text
+//! godiva-top [ADDR] [--interval MS] [--iterations N] [--no-clear]
+//! ```
+//!
+//! Like the rest of the observability stack this is std-only: a raw
+//! `TcpStream`, a hand-rolled `GET`, and the crate's own JSON parser.
+//! Exits non-zero if the endpoint cannot be reached.
+
+use godiva_obs::json::{parse_json, JsonValue};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: godiva-top [ADDR] [--interval MS] [--iterations N] [--no-clear]
+
+Live terminal dashboard for a GODIVA metrics endpoint.
+
+  ADDR             host:port of a --metrics-listen server
+                   (default 127.0.0.1:9184)
+  --interval MS    refresh interval in milliseconds (default 1000)
+  --iterations N   draw N frames then exit (default: run until killed)
+  --no-clear       append frames instead of redrawing in place
+";
+
+struct Options {
+    addr: String,
+    interval: Duration,
+    iterations: Option<u64>,
+    no_clear: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:9184".to_string(),
+        interval: Duration::from_millis(1000),
+        iterations: None,
+        no_clear: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => {
+                let v = it.next().ok_or("--interval needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --interval: {v}"))?;
+                opts.interval = Duration::from_millis(ms.max(50));
+            }
+            "--iterations" => {
+                let v = it.next().ok_or("--iterations needs a value")?;
+                opts.iterations = Some(v.parse().map_err(|_| format!("bad --iterations: {v}"))?);
+            }
+            "--no-clear" => opts.no_clear = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => opts.addr = other.to_string(),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One HTTP GET against the metrics server; returns the body on a 200.
+fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).ok();
+    stream.set_write_timeout(Some(timeout)).ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {path}"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains("200") {
+        return Err(format!("{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// The handful of registry values the dashboard shows, pulled out of a
+/// parsed `/stats` document. Missing metrics read as zero so the tool
+/// also works against servers run without a database attached.
+#[derive(Default, Clone)]
+struct Sample {
+    units_read: u64,
+    units_failed: u64,
+    bytes_allocated: u64,
+    cache_hits: u64,
+    blocking_reads: u64,
+    mem_bytes: u64,
+    mem_limit: u64,
+    queue_depth: u64,
+    io_busy: u64,
+    evictions: u64,
+    spill_writes: u64,
+    spill_hits: u64,
+    spill_bytes: u64,
+    wal_appends: u64,
+    wal_fsyncs: u64,
+    watchdog_stalls: u64,
+    deadlocks: u64,
+    wait_p50_us: Option<u64>,
+    wait_p99_us: Option<u64>,
+}
+
+fn metric_u64(stats: &JsonValue, name: &str) -> u64 {
+    stats
+        .get(name)
+        .and_then(|m| m.get("value"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+}
+
+fn sample_from_stats(stats: &JsonValue) -> Sample {
+    let hist = stats.get("gbo.wait_latency_us");
+    let q = |key: &str| hist.and_then(|h| h.get(key)).and_then(JsonValue::as_u64);
+    Sample {
+        units_read: metric_u64(stats, "gbo.units_read"),
+        units_failed: metric_u64(stats, "gbo.units_failed"),
+        bytes_allocated: metric_u64(stats, "gbo.bytes_allocated"),
+        cache_hits: metric_u64(stats, "gbo.cache_hits"),
+        blocking_reads: metric_u64(stats, "gbo.blocking_reads"),
+        mem_bytes: metric_u64(stats, "gbo.mem_bytes"),
+        mem_limit: metric_u64(stats, "gbo.mem_limit_bytes"),
+        queue_depth: metric_u64(stats, "gbo.queue_depth"),
+        io_busy: metric_u64(stats, "gbo.io_workers_busy"),
+        evictions: metric_u64(stats, "gbo.evictions"),
+        spill_writes: metric_u64(stats, "gbo.spill_writes"),
+        spill_hits: metric_u64(stats, "gbo.spill_hits"),
+        spill_bytes: metric_u64(stats, "gbo.spill_bytes"),
+        wal_appends: metric_u64(stats, "gbo.wal_appends"),
+        wal_fsyncs: metric_u64(stats, "gbo.wal_fsyncs"),
+        watchdog_stalls: metric_u64(stats, "gbo.watchdog_stalls"),
+        deadlocks: metric_u64(stats, "gbo.deadlocks_detected"),
+        wait_p50_us: q("p50_us"),
+        wait_p99_us: q("p99_us"),
+    }
+}
+
+/// One alert row out of a parsed `/alerts` document.
+struct AlertRow {
+    rule: String,
+    state: String,
+    value: Option<f64>,
+    threshold: Option<f64>,
+    fired_total: u64,
+}
+
+fn alert_rows(alerts: &JsonValue) -> Vec<AlertRow> {
+    let Some(list) = alerts.get("alerts").and_then(JsonValue::as_array) else {
+        return Vec::new();
+    };
+    list.iter()
+        .map(|a| AlertRow {
+            rule: a
+                .get("rule")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            state: a
+                .get("state")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            value: a.get("value").and_then(JsonValue::as_f64),
+            threshold: a.get("threshold").and_then(JsonValue::as_f64),
+            fired_total: a
+                .get("fired_total")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+        })
+        .collect()
+}
+
+fn fmt_bytes(b: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn fmt_us(us: Option<u64>) -> String {
+    match us {
+        None => "  n/a".to_string(),
+        Some(us) if us >= 1_000_000 => format!("{:.2}s", us as f64 / 1e6),
+        Some(us) if us >= 1_000 => format!("{:.1}ms", us as f64 / 1e3),
+        Some(us) => format!("{us}µs"),
+    }
+}
+
+/// A 20-cell occupancy bar: `[#########           ]`.
+fn bar(frac: f64) -> String {
+    let cells = 20usize;
+    let filled = ((frac.clamp(0.0, 1.0) * cells as f64).round() as usize).min(cells);
+    format!("[{}{}]", "#".repeat(filled), " ".repeat(cells - filled))
+}
+
+fn state_color(state: &str) -> &'static str {
+    match state {
+        "firing" => "\x1b[31m",  // red
+        "warning" => "\x1b[33m", // yellow
+        _ => "\x1b[32m",         // green
+    }
+}
+
+/// Render one frame. `prev` (with the seconds elapsed since it) turns
+/// cumulative counters into rates; the first frame has none.
+fn render_frame(
+    addr: &str,
+    cur: &Sample,
+    prev: Option<(&Sample, f64)>,
+    alerts: &[AlertRow],
+    color: bool,
+) -> String {
+    let mut out = String::new();
+    let rate = |now: u64, before: u64, dt: f64| (now.saturating_sub(before)) as f64 / dt.max(1e-9);
+    let (units_s, mb_s) = match prev {
+        Some((p, dt)) => (
+            rate(cur.units_read, p.units_read, dt),
+            rate(cur.bytes_allocated, p.bytes_allocated, dt) / (1024.0 * 1024.0),
+        ),
+        None => (0.0, 0.0),
+    };
+    let total = cur.cache_hits + cur.blocking_reads;
+    let hit_rate = if total == 0 {
+        "  n/a".to_string()
+    } else {
+        format!("{:5.1}%", cur.cache_hits as f64 / total as f64 * 100.0)
+    };
+    let mem_frac = if cur.mem_limit > 0 {
+        cur.mem_bytes as f64 / cur.mem_limit as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!("godiva-top — {addr}\n\n"));
+    out.push_str(&format!(
+        "  throughput  {units_s:8.1} units/s  {mb_s:8.2} MiB/s   reads {} ({} failed)\n",
+        cur.units_read, cur.units_failed
+    ));
+    out.push_str(&format!(
+        "  hit rate    {hit_rate}            waits p50 {}  p99 {}\n",
+        fmt_us(cur.wait_p50_us),
+        fmt_us(cur.wait_p99_us)
+    ));
+    out.push_str(&format!(
+        "  memory      {} {:>10} / {:<10} ({} evictions)\n",
+        bar(mem_frac),
+        fmt_bytes(cur.mem_bytes),
+        fmt_bytes(cur.mem_limit),
+        cur.evictions
+    ));
+    out.push_str(&format!(
+        "  queue       {:4} deep   {:2} workers busy\n",
+        cur.queue_depth, cur.io_busy
+    ));
+    out.push_str(&format!(
+        "  spill       {} writes, {} hits, {} on disk\n",
+        cur.spill_writes,
+        cur.spill_hits,
+        fmt_bytes(cur.spill_bytes)
+    ));
+    out.push_str(&format!(
+        "  wal         {} appends, {} fsyncs\n",
+        cur.wal_appends, cur.wal_fsyncs
+    ));
+    out.push_str(&format!(
+        "  faults      {} watchdog stalls, {} deadlocks\n",
+        cur.watchdog_stalls, cur.deadlocks
+    ));
+    out.push_str("\n  alerts\n");
+    if alerts.is_empty() {
+        out.push_str("    (no health engine attached)\n");
+    }
+    for a in alerts {
+        let (tint, reset) = if color {
+            (state_color(&a.state), "\x1b[0m")
+        } else {
+            ("", "")
+        };
+        let value = match a.value {
+            Some(v) => format!("{v:.3}"),
+            None => "n/a".to_string(),
+        };
+        let threshold = match a.threshold {
+            Some(t) => format!("{t:.3}"),
+            None => "n/a".to_string(),
+        };
+        out.push_str(&format!(
+            "    {tint}{:7}{reset}  {:<14} value {value} vs {threshold}  (fired {}x)\n",
+            a.state, a.rule, a.fired_total
+        ));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("godiva-top: {msg}");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let timeout = Duration::from_secs(5);
+    let mut prev: Option<(Sample, Instant)> = None;
+    let mut frame = 0u64;
+    let mut failures = 0u32;
+    loop {
+        match http_get(&opts.addr, "/stats", timeout) {
+            Ok(body) => {
+                failures = 0;
+                let stats = match parse_json(&body) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("godiva-top: /stats is not JSON: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let alerts = http_get(&opts.addr, "/alerts", timeout)
+                    .ok()
+                    .and_then(|b| parse_json(&b).ok())
+                    .map(|v| alert_rows(&v))
+                    .unwrap_or_default();
+                let cur = sample_from_stats(&stats);
+                let now = Instant::now();
+                let prev_view = prev
+                    .as_ref()
+                    .map(|(s, t)| (s, now.duration_since(*t).as_secs_f64()));
+                let text = render_frame(&opts.addr, &cur, prev_view, &alerts, !opts.no_clear);
+                if opts.no_clear {
+                    println!("{text}");
+                } else {
+                    // Clear + home, then the frame.
+                    print!("\x1b[2J\x1b[H{text}");
+                }
+                std::io::stdout().flush().ok();
+                prev = Some((cur, now));
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("godiva-top: {e}");
+                // First contact failing means a wrong address — exit so
+                // scripts notice. A run that *was* up gets three grace
+                // polls (it may just be shutting down).
+                if prev.is_none() || failures >= 3 {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        frame += 1;
+        if let Some(n) = opts.iterations {
+            if frame >= n {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_stats_and_renders_a_frame() {
+        let stats = parse_json(
+            r#"{"gbo.units_read":{"type":"counter","value":120},
+                "gbo.bytes_allocated":{"type":"counter","value":10485760},
+                "gbo.cache_hits":{"type":"counter","value":30},
+                "gbo.blocking_reads":{"type":"counter","value":10},
+                "gbo.mem_bytes":{"type":"gauge","value":524288,"max":1048576},
+                "gbo.mem_limit_bytes":{"type":"gauge","value":1048576,"max":1048576},
+                "gbo.queue_depth":{"type":"gauge","value":3,"max":9},
+                "gbo.wait_latency_us":{"type":"histogram","count":4,"sum_us":100,
+                 "max_us":80,"mean_us":25,"p50_us":16,"p90_us":64,"p99_us":80,
+                 "buckets":[[16,2],[64,1],[128,1]]}}"#,
+        )
+        .unwrap();
+        let cur = sample_from_stats(&stats);
+        assert_eq!(cur.units_read, 120);
+        assert_eq!(cur.wait_p99_us, Some(80));
+        let before = Sample {
+            units_read: 100,
+            bytes_allocated: 0,
+            ..Default::default()
+        };
+        let text = render_frame("x:1", &cur, Some((&before, 2.0)), &[], false);
+        assert!(text.contains("10.0 units/s"), "throughput delta: {text}");
+        assert!(text.contains("75.0%"), "hit rate: {text}");
+        assert!(text.contains("512.0 KiB"), "memory: {text}");
+        assert!(text.contains("no health engine"), "alerts: {text}");
+    }
+
+    #[test]
+    fn renders_alert_states() {
+        let alerts = parse_json(
+            r#"{"alerts":[
+                {"rule":"wait_p99","state":"firing","value":1.5,"threshold":0.25,
+                 "breach_streak":4,"ok_streak":0,"fired_total":2,"resolved_total":1},
+                {"rule":"queue_depth","state":"ok","value":0.0,"threshold":64.0,
+                 "breach_streak":0,"ok_streak":9,"fired_total":0,"resolved_total":0}]}"#,
+        )
+        .unwrap();
+        let rows = alert_rows(&alerts);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].state, "firing");
+        let text = render_frame("x:1", &Sample::default(), None, &rows, true);
+        assert!(text.contains("\x1b[31m"), "firing is red: {text:?}");
+        assert!(text.contains("wait_p99"));
+        assert!(text.contains("fired 2x"));
+    }
+
+    #[test]
+    fn small_helpers() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * 1024 * 1024), "2.0 MiB");
+        assert_eq!(fmt_us(Some(1500)), "1.5ms");
+        assert_eq!(fmt_us(Some(2_500_000)), "2.50s");
+        assert_eq!(bar(0.0), format!("[{}]", " ".repeat(20)));
+        assert!(bar(0.5).starts_with("[##########"));
+        assert!(parse_args(&["--interval".into()]).is_err());
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        let o = parse_args(&["10.0.0.1:9000".into(), "--iterations".into(), "3".into()]).unwrap();
+        assert_eq!(o.addr, "10.0.0.1:9000");
+        assert_eq!(o.iterations, Some(3));
+    }
+}

@@ -19,7 +19,12 @@
 //! 5. durability ordering: a `wal_replay` span may only appear before
 //!    any GBO lifecycle event — recovery happens at open, strictly
 //!    before units are added, read, committed or spilled (`spill_adopt`
-//!    and the `wal_*` events are part of recovery itself and exempt).
+//!    and the `wal_*` events are part of recovery itself and exempt),
+//! 6. health-engine pairing: an `alert_resolved` instant requires a
+//!    prior, still-open `alert_fired` for the same `rule` (fired →
+//!    resolved alternate per rule), and a `watchdog_stall` instant must
+//!    carry an integer `queued ≥ 1` — the watchdog only reports stalls
+//!    when work is actually outstanding.
 //!
 //! A post-mortem dump (recognized by its `{"postmortem": …}` header
 //! line) is an arbitrary *window* of a trace, so only checks 1–2 apply
@@ -170,10 +175,66 @@ fn check_trace(text: &str) -> Result<String, String> {
     ];
     let mut lifecycle_seen = false;
     let mut replays = 0usize;
+    // Health-engine pairing: rules currently fired (an alert_resolved
+    // must close one) and counters for the summary line.
+    let mut firing_rules: std::collections::HashSet<String> = Default::default();
+    let mut alert_pairs = 0usize;
+    let mut watchdog_stalls = 0usize;
     for (i, v) in events.iter().enumerate() {
         let name = v.get("name").and_then(|x| x.as_str()).unwrap_or("");
         if v.get("ph").and_then(|x| x.as_str()) == Some("X") {
             spans += 1;
+        }
+        match name {
+            "alert_fired" | "alert_resolved" => {
+                let Some(rule) = v
+                    .get("args")
+                    .and_then(|a| a.get("rule"))
+                    .and_then(|r| r.as_str())
+                else {
+                    return Err(format!("line {}: '{name}' without a string 'rule'", i + 1));
+                };
+                if name == "alert_fired" {
+                    if !firing_rules.insert(rule.to_string()) {
+                        return Err(format!(
+                            "line {}: alert_fired for rule '{rule}' which is already firing",
+                            i + 1
+                        ));
+                    }
+                } else {
+                    if !firing_rules.remove(rule) {
+                        return Err(format!(
+                            "line {}: alert_resolved for rule '{rule}' without a prior \
+                             alert_fired",
+                            i + 1
+                        ));
+                    }
+                    alert_pairs += 1;
+                }
+            }
+            "watchdog_stall" => {
+                match v
+                    .get("args")
+                    .and_then(|a| a.get("queued"))
+                    .map(|q| q.as_u64())
+                {
+                    Some(Some(queued)) if queued >= 1 => watchdog_stalls += 1,
+                    Some(Some(0)) => {
+                        return Err(format!(
+                            "line {}: watchdog_stall with queued=0 — a stall requires \
+                             outstanding work",
+                            i + 1
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "line {}: watchdog_stall without an integer 'queued' arg",
+                            i + 1
+                        ));
+                    }
+                }
+            }
+            _ => {}
         }
         if LIFECYCLE.contains(&name) {
             lifecycle_seen = true;
@@ -305,9 +366,26 @@ fn check_trace(text: &str) -> Result<String, String> {
     } else {
         String::new()
     };
+    let health_note = {
+        let mut parts = Vec::new();
+        if alert_pairs > 0 || !firing_rules.is_empty() {
+            parts.push(format!(
+                "{alert_pairs} resolved alert(s), {} still firing",
+                firing_rules.len()
+            ));
+        }
+        if watchdog_stalls > 0 {
+            parts.push(format!("{watchdog_stalls} watchdog stall(s)"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!(", {}", parts.join(", "))
+        }
+    };
     Ok(format!(
         "ok: {} events ({} spans), {} unit(s) with balanced reads, {} reader \
-         tid(s){spill_note}{replay_note}{edge_note}",
+         tid(s){spill_note}{replay_note}{edge_note}{health_note}",
         events.len(),
         spans,
         open_reads.len(),
@@ -683,6 +761,72 @@ mod tests {
         let untagged = "{\"ts\":1,\"dur\":3,\"ph\":\"X\",\"cat\":\"disk\",\
                         \"name\":\"disk_write\",\"pid\":1,\"tid\":7,\"args\":{\"file\":3}}";
         check_trace(untagged).expect("untagged disk span is exempt");
+    }
+
+    /// A health-engine alert instant for `rule`.
+    fn alert(name: &str, rule: &str) -> String {
+        format!(
+            "{{\"ts\":1,\"ph\":\"i\",\"cat\":\"health\",\"name\":\"{name}\",\"pid\":1,\
+             \"tid\":1,\"args\":{{\"rule\":\"{rule}\",\"value\":1.5,\"threshold\":0.25}}}}"
+        )
+    }
+
+    /// A watchdog_stall instant with the given raw `queued` JSON value.
+    fn stall(queued: &str) -> String {
+        format!(
+            "{{\"ts\":1,\"ph\":\"i\",\"cat\":\"gbo\",\"name\":\"watchdog_stall\",\"pid\":1,\
+             \"tid\":1,\"args\":{{\"queued\":{queued},\"stalled_ms\":200}}}}"
+        )
+    }
+
+    #[test]
+    fn alert_resolved_requires_a_prior_fire() {
+        let ok = [
+            alert("alert_fired", "wait_p99"),
+            alert("alert_resolved", "wait_p99"),
+            alert("alert_fired", "wait_p99"),
+        ]
+        .join("\n");
+        let summary = check_trace(&ok).expect("fired→resolved→fired is valid");
+        assert!(
+            summary.contains("1 resolved alert(s), 1 still firing"),
+            "{summary}"
+        );
+
+        let orphan = alert("alert_resolved", "wait_p99");
+        assert!(check_trace(&orphan)
+            .unwrap_err()
+            .contains("without a prior alert_fired"));
+
+        // Pairing is per rule: resolving a different rule fails.
+        let wrong_rule = [
+            alert("alert_fired", "wait_p99"),
+            alert("alert_resolved", "queue_depth"),
+        ]
+        .join("\n");
+        assert!(check_trace(&wrong_rule).is_err());
+
+        // Double-fire without an intervening resolve fails.
+        let double = [
+            alert("alert_fired", "wait_p99"),
+            alert("alert_fired", "wait_p99"),
+        ]
+        .join("\n");
+        assert!(check_trace(&double).unwrap_err().contains("already firing"));
+    }
+
+    #[test]
+    fn watchdog_stall_requires_outstanding_work() {
+        let summary = check_trace(&stall("3")).expect("queued=3 is a valid stall");
+        assert!(summary.contains("1 watchdog stall(s)"), "{summary}");
+        assert!(check_trace(&stall("0")).unwrap_err().contains("queued=0"));
+        assert!(check_trace(&stall("\"three\""))
+            .unwrap_err()
+            .contains("integer 'queued'"));
+        // A missing arg object entirely also fails.
+        let bare = "{\"ts\":1,\"ph\":\"i\",\"cat\":\"gbo\",\"name\":\"watchdog_stall\",\
+                    \"pid\":1,\"tid\":1}";
+        assert!(check_trace(bare).is_err());
     }
 
     #[test]

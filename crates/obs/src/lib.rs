@@ -43,11 +43,13 @@ pub mod analyze;
 pub mod critical_path;
 pub mod diff;
 pub mod flight;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod serve;
 pub mod sink;
 pub mod trace;
+pub mod window;
 
 pub use analyze::{
     analyze_trace, ChurnReport, OccupancyReport, PrefetchReport, SpillReport, TraceReport,
@@ -55,6 +57,9 @@ pub use analyze::{
 pub use critical_path::{critical_path, CriticalPathReport, VirtualSpeedup};
 pub use diff::{diff_json, diff_texts, DiffEntry, DiffOptions, DiffReport, Verdict};
 pub use flight::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
+pub use health::{
+    default_rules, AlertState, Cmp, HealthConfig, HealthEngine, HealthHandle, Signal, SloRule,
+};
 pub use json::{parse_json, JsonValue};
 pub use metrics::{
     fmt_us, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
@@ -67,3 +72,4 @@ pub use sink::{
 pub use trace::{
     current_tid, current_unit, unit_scope, ArgValue, Args, Span, TraceEvent, Tracer, UnitScope,
 };
+pub use window::{WindowAggregator, WindowConfig};

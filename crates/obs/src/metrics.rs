@@ -220,6 +220,46 @@ impl HistogramSnapshot {
         self.sum_us.checked_div(self.count)
     }
 
+    /// The distribution of values recorded *since* `earlier` was taken,
+    /// assuming `self` is a later snapshot of the same histogram:
+    /// bucketwise saturating subtraction of counts, with `count`/`sum_us`
+    /// subtracted the same way.
+    ///
+    /// A histogram only ever grows, so on honestly-ordered snapshots the
+    /// saturation never triggers; it just makes a misordered pair
+    /// degrade to an empty delta instead of wrapping. The true per-window
+    /// maximum is not recoverable from two cumulative snapshots, so the
+    /// delta keeps the later `max_us` as a conservative cap — windowed
+    /// quantiles therefore always lie within the cumulative range.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut old = earlier.buckets.iter().peekable();
+        for &(bound, n) in &self.buckets {
+            let mut prev = 0u64;
+            while let Some(&&(b, m)) = old.peek() {
+                if b < bound {
+                    old.next();
+                } else {
+                    if b == bound {
+                        prev = m;
+                        old.next();
+                    }
+                    break;
+                }
+            }
+            let d = n.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((bound, d));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            max_us: self.max_us,
+            buckets,
+        }
+    }
+
     /// `p50 / p90 / p99 / max` one-line summary, or `"n/a"` when empty.
     pub fn summary(&self) -> String {
         match (
@@ -278,7 +318,7 @@ pub enum MetricValue {
 
 /// Rewrite a metric name into the Prometheus charset: `[a-zA-Z0-9_:]`,
 /// with every other character (our `.` namespacing) mapped to `_`.
-fn prometheus_name(name: &str) -> String {
+pub(crate) fn prometheus_name(name: &str) -> String {
     name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
@@ -722,6 +762,32 @@ mod tests {
             ("g".into(), MetricValue::Gauge { value: 9, max: 9 })
         );
         assert!(matches!(values[2].1, MetricValue::Histogram(ref s) if s.count == 1));
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record_us(3);
+        h.record_us(100);
+        let earlier = h.snapshot();
+        h.record_us(3);
+        h.record_us(5000);
+        let later = h.snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_us, 5003);
+        assert_eq!(d.max_us, later.max_us);
+        // 3 → bucket bound 4 (one new), 5000 → bucket bound 8192 (new);
+        // the 100 from before the window disappears entirely.
+        assert_eq!(d.buckets, vec![(4, 1), (8192, 1)]);
+        assert_eq!(d.buckets.iter().map(|(_, n)| n).sum::<u64>(), d.count);
+        // Delta of a snapshot with itself is empty.
+        let zero = later.delta(&later);
+        assert_eq!(zero.count, 0);
+        assert!(zero.buckets.is_empty());
+        assert_eq!(zero.quantile_us(0.5), None);
+        // A misordered pair saturates to empty instead of wrapping.
+        assert_eq!(earlier.delta(&later).count, 0);
     }
 
     #[test]

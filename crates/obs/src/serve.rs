@@ -6,9 +6,15 @@
 //!
 //! - `GET /metrics` — [`MetricsRegistry::render_prometheus`] (text
 //!   exposition format, scrapeable by Prometheus or plain `curl`),
+//!   plus the windowed rate/quantile families when a health engine is
+//!   attached,
 //! - `GET /stats` — [`MetricsRegistry::render_json`] (the same JSON the
 //!   `voyager --metrics-json` flag writes),
-//! - `GET /healthz` — a constant-body liveness probe,
+//! - `GET /healthz` — liveness probe; with a [`HealthHandle`] attached
+//!   (see [`MetricsServer::bind_with_health`]) it becomes a readiness
+//!   probe: `503` with one reason line per firing alert,
+//! - `GET /alerts` — live alert states ([`HealthHandle::render_alerts_json`]),
+//! - `GET /slo` — the declarative rule set ([`HealthHandle::render_slo_json`]),
 //! - `GET /` — a short text index of the endpoints.
 //!
 //! Gauges are read live at request time, so a scrape mid-run observes
@@ -18,13 +24,14 @@
 //! instants) — that is what gives `godiva-report` its memory-occupancy
 //! timeline even when nothing scrapes the endpoint.
 
+use crate::health::HealthHandle;
 use crate::metrics::{MetricValue, MetricsRegistry};
 use crate::trace::Tracer;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default sampling interval of the [`Snapshotter`].
 pub const DEFAULT_SNAPSHOT_INTERVAL: Duration = Duration::from_millis(250);
@@ -40,8 +47,22 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
-    /// port) and start serving `registry`.
+    /// port) and start serving `registry`. `/healthz` stays a constant
+    /// liveness probe and `/alerts`/`/slo` serve empty sets; attach a
+    /// health engine with [`Self::bind_with_health`] to upgrade them.
     pub fn bind(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> std::io::Result<Self> {
+        Self::bind_with_health(addr, registry, None)
+    }
+
+    /// Like [`Self::bind`], but with a live health engine behind
+    /// `/healthz` (readiness-with-reasons, `503` while any alert
+    /// fires), `/alerts`, `/slo`, and the windowed families appended to
+    /// `/metrics`.
+    pub fn bind_with_health(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        health: Option<HealthHandle>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -53,8 +74,16 @@ impl MetricsServer {
                     if stop2.load(Ordering::Relaxed) {
                         break;
                     }
-                    if let Ok(stream) = stream {
-                        let _ = serve_one(stream, &registry);
+                    match stream {
+                        // A client hanging up mid-request or mid-write
+                        // is its problem, not ours: log and keep
+                        // serving.
+                        Ok(stream) => {
+                            if let Err(e) = serve_one(stream, &registry, health.as_ref()) {
+                                eprintln!("godiva-metrics-http: client error: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("godiva-metrics-http: accept error: {e}"),
                     }
                 }
             })?;
@@ -84,7 +113,11 @@ impl Drop for MetricsServer {
 
 /// Handle one request on `stream`: read the request line, route, write
 /// a full HTTP/1.1 response, close.
-fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    health: Option<&HealthHandle>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     let mut buf = [0u8; 2048];
     let mut req = Vec::new();
@@ -114,20 +147,49 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
         ("405 Method Not Allowed", "text/plain", "GET only\n".into())
     } else {
         match path {
-            "/metrics" => (
-                "200 OK",
-                // version=0.0.4 is the Prometheus text exposition tag.
-                "text/plain; version=0.0.4; charset=utf-8",
-                registry.render_prometheus(),
-            ),
+            "/metrics" => {
+                let mut body = registry.render_prometheus();
+                if let Some(h) = health {
+                    body.push_str(&h.render_windowed_prometheus());
+                }
+                (
+                    "200 OK",
+                    // version=0.0.4 is the Prometheus text exposition tag.
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    body,
+                )
+            }
             "/stats" => ("200 OK", "application/json", registry.render_json()),
-            // Liveness probe: answering at all proves the serving thread
-            // is alive, so the body is a constant.
-            "/healthz" => ("200 OK", "text/plain", "ok\n".into()),
+            // Without a health engine this is a liveness probe: answering
+            // at all proves the serving thread is alive, so the body is a
+            // constant. With one it becomes a readiness probe: 503 with
+            // one reason line per firing alert.
+            "/healthz" => match health.map(|h| h.readiness()) {
+                None | Some((true, _)) => ("200 OK", "text/plain", "ok\n".into()),
+                Some((false, reasons)) => (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("unavailable\n{}\n", reasons.join("\n")),
+                ),
+            },
+            "/alerts" => (
+                "200 OK",
+                "application/json",
+                health
+                    .map(|h| h.render_alerts_json())
+                    .unwrap_or_else(|| "{\"alerts\":[]}".into()),
+            ),
+            "/slo" => (
+                "200 OK",
+                "application/json",
+                health
+                    .map(|h| h.render_slo_json())
+                    .unwrap_or_else(|| "{\"tick_ms\":0,\"pressure\":0,\"rules\":[]}".into()),
+            ),
             "/" => (
                 "200 OK",
                 "text/plain",
-                "godiva metrics endpoints:\n  /metrics  Prometheus text exposition\n  /stats    JSON registry dump\n  /healthz  liveness probe\n".into(),
+                "godiva metrics endpoints:\n  /metrics  Prometheus text exposition (+ windowed families)\n  /stats    JSON registry dump\n  /healthz  readiness probe (503 + reasons while alerts fire)\n  /alerts   live alert states (JSON)\n  /slo      declarative SLO rules (JSON)\n".into(),
             ),
             _ => ("404 Not Found", "text/plain", "not found\n".into()),
         }
@@ -154,23 +216,32 @@ impl Snapshotter {
     /// Sample gauges of `registry` into `tracer` every `interval`.
     ///
     /// One sample round is taken immediately on spawn, so even runs
-    /// shorter than the interval get at least one data point.
+    /// shorter than the interval get at least one data point. Rounds
+    /// are scheduled off an absolute deadline (`next += interval`), so
+    /// the cadence does not stretch by the sampling cost itself when
+    /// the system is loaded; if a round overruns whole intervals the
+    /// missed deadlines are skipped instead of bursting.
     pub fn spawn(registry: Arc<MetricsRegistry>, tracer: Tracer, interval: Duration) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
         let thread = std::thread::Builder::new()
             .name("godiva-snapshotter".into())
             .spawn(move || {
-                let tick = Duration::from_millis(25).min(interval.max(Duration::from_millis(1)));
+                let nap = Duration::from_millis(25).min(interval);
+                let mut next = Instant::now();
                 loop {
                     sample_gauges(&registry, &tracer);
-                    let mut slept = Duration::ZERO;
-                    while slept < interval {
+                    next += interval;
+                    let now = Instant::now();
+                    while next <= now {
+                        next += interval;
+                    }
+                    while Instant::now() < next {
                         if stop2.load(Ordering::Relaxed) {
                             return;
                         }
-                        std::thread::sleep(tick);
-                        slept += tick;
+                        std::thread::sleep(nap.min(next.saturating_duration_since(Instant::now())));
                     }
                     if stop2.load(Ordering::Relaxed) {
                         return;
@@ -315,6 +386,169 @@ mod tests {
         }
         assert!(metrics.contains("# TYPE gbo_spill_bytes gauge"));
         assert!(metrics.contains("gbo_spill_bytes 4096"));
+    }
+
+    #[test]
+    fn responses_carry_accurate_content_length() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter("gbo.units_read").add(3);
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+        for path in [
+            "/metrics", "/stats", "/healthz", "/alerts", "/slo", "/", "/nope",
+        ] {
+            let response = get(addr, path);
+            let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+            let declared: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap_or_else(|| panic!("{path}: no Content-Length in {head}"))
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(declared, body.len(), "{path}: length mismatch");
+        }
+    }
+
+    #[test]
+    fn client_closing_mid_write_does_not_kill_the_serve_loop() {
+        let registry = Arc::new(MetricsRegistry::new());
+        // A body far larger than any socket buffer, so the server's
+        // write_all reliably hits the closed connection.
+        for i in 0..20_000 {
+            registry
+                .counter(&format!("stress.some_rather_long_counter_name_{i}"))
+                .add(i);
+        }
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        for _ in 0..3 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            // Hang up without reading a byte of the multi-megabyte body.
+            stream.shutdown(std::net::Shutdown::Both).unwrap();
+            drop(stream);
+        }
+        // A client that connects and says nothing also must not wedge it.
+        drop(TcpStream::connect(addr).unwrap());
+        // The serve loop survived: a well-behaved request still works.
+        let response = get(addr, "/healthz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    }
+
+    #[test]
+    fn health_endpoints_reflect_engine_state() {
+        use crate::health::{Cmp, HealthConfig, HealthHandle, Signal, SloRule};
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut rule = SloRule::new(
+            "read_failures",
+            Signal::CounterDelta("gbo.units_failed".into()),
+            Cmp::Above,
+            0.0,
+        );
+        rule.fast_slots = 2;
+        rule.slow_slots = 8;
+        rule.fire_ticks = 1;
+        rule.clear_ticks = 1;
+        let health = HealthHandle::new(
+            Arc::clone(&registry),
+            Tracer::disabled(),
+            HealthConfig {
+                tick: Duration::from_millis(10),
+                slots: 16,
+                rules: vec![rule],
+                ..HealthConfig::default()
+            },
+        );
+        let server = MetricsServer::bind_with_health(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Some(health.clone()),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        // Healthy: readiness 200, alerts ok, SLO rules listed.
+        health.tick();
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+        let alerts = get(addr, "/alerts");
+        assert!(alerts.contains("application/json"));
+        assert!(alerts.contains("\"state\":\"ok\""));
+        let slo = get(addr, "/slo");
+        let body = slo.split("\r\n\r\n").nth(1).unwrap();
+        let v = parse_json(body).expect("slo body is JSON");
+        let rules = v.get("rules").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(
+            rules[0].get("signal").and_then(|s| s.as_str()),
+            Some("delta(gbo.units_failed)")
+        );
+
+        // Inject a fault: the alert fires, /healthz flips to 503 with a
+        // reason, /alerts shows it firing.
+        registry.counter("gbo.units_failed").add(2);
+        health.tick();
+        let unhealthy = get(addr, "/healthz");
+        assert!(
+            unhealthy.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "{unhealthy}"
+        );
+        assert!(unhealthy.contains("read_failures"), "{unhealthy}");
+        assert!(get(addr, "/alerts").contains("\"state\":\"firing\""));
+
+        // Windowed families ride along on /metrics.
+        registry.counter("gbo.units_read").add(5);
+        health.tick();
+        assert!(get(addr, "/metrics").contains("gbo_units_read_rate{window="));
+
+        // Drain the fault: the alert resolves and readiness recovers.
+        for _ in 0..6 {
+            health.tick();
+        }
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+        let resolved = get(addr, "/alerts");
+        assert!(resolved.contains("\"fired_total\":1"), "{resolved}");
+        assert!(resolved.contains("\"resolved_total\":1"), "{resolved}");
+    }
+
+    #[test]
+    fn snapshotter_cadence_does_not_stretch() {
+        // The absolute-deadline schedule keeps the average cadence at
+        // the interval even though each round costs time; the old
+        // sleep(interval)-after-work schedule stretched every gap to
+        // interval + work.
+        let registry = Arc::new(MetricsRegistry::new());
+        for i in 0..50 {
+            registry.gauge(&format!("g.{i}")).set(i);
+        }
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let interval = Duration::from_millis(20);
+        let snap = Snapshotter::spawn(registry, tracer, interval);
+        std::thread::sleep(Duration::from_millis(410));
+        drop(snap);
+        let events = sink.snapshot();
+        let mut rounds: Vec<u64> = Vec::new();
+        for e in &events {
+            // Count one round per distinct timestamp cluster: gauge g.0
+            // leads each round.
+            if e.args
+                .iter()
+                .any(|(k, v)| *k == "name" && *v == crate::ArgValue::Str("g.0".into()))
+            {
+                rounds.push(e.ts_us);
+            }
+        }
+        // 410 ms at a 20 ms absolute cadence gives ~21 rounds; the old
+        // drifting schedule under this per-round load gave notably
+        // fewer. Accept generous slop for slow CI machines.
+        assert!(
+            rounds.len() >= 12,
+            "expected >= 12 sample rounds in 410ms at 20ms cadence, got {}",
+            rounds.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Sliding-window aggregation over a [`MetricsRegistry`].
+//!
+//! The registry's counters and histograms are cumulative-since-start,
+//! which is the right shape for post-hoc reports but useless for live
+//! questions like "what is the hit rate *right now*" or "has wait p99
+//! been over budget for the last ten seconds". A [`WindowAggregator`]
+//! keeps a ring of full registry snapshots, one per tick, and answers
+//! windowed queries by subtracting the frame `N` slots back from the
+//! latest frame: counter deltas become rates, histogram deltas become
+//! windowed p50/p90/p99 (via [`HistogramSnapshot::delta`]), and the
+//! ratio of two counter deltas becomes a windowed hit rate.
+//!
+//! The aggregator never touches the instrumented hot paths — it only
+//! calls [`MetricsRegistry::snapshot_values`] once per tick, so its cost
+//! is proportional to the number of registered metrics, not to the
+//! event rate.
+
+use crate::metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Ring geometry for a [`WindowAggregator`].
+#[derive(Debug, Clone)]
+pub struct WindowConfig {
+    /// Interval between frames. Every windowed quantity is quantized to
+    /// this resolution.
+    pub tick: Duration,
+    /// Number of frames retained; the longest answerable window is
+    /// `slots × tick`.
+    pub slots: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            tick: Duration::from_secs(1),
+            slots: 64,
+        }
+    }
+}
+
+/// One frame: the registry's values at a tick, sorted by name (the
+/// order [`MetricsRegistry::snapshot_values`] returns).
+type Frame = Vec<(String, MetricValue)>;
+
+fn lookup<'a>(frame: &'a Frame, name: &str) -> Option<&'a MetricValue> {
+    frame
+        .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        .ok()
+        .map(|i| &frame[i].1)
+}
+
+/// Sliding-window view over a [`MetricsRegistry`]: a ring of per-tick
+/// snapshots plus delta/rate/ratio/quantile queries between them.
+#[derive(Debug)]
+pub struct WindowAggregator {
+    registry: Arc<MetricsRegistry>,
+    config: WindowConfig,
+    frames: Mutex<VecDeque<Frame>>,
+}
+
+impl WindowAggregator {
+    /// New aggregator over `registry`. No frames exist until the first
+    /// [`tick`](Self::tick); windowed queries return `None` until at
+    /// least two frames are present.
+    pub fn new(registry: Arc<MetricsRegistry>, config: WindowConfig) -> Self {
+        let slots = config.slots.max(1);
+        WindowAggregator {
+            registry,
+            config: WindowConfig {
+                tick: config.tick,
+                slots,
+            },
+            frames: Mutex::new(VecDeque::with_capacity(slots + 1)),
+        }
+    }
+
+    /// The ring geometry.
+    pub fn config(&self) -> &WindowConfig {
+        &self.config
+    }
+
+    /// Capture a frame. Call once per [`WindowConfig::tick`]; a ring of
+    /// `slots + 1` frames is retained so a delta over the full `slots`
+    /// window stays answerable.
+    pub fn tick(&self) {
+        let frame = self.registry.snapshot_values();
+        let mut frames = self.frames.lock();
+        frames.push_back(frame);
+        while frames.len() > self.config.slots + 1 {
+            frames.pop_front();
+        }
+    }
+
+    /// Number of captured frames currently retained.
+    pub fn frames(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// The latest frame and the frame `slots` back (or the oldest
+    /// retained one when fewer exist), plus the actual number of ticks
+    /// between them. `None` until two frames exist.
+    fn pair(&self, slots: usize) -> Option<(Frame, Frame, usize)> {
+        let frames = self.frames.lock();
+        if frames.len() < 2 {
+            return None;
+        }
+        let latest = frames.len() - 1;
+        let back = slots.max(1).min(latest);
+        Some((frames[latest - back].clone(), frames[latest].clone(), back))
+    }
+
+    /// The wall-clock span a `slots`-wide query actually covers right
+    /// now (shorter than `slots × tick` while the ring is still
+    /// filling). Zero until two frames exist.
+    pub fn span(&self, slots: usize) -> Duration {
+        match self.pair(slots) {
+            Some((_, _, ticks)) => self.config.tick * ticks as u32,
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Increase of counter `name` over the last `slots` ticks. `None`
+    /// until two frames exist or if `name` is not a counter.
+    pub fn counter_delta(&self, name: &str, slots: usize) -> Option<u64> {
+        let (old, new, _) = self.pair(slots)?;
+        match (lookup(&old, name), lookup(&new, name)) {
+            (Some(MetricValue::Counter(a)), Some(MetricValue::Counter(b))) => {
+                Some(b.saturating_sub(*a))
+            }
+            // The counter registered mid-window: everything is new.
+            (None, Some(MetricValue::Counter(b))) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Rate of counter `name` in events/second over the last `slots`
+    /// ticks.
+    pub fn rate_per_sec(&self, name: &str, slots: usize) -> Option<f64> {
+        let (old, new, ticks) = self.pair(slots)?;
+        let delta = match (lookup(&old, name), lookup(&new, name)) {
+            (Some(MetricValue::Counter(a)), Some(MetricValue::Counter(b))) => b.saturating_sub(*a),
+            (None, Some(MetricValue::Counter(b))) => *b,
+            _ => return None,
+        };
+        let secs = (self.config.tick * ticks as u32).as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(delta as f64 / secs)
+    }
+
+    /// Windowed ratio `Δhits / (Δhits + Δmisses)` over the last `slots`
+    /// ticks — the live hit rate. `None` when the window saw no events
+    /// (so an idle pipeline does not read as 0 % hit rate).
+    pub fn ratio(&self, hits: &str, misses: &str, slots: usize) -> Option<f64> {
+        let h = self.counter_delta(hits, slots)?;
+        let m = self.counter_delta(misses, slots)?;
+        let total = h + m;
+        if total == 0 {
+            return None;
+        }
+        Some(h as f64 / total as f64)
+    }
+
+    /// Distribution of values histogram `name` recorded over the last
+    /// `slots` ticks (see [`HistogramSnapshot::delta`]).
+    pub fn histogram_delta(&self, name: &str, slots: usize) -> Option<HistogramSnapshot> {
+        let (old, new, _) = self.pair(slots)?;
+        match (lookup(&old, name), lookup(&new, name)) {
+            (Some(MetricValue::Histogram(a)), Some(MetricValue::Histogram(b))) => Some(b.delta(a)),
+            (None, Some(MetricValue::Histogram(b))) => Some(b.clone()),
+            _ => None,
+        }
+    }
+
+    /// Latest sampled value of gauge `name` (gauges are instantaneous,
+    /// so "windowed" just means "most recent frame").
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        let frames = self.frames.lock();
+        let last = frames.back()?;
+        match lookup(last, name) {
+            Some(MetricValue::Gauge { value, .. }) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Memory/queue pressure in `[0, 1]`, derived from the latest
+    /// frame's `gbo.*` gauges: the max of the memory-budget fraction
+    /// (`gbo.mem_bytes / gbo.mem_limit_bytes`) and a saturating queue
+    /// term (`q / (q + 8)`, so 8 queued units ≈ 0.5). Zero until a
+    /// frame exists or when the database exports no gauges.
+    pub fn pressure(&self) -> f64 {
+        let mem = self.gauge("gbo.mem_bytes").unwrap_or(0);
+        let limit = self.gauge("gbo.mem_limit_bytes").unwrap_or(0);
+        let queue = self.gauge("gbo.queue_depth").unwrap_or(0) as f64;
+        let mem_frac = if limit > 0 {
+            mem as f64 / limit as f64
+        } else {
+            0.0
+        };
+        let queue_frac = queue / (queue + 8.0);
+        mem_frac.max(queue_frac).clamp(0.0, 1.0)
+    }
+
+    /// Windowed families for the Prometheus export, over the last
+    /// `slots` ticks: every counter gains a
+    /// `<name>_rate{window="<span>s"}` gauge in events/second, and every
+    /// non-empty histogram gains `<name>_windowed{window=...,
+    /// quantile="0.5"/"0.9"/"0.99"}` samples of its *windowed* quantile
+    /// estimates. Empty until two frames exist.
+    pub fn render_prometheus(&self, slots: usize) -> String {
+        let Some((old, new, ticks)) = self.pair(slots) else {
+            return String::new();
+        };
+        let secs = (self.config.tick * ticks as u32).as_secs_f64();
+        if secs <= 0.0 {
+            return String::new();
+        }
+        let window = format!("{secs:.0}s");
+        let mut out = String::new();
+        for (name, value) in &new {
+            let pname = crate::metrics::prometheus_name(name);
+            match value {
+                MetricValue::Counter(b) => {
+                    let a = match lookup(&old, name) {
+                        Some(MetricValue::Counter(a)) => *a,
+                        _ => 0,
+                    };
+                    let rate = b.saturating_sub(a) as f64 / secs;
+                    out.push_str(&format!(
+                        "# TYPE {pname}_rate gauge\n{pname}_rate{{window=\"{window}\"}} {rate:.3}\n"
+                    ));
+                }
+                MetricValue::Histogram(b) => {
+                    let d = match lookup(&old, name) {
+                        Some(MetricValue::Histogram(a)) => b.delta(a),
+                        _ => b.clone(),
+                    };
+                    if let (Some(p50), Some(p90), Some(p99)) = (
+                        d.quantile_us(0.50),
+                        d.quantile_us(0.90),
+                        d.quantile_us(0.99),
+                    ) {
+                        out.push_str(&format!("# TYPE {pname}_windowed summary\n"));
+                        for (label, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                            out.push_str(&format!(
+                                "{pname}_windowed{{window=\"{window}\",quantile=\"{label}\"}} {v}\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{pname}_windowed_count{{window=\"{window}\"}} {}\n",
+                            d.count
+                        ));
+                    }
+                }
+                MetricValue::Gauge { .. } => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(slots: usize) -> (Arc<MetricsRegistry>, WindowAggregator) {
+        let r = Arc::new(MetricsRegistry::new());
+        let w = WindowAggregator::new(
+            Arc::clone(&r),
+            WindowConfig {
+                tick: Duration::from_secs(1),
+                slots,
+            },
+        );
+        (r, w)
+    }
+
+    #[test]
+    fn windowed_counter_deltas_and_rates() {
+        let (r, w) = agg(4);
+        let c = r.counter("gbo.units_read");
+        assert_eq!(w.counter_delta("gbo.units_read", 1), None);
+        w.tick();
+        assert_eq!(w.counter_delta("gbo.units_read", 1), None);
+        c.add(10);
+        w.tick();
+        assert_eq!(w.counter_delta("gbo.units_read", 1), Some(10));
+        assert_eq!(w.rate_per_sec("gbo.units_read", 1), Some(10.0));
+        c.add(2);
+        w.tick();
+        assert_eq!(w.counter_delta("gbo.units_read", 1), Some(2));
+        assert_eq!(w.counter_delta("gbo.units_read", 2), Some(12));
+        assert_eq!(w.rate_per_sec("gbo.units_read", 2), Some(6.0));
+        // Asking for a wider window than exists clamps to what's there.
+        assert_eq!(w.counter_delta("gbo.units_read", 99), Some(12));
+    }
+
+    #[test]
+    fn ring_evicts_old_frames() {
+        let (r, w) = agg(2);
+        let c = r.counter("c");
+        for i in 0..10 {
+            c.add(i);
+            w.tick();
+        }
+        assert_eq!(w.frames(), 3); // slots + 1
+                                   // Widest answerable window is 2 ticks: 8 + 9 added last.
+        assert_eq!(w.counter_delta("c", 99), Some(8 + 9));
+    }
+
+    #[test]
+    fn windowed_ratio_is_none_when_idle() {
+        let (r, w) = agg(8);
+        let hits = r.counter("gbo.cache_hits");
+        let misses = r.counter("gbo.blocking_reads");
+        hits.add(100); // before the first frame: outside every window
+        w.tick();
+        w.tick();
+        assert_eq!(w.ratio("gbo.cache_hits", "gbo.blocking_reads", 1), None);
+        hits.add(3);
+        misses.add(1);
+        w.tick();
+        assert_eq!(
+            w.ratio("gbo.cache_hits", "gbo.blocking_reads", 1),
+            Some(0.75)
+        );
+    }
+
+    #[test]
+    fn windowed_histogram_quantiles() {
+        let (r, w) = agg(8);
+        let h = r.histogram("gbo.wait_latency_us");
+        for _ in 0..100 {
+            h.record_us(1_000_000); // slow past: bound 2^20
+        }
+        w.tick();
+        for _ in 0..10 {
+            h.record_us(100); // fast present: bound 128
+        }
+        w.tick();
+        let d = w.histogram_delta("gbo.wait_latency_us", 1).unwrap();
+        assert_eq!(d.count, 10);
+        assert_eq!(d.quantile_us(0.99), Some(128));
+        // The cumulative view still reports the slow past.
+        let cumulative = r.histogram("gbo.wait_latency_us").snapshot();
+        assert!(cumulative.quantile_us(0.99).unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn gauge_and_pressure() {
+        let (r, w) = agg(4);
+        assert_eq!(w.pressure(), 0.0);
+        r.gauge("gbo.mem_bytes").set(750);
+        r.gauge("gbo.mem_limit_bytes").set(1000);
+        r.gauge("gbo.queue_depth").set(0);
+        w.tick();
+        assert_eq!(w.gauge("gbo.mem_bytes"), Some(750));
+        assert!((w.pressure() - 0.75).abs() < 1e-9);
+        r.gauge("gbo.queue_depth").set(24);
+        w.tick();
+        assert!((w.pressure() - 0.75).abs() < 1e-9); // 24/32 = 0.75 too
+        r.gauge("gbo.queue_depth").set(1000);
+        w.tick();
+        assert!(w.pressure() > 0.9 && w.pressure() <= 1.0);
+    }
+
+    #[test]
+    fn windowed_prometheus_families() {
+        let (r, w) = agg(4);
+        r.counter("gbo.units_read").add(5);
+        w.tick();
+        assert_eq!(w.render_prometheus(1), "");
+        r.counter("gbo.units_read").add(5);
+        r.histogram("gbo.wait_latency_us").record_us(100);
+        w.tick();
+        let text = w.render_prometheus(1);
+        assert!(text.contains("gbo_units_read_rate{window=\"1s\"} 5.000\n"));
+        assert!(
+            text.contains("gbo_wait_latency_us_windowed{window=\"1s\",quantile=\"0.99\"} 100\n")
+        );
+        assert!(text.contains("gbo_wait_latency_us_windowed_count{window=\"1s\"} 1\n"));
+    }
+}

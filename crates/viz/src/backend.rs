@@ -388,6 +388,10 @@ pub struct GodivaBackendOptions {
     pub wal_dir: Option<std::path::PathBuf>,
     /// Journal flushing discipline when `wal_dir` is set.
     pub durability: godiva_core::Durability,
+    /// Liveness watchdog interval handed to the database (see
+    /// [`godiva_core::GboConfig::watchdog`]); `None` (default) disables
+    /// it.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl GodivaBackendOptions {
@@ -411,6 +415,7 @@ impl GodivaBackendOptions {
             spill: None,
             wal_dir: None,
             durability: godiva_core::Durability::default(),
+            watchdog: None,
         }
     }
 
@@ -594,6 +599,7 @@ impl GodivaBackend {
             spill: options.spill,
             wal_dir: options.wal_dir,
             durability: options.durability,
+            watchdog: options.watchdog,
         };
         let db = if resume {
             Gbo::open_recovering(gbo_config)?

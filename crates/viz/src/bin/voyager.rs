@@ -49,7 +49,8 @@ fn usage() -> ExitCode {
          [--retries N] [--fault-mode abort|degrade] [--spill-dir DIR] [--spill-budget MB] \
          [--wal-dir DIR] [--durability none|wal|wal-sync] [--resume] [--snapshot-out DIR] \
          [--sweeps N] [--trace-out PATH] [--trace-format chrome|jsonl] [--metrics-summary] \
-         [--metrics-json PATH] [--metrics-listen ADDR]\n  \
+         [--metrics-json PATH] [--metrics-listen ADDR] [--watchdog-ms N] \
+         [--slo NAME=THRESHOLD]... [--alert-log PATH] [--health-tick-ms N]\n  \
          voyager example-specs DIR"
     );
     ExitCode::from(2)
@@ -72,6 +73,17 @@ impl Args {
 
     fn has(&self, flag: &str) -> bool {
         self.0.iter().any(|a| a == flag)
+    }
+
+    /// All values of a repeatable flag, in order.
+    fn values(&self, flag: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == flag)
+            .filter_map(|(i, _)| self.0.get(i + 1))
+            .map(String::as_str)
+            .collect()
     }
 }
 
@@ -316,16 +328,58 @@ fn cmd_render(args: &Args) -> Result<(), String> {
         }
         None => None,
     };
-    // Any of the three metrics outputs needs a live registry.
+    // Liveness watchdog: stalls count, dump the ring, and drive the
+    // health engine's `watchdog` rule.
+    if let Some(ms) = args.value("--watchdog-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--watchdog-ms must be an integer (milliseconds)")?;
+        if ms == 0 {
+            return Err("--watchdog-ms must be at least 1".into());
+        }
+        opts.watchdog = Some(Duration::from_millis(ms));
+    }
+    // Any of the metrics/health outputs needs a live registry.
     let metrics_json = args.value("--metrics-json").map(str::to_string);
     let metrics_listen = args.value("--metrics-listen").map(str::to_string);
-    let want_metrics =
-        args.has("--metrics-summary") || metrics_json.is_some() || metrics_listen.is_some();
+    let slo_overrides = args.values("--slo");
+    let alert_log = args.value("--alert-log").map(std::path::PathBuf::from);
+    let want_health = metrics_listen.is_some() || !slo_overrides.is_empty() || alert_log.is_some();
+    let want_metrics = args.has("--metrics-summary") || metrics_json.is_some() || want_health;
     let metrics = want_metrics.then(|| {
         let registry = Arc::new(MetricsRegistry::new());
         opts.metrics = Some(registry.clone());
         registry
     });
+
+    // Health engine: sliding windows over the registry, SLO rules with
+    // burn-rate alerting, `/healthz`-`/alerts`-`/slo` readiness. Rides
+    // alongside any live listener; `--slo`/`--alert-log` alone still
+    // run it (with the JSONL log as the output).
+    let health_engine = match (&metrics, want_health) {
+        (Some(registry), true) => {
+            let mut config = godiva_obs::HealthConfig {
+                alert_log,
+                ..Default::default()
+            };
+            if let Some(ms) = args.value("--health-tick-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| "--health-tick-ms must be an integer (milliseconds)")?;
+                config.tick = Duration::from_millis(ms.max(1));
+            }
+            for spec in &slo_overrides {
+                config.apply_override(spec)?;
+            }
+            Some(godiva_obs::HealthEngine::spawn(
+                registry.clone(),
+                opts.tracer.clone(),
+                config,
+            ))
+        }
+        _ => None,
+    };
+    opts.health = health_engine.as_ref().map(|e| e.handle());
 
     // Live export: HTTP listener + periodic gauge snapshotter. Both ride
     // for the duration of the run; the snapshotter samples occupancy and
@@ -333,10 +387,14 @@ fn cmd_render(args: &Args) -> Result<(), String> {
     // run mid-flight, not just its final state.
     let _server = match (&metrics_listen, &metrics) {
         (Some(addr), Some(registry)) => {
-            let server = MetricsServer::bind(addr.as_str(), registry.clone())
-                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            let server = MetricsServer::bind_with_health(
+                addr.as_str(),
+                registry.clone(),
+                health_engine.as_ref().map(|e| e.handle()),
+            )
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
             eprintln!(
-                "metrics: serving http://{0}/metrics and http://{0}/stats",
+                "metrics: serving http://{0}/metrics, /stats, /healthz, /alerts and /slo",
                 server.local_addr()
             );
             Some(server)
@@ -353,8 +411,11 @@ fn cmd_render(args: &Args) -> Result<(), String> {
 
     let report = run_voyager(opts).map_err(|e| e.to_string())?;
     // Stop sampling before the sink is finished so every gauge_sample
-    // lands in the trace file.
+    // lands in the trace file. Stopping the health engine force-resolves
+    // anything still firing, so every alert_fired in the trace is paired
+    // with an alert_resolved (trace_check enforces this).
     drop(snapshotter);
+    drop(health_engine);
     if let Some(registry) = &metrics {
         // The run's own measurements, for offline cross-checks
         // (godiva-report verifies its stall attribution sums to

@@ -118,6 +118,15 @@ pub struct VoyagerOptions {
     /// Cut an LSN-stamped snapshot of the database into this directory
     /// after the run (GODIVA modes with a WAL only).
     pub snapshot_out: Option<std::path::PathBuf>,
+    /// Liveness watchdog interval for the GODIVA modes (`None`
+    /// disables it): work outstanding with no unit-lifecycle progress
+    /// for this long counts a stall, dumps the flight recorder, and
+    /// shows up on the health engine's `watchdog` rule.
+    pub watchdog: Option<Duration>,
+    /// Health engine handle to attach to the database, so
+    /// `Gbo::pressure()` answers from its sliding windows and the run's
+    /// alert lifecycle reflects this database's counters.
+    pub health: Option<godiva_obs::HealthHandle>,
 }
 
 /// Output image encodings.
@@ -177,6 +186,8 @@ impl VoyagerOptions {
             durability: godiva_core::Durability::default(),
             resume: false,
             snapshot_out: None,
+            watchdog: None,
+            health: None,
         }
     }
 }
@@ -307,6 +318,7 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
             boptions.spill = opts.spill.clone();
             boptions.wal_dir = opts.wal_dir.clone();
             boptions.durability = opts.durability;
+            boptions.watchdog = opts.watchdog;
             if let Some(delete) = opts.delete_after_use {
                 boptions.delete_after_use = delete;
             }
@@ -325,6 +337,9 @@ pub fn run_voyager(opts: VoyagerOptions) -> VizResult<VoyagerReport> {
                     boptions,
                 )
             };
+            if let Some(health) = &opts.health {
+                be.db().attach_health(health.clone());
+            }
             Box::new(be)
         }
     };

@@ -426,3 +426,131 @@ fn trace_analytics_edge_cases() {
     let cp = godiva::obs::critical_path(&disk_only).expect("critical path on disk-only");
     assert_eq!(cp.attribution_sum_us(), cp.wall_us);
 }
+
+/// End-to-end health engine lifecycle: injected read faults on a real
+/// database drive the default `read_failures` SLO from ok → firing and
+/// back to ok, observed simultaneously through `/healthz`, `/alerts`,
+/// the JSONL alert log, and the alert instants in the trace (the same
+/// fired/resolved pairing `trace_check` rule 6 enforces).
+#[test]
+fn health_engine_fires_and_resolves_alerts_end_to_end() {
+    use godiva::obs::{AlertState, HealthConfig, HealthHandle, TraceSink as _};
+    let tag = format!("{}-{:?}", std::process::id(), std::thread::current().id());
+    let trace_path = std::env::temp_dir().join(format!("godiva-health-trace-{tag}.jsonl"));
+    let log_path = std::env::temp_dir().join(format!("godiva-health-alerts-{tag}.jsonl"));
+    let _ = std::fs::remove_file(&log_path);
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sink = Arc::new(JsonlSink::create(&trace_path).unwrap());
+    let tracer = Tracer::new(sink.clone());
+    // Tight budget plus failing readers — the workload of a run that is
+    // genuinely unhealthy for a while.
+    let db = payload_db(GboConfig {
+        mem_limit: 256 << 10,
+        metrics: Some(registry.clone()),
+        tracer: tracer.clone(),
+        ..Default::default()
+    });
+    // Manually-ticked handle: each tick() is one deterministic window
+    // frame + SLO evaluation, so no sleeps are needed.
+    let health = HealthHandle::new(
+        registry.clone(),
+        tracer.clone(),
+        HealthConfig {
+            alert_log: Some(log_path.clone()),
+            ..Default::default()
+        },
+    );
+    let server =
+        MetricsServer::bind_with_health("127.0.0.1:0", registry.clone(), Some(health.clone()))
+            .unwrap();
+    let addr = server.local_addr();
+    health.tick(); // baseline frame
+    assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+
+    // Inject faults: every read of these units fails (no retry policy).
+    for i in 0..3 {
+        let name = format!("bad{i}");
+        db.add_unit(&name, |_s: &UnitSession| {
+            Err(godiva::core::GodivaError::UnitError(
+                "injected fault".into(),
+            ))
+        })
+        .unwrap();
+        assert!(db.wait_unit(&name).is_err());
+    }
+    assert!(db.stats().units_failed >= 3);
+
+    // Two breaching ticks cross the default fire_ticks=2 hysteresis.
+    health.tick();
+    health.tick();
+    assert_eq!(health.state("read_failures"), Some(AlertState::Firing));
+    let readiness = http_get(addr, "/healthz");
+    assert!(readiness.starts_with("HTTP/1.1 503"), "{readiness}");
+    assert!(readiness.contains("read_failures"), "{readiness}");
+    let alerts = http_get(addr, "/alerts");
+    assert!(alerts.contains("\"rule\":\"read_failures\""), "{alerts}");
+    assert!(alerts.contains("\"state\":\"firing\""), "{alerts}");
+    let slo = http_get(addr, "/slo");
+    assert!(slo.contains("\"rule\":\"read_failures\""), "{slo}");
+    // The windowed families ride on /metrics while the engine runs.
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.contains("window="), "{metrics}");
+
+    // No further faults: once the failure leaves the 5-tick fast
+    // window, clear_ticks=3 clean evaluations resolve the alert.
+    for _ in 0..12 {
+        health.tick();
+    }
+    assert_eq!(health.state("read_failures"), Some(AlertState::Ok));
+    assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+    let alerts = http_get(addr, "/alerts");
+    assert!(alerts.contains("\"fired_total\":1"), "{alerts}");
+    assert!(alerts.contains("\"resolved_total\":1"), "{alerts}");
+
+    // The JSONL alert log round-trips: one fired line, one resolved
+    // line, both for this rule and in that order.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let events: Vec<String> = parsed_lines(&log, false)
+        .iter()
+        .map(|v| {
+            assert_eq!(
+                v.get("rule").and_then(|r| r.as_str()),
+                Some("read_failures")
+            );
+            assert!(v.get("ts_us").and_then(|t| t.as_u64()).is_some());
+            v.get("event").and_then(|e| e.as_str()).unwrap().to_string()
+        })
+        .collect();
+    assert_eq!(events, vec!["warning", "fired", "resolved"], "{log}");
+
+    // The trace carries the same lifecycle as instants — fired strictly
+    // before resolved for the rule (trace_check's pairing rule).
+    drop(db);
+    sink.finish();
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let health_events: Vec<(String, String)> = parsed_lines(&trace, false)
+        .iter()
+        .filter(|v| v.get("cat").and_then(|c| c.as_str()) == Some("health"))
+        .map(|v| {
+            (
+                v.get("name").and_then(|n| n.as_str()).unwrap().to_string(),
+                v.get("args")
+                    .and_then(|a| a.get("rule")?.as_str())
+                    .unwrap()
+                    .to_string(),
+            )
+        })
+        .collect();
+    let fired = health_events
+        .iter()
+        .position(|(n, r)| n == "alert_fired" && r == "read_failures")
+        .expect("alert_fired instant in trace");
+    let resolved = health_events
+        .iter()
+        .position(|(n, r)| n == "alert_resolved" && r == "read_failures")
+        .expect("alert_resolved instant in trace");
+    assert!(fired < resolved, "fired must precede resolved");
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&log_path);
+}

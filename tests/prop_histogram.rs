@@ -130,6 +130,66 @@ proptest! {
         }
     }
 
+    /// Windowed (delta) quantiles stay inside the cumulative
+    /// histogram's range: splitting a recording at any point and
+    /// subtracting the earlier snapshot yields a window whose counts
+    /// balance exactly and whose quantile estimates never exceed the
+    /// cumulative max (nor the cumulative estimate at q=1) — the
+    /// invariant the health engine's sliding windows rely on.
+    #[test]
+    fn windowed_delta_quantiles_stay_in_cumulative_range(
+        values in prop::collection::vec(0u64..1 << 30, 1..150),
+        split_permille in 0u64..=1000,
+        qs_permille in prop::collection::vec(0u64..=1000, 1..6),
+    ) {
+        let split = (values.len() as u64 * split_permille / 1000) as usize;
+        let h = Histogram::new();
+        for &v in &values[..split] {
+            h.record_us(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &values[split..] {
+            h.record_us(v);
+        }
+        let cumulative = h.snapshot();
+        let window = cumulative.delta(&earlier);
+
+        // Counts and sums balance exactly.
+        prop_assert_eq!(window.count, (values.len() - split) as u64);
+        prop_assert_eq!(window.sum_us, values[split..].iter().sum::<u64>());
+        prop_assert_eq!(
+            window.buckets.iter().map(|&(_, n)| n).sum::<u64>(),
+            window.count
+        );
+
+        let cumulative_top = cumulative.quantile_us(1.0);
+        for &p in &qs_permille {
+            let q = p as f64 / 1000.0;
+            match window.quantile_us(q) {
+                None => prop_assert_eq!(window.count, 0),
+                Some(wq) => {
+                    prop_assert!(
+                        wq <= cumulative.max_us,
+                        "window q={q} estimate {wq} above cumulative max {}",
+                        cumulative.max_us
+                    );
+                    prop_assert!(
+                        Some(wq) <= cumulative_top,
+                        "window q={q} estimate {wq} above cumulative q=1 {cumulative_top:?}"
+                    );
+                }
+            }
+        }
+        // Degenerate splits collapse correctly: everything-in-window
+        // equals the cumulative snapshot, nothing-in-window is empty.
+        if split == 0 {
+            prop_assert_eq!(&window.buckets, &cumulative.buckets);
+        }
+        if split == values.len() {
+            prop_assert!(window.buckets.is_empty());
+        }
+    }
+
     /// A snapshot round-trips through the registry's JSON rendering with
     /// its headline numbers intact.
     #[test]
